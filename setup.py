@@ -1,0 +1,4 @@
+"""Setuptools shim (keeps `pip install -e .` working offline)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Post-hoc analysis of recorded executions."""
+
+from repro.analysis.shared_state_log import (
+    EventDiagnosis,
+    classification_score,
+    diagnose_run,
+)
+from repro.analysis.transitions import (
+    FIGURE_1_EDGES,
+    TransitionMatrix,
+    transition_matrix,
+)
+
+__all__ = [
+    "EventDiagnosis",
+    "diagnose_run",
+    "classification_score",
+    "FIGURE_1_EDGES",
+    "TransitionMatrix",
+    "transition_matrix",
+]

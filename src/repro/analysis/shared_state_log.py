@@ -1,0 +1,127 @@
+"""The shared-state problem log of an execution.
+
+For every S-mode entry in a recorded run, this module lines up the
+three classifiers the reproduction implements — omniscient ground
+truth, flat-view local reasoning, enriched-view local reasoning — into
+one :class:`EventDiagnosis` record.  Experiment E6 is a statistic over
+this log; tests and notebooks can inspect individual events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classify import (
+    EnrichedVerdict,
+    classify_enriched,
+    classify_flat,
+    ground_truth,
+)
+from repro.core.cuts import cut_at_install
+from repro.core.shared_state import Diagnosis
+from repro.evs.eview import EView, EViewStructure, Subview, SvSet
+from repro.gms.view import View
+from repro.trace.events import EViewChangeEvent, ModeChangeEvent
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, ViewId
+
+
+@dataclass(frozen=True)
+class EventDiagnosis:
+    """One S-mode entry, seen through all three classifiers."""
+
+    pid: ProcessId
+    view_id: ViewId
+    transition: str
+    truth: Diagnosis
+    flat_candidates: frozenset[str]
+    enriched: EnrichedVerdict
+
+    @property
+    def flat_exact(self) -> bool:
+        return self.flat_candidates == frozenset({self.truth.label})
+
+    @property
+    def enriched_exact(self) -> bool:
+        return self.enriched.label == self.truth.label
+
+
+def _eview_at_install(rec: TraceRecorder, pid: ProcessId, view_id: ViewId) -> EView | None:
+    """Rebuild the e-view a process received with a view install."""
+    snapshot = next(
+        (
+            e
+            for e in rec.of_type(EViewChangeEvent)
+            if e.pid == pid and e.view_id == view_id and e.eview_seq == 0
+        ),
+        None,
+    )
+    if snapshot is None:
+        return None
+    subviews = tuple(Subview(sid, members) for sid, members in snapshot.subviews)
+    svsets = tuple(SvSet(ssid, sids) for ssid, sids in snapshot.svsets)
+    members = frozenset(p for sv in subviews for p in sv.members)
+    return EView(View(view_id, members), EViewStructure(subviews, svsets))
+
+
+def diagnose_run(
+    rec: TraceRecorder,
+    n_capable,
+    exclusive_full: bool = True,
+) -> list[EventDiagnosis]:
+    """Every (process, view) S-mode entry of the run, fully classified.
+
+    ``n_capable`` is the mode function's N-condition predicate over
+    member sets (see :class:`~repro.core.mode_functions.ModeFunction`).
+    """
+    entries: list[EventDiagnosis] = []
+    seen: set[tuple[ProcessId, ViewId]] = set()
+    for event in rec.of_type(ModeChangeEvent):
+        if event.new_mode != "S":
+            continue
+        if event.transition not in ("Repair", "Reconfigure"):
+            continue
+        key = (event.pid, event.view_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        truth = ground_truth(rec, event.view_id)
+        cut = cut_at_install(rec, event.view_id)
+        if event.pid not in cut:
+            continue
+        my_prev_mode = cut[event.pid].prev_mode or "R"
+        flat = classify_flat(
+            my_prev_mode,
+            len(truth.s_n | truth.s_r),
+            exclusive_full=exclusive_full,
+        )
+        eview = _eview_at_install(rec, event.pid, event.view_id)
+        if eview is None:
+            continue
+        verdict = classify_enriched(eview, n_capable)
+        entries.append(
+            EventDiagnosis(
+                pid=event.pid,
+                view_id=event.view_id,
+                transition=event.transition,
+                truth=truth,
+                flat_candidates=flat,
+                enriched=verdict,
+            )
+        )
+    return entries
+
+
+def classification_score(entries: list[EventDiagnosis]) -> dict[str, float]:
+    """Aggregate exactness rates (the E6 statistic)."""
+    if not entries:
+        return {"events": 0, "flat_exact": 0.0, "enriched_exact": 0.0,
+                "avg_flat_candidates": 0.0}
+    return {
+        "events": len(entries),
+        "flat_exact": sum(e.flat_exact for e in entries) / len(entries),
+        "enriched_exact": sum(e.enriched_exact for e in entries) / len(entries),
+        "avg_flat_candidates": (
+            sum(len(e.flat_candidates) for e in entries) / len(entries)
+        ),
+    }

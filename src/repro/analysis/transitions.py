@@ -1,0 +1,68 @@
+"""Mode-transition analysis (the Figure 1 view of an execution)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import ModeChangeEvent
+from repro.trace.recorder import TraceRecorder
+
+#: The six labelled edges of Figure 1 as (transition, old, new) triples.
+FIGURE_1_EDGES: frozenset[tuple[str, str, str]] = frozenset(
+    {
+        ("Failure", "N", "R"),
+        ("Failure", "S", "R"),
+        ("Repair", "R", "S"),
+        ("Reconfigure", "N", "S"),
+        ("Reconfigure", "S", "S"),
+        ("Reconcile", "S", "N"),
+    }
+)
+
+
+@dataclass
+class TransitionMatrix:
+    """Counts of observed mode transitions, keyed like FIGURE_1_EDGES."""
+
+    counts: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    def add(self, transition: str, old: str, new: str) -> None:
+        key = (transition, old, new)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def merge(self, other: "TransitionMatrix") -> "TransitionMatrix":
+        merged = TransitionMatrix(dict(self.counts))
+        for key, count in other.counts.items():
+            merged.counts[key] = merged.counts.get(key, 0) + count
+        return merged
+
+    @property
+    def edges(self) -> frozenset[tuple[str, str, str]]:
+        """Observed edges, excluding the initial Join pseudo-edge."""
+        return frozenset(k for k in self.counts if k[0] != "Join")
+
+    @property
+    def illegal_edges(self) -> frozenset[tuple[str, str, str]]:
+        """Edges observed that Figure 1 does not admit."""
+        return self.edges - FIGURE_1_EDGES
+
+    @property
+    def missing_edges(self) -> frozenset[tuple[str, str, str]]:
+        """Figure-1 edges the execution never exercised."""
+        return FIGURE_1_EDGES - self.edges
+
+    @property
+    def conforms(self) -> bool:
+        return not self.illegal_edges
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_edges
+
+
+def transition_matrix(rec: TraceRecorder) -> TransitionMatrix:
+    """Extract the observed transition matrix from a trace."""
+    matrix = TransitionMatrix()
+    for event in rec.of_type(ModeChangeEvent):
+        matrix.add(event.transition, event.old_mode or "-", event.new_mode)
+    return matrix

@@ -1,0 +1,28 @@
+"""The paper's example applications, built on the group-object framework.
+
+* :mod:`repro.apps.replicated_file` — Section 3's first example: a
+  replicated file with weighted-vote quorums; writes need N-mode (a
+  quorum view), reads are also served in R-mode and may return stale
+  data;
+* :mod:`repro.apps.replicated_db` — Section 3's second example: a fully
+  replicated database whose look-up queries are executed in parallel,
+  each member scanning its slice; "R-mode does not exist", every view
+  change redistributes responsibility;
+* :mod:`repro.apps.lock_manager` — Section 6.2's example: a
+  mutually-exclusive write lock managed within majority views, whose
+  shared state (manager identity + current holder) exercises all three
+  shared-state problems.
+"""
+
+from repro.apps.replicated_file import ReplicatedFile, WriteHandle
+from repro.apps.replicated_db import LookupHandle, ParallelLookupDatabase
+from repro.apps.lock_manager import LockHandle, MajorityLockManager
+
+__all__ = [
+    "ReplicatedFile",
+    "WriteHandle",
+    "ParallelLookupDatabase",
+    "LookupHandle",
+    "MajorityLockManager",
+    "LockHandle",
+]

@@ -1,0 +1,227 @@
+"""Parallel-lookup replicated database (Section 3, example 2).
+
+    "Consider a group object implementing a database with a look-up
+    query interface.  For performance reasons, the database is fully
+    replicated within the group and the query is performed in parallel
+    by the group members, each being responsible for a subset of the
+    database.  Clearly ... the only external operation (look-up) can be
+    performed in any view.  Thus, R-mode does not exist.  Any event
+    causing a view change, however, results in a transition to S-mode
+    in order to redefine the division of responsibility ...  An
+    inconsistency in this global state information could result in some
+    portion of the database not being searched at all or being searched
+    multiple times."
+
+The shared global state is the *responsibility assignment*: member ``i``
+of the sorted view membership scans the records whose key hashes to
+bucket ``i mod n``.  The assignment is recomputed during settlement and
+becomes valid at Reconcile; E10 checks the paper's invariant — in every
+settled view the slices partition the keyspace with no gap and no
+overlap.
+
+Inserts are allowed in any view too (the database is a grow-only
+collection), which makes this the paper's "weak consistency" example:
+concurrent partitions keep making progress, and partition repair is a
+genuine *state merging* problem solved by set union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.group_object import AppStateOffer, GroupObject
+from repro.core.mode_functions import AlwaysFullModeFunction
+from repro.core.modes import Mode
+from repro.evs.eview import EView
+from repro.types import MessageId, ProcessId
+
+_BUCKETS = 64
+
+
+def _bucket(key: Any) -> int:
+    return hash(str(key)) % _BUCKETS
+
+
+@dataclass
+class LookupHandle:
+    """Completion state of one parallel look-up."""
+
+    query_id: int
+    predicate_name: str
+    expected_replies: int
+    results: set = field(default_factory=set)
+    replied: set[ProcessId] = field(default_factory=set)
+    status: str = "pending"  # pending | complete | aborted
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
+
+
+@dataclass(frozen=True)
+class _LookupRequest:
+    query_id: int
+    origin: ProcessId
+    predicate_name: str
+
+
+@dataclass(frozen=True)
+class _LookupReply:
+    query_id: int
+    matches: frozenset
+
+
+class ParallelLookupDatabase(GroupObject):
+    """A replicated set of ``(key, value)`` records with parallel scan.
+
+    ``predicates`` maps names to filter functions; queries refer to
+    predicates by name so the multicast payload stays data-only.
+    """
+
+    _RECORDS_KEY = "replicated_db.records"
+
+    def __init__(self, predicates: dict[str, Callable[[Any, Any], bool]] | None = None) -> None:
+        super().__init__(AlwaysFullModeFunction())
+        self.records: dict[Any, Any] = {}
+        self.predicates = dict(predicates or {})
+        self.my_slice: tuple[int, int] | None = None  # (rank, view size)
+        self._queries: dict[int, LookupHandle] = {}
+        self._query_counter = 0
+        self.scans_performed = 0
+
+    def bind(self, stack) -> None:
+        super().bind(stack)
+        stored = stack.storage.read(self._RECORDS_KEY)
+        if stored is not None:
+            self.records = stored
+
+    def _persist_records(self) -> None:
+        if self.stack is not None:
+            self.stack.storage.write(self._RECORDS_KEY, self.records)
+
+    # ------------------------------------------------------------------
+    # External operations (allowed in any view => also in S? No: the
+    # paper's S-mode serves internal operations only, so lookups issued
+    # while settling are rejected and the client retries.)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> MessageId | None:
+        """Add a record (grow-only, allowed whenever mode is N)."""
+        return self.submit_op(("insert", key, value))
+
+    def lookup(self, predicate_name: str) -> LookupHandle:
+        """Run a parallel query; every view member scans its slice."""
+        self._query_counter += 1
+        handle = LookupHandle(
+            self._query_counter,
+            predicate_name,
+            expected_replies=len(self.stack.view.members) if self.stack.view else 0,
+        )
+        if self.mode is not Mode.NORMAL or predicate_name not in self.predicates:
+            handle.status = "aborted"
+            return handle
+        self._queries[handle.query_id] = handle
+        request = _LookupRequest(handle.query_id, self.pid, predicate_name)
+        if self.stack.multicast(request) is None:
+            handle.status = "aborted"
+            del self._queries[handle.query_id]
+        return handle
+
+    def op_allowed(self, op: Any, mode: Mode) -> bool:
+        return mode is Mode.NORMAL
+
+    # ------------------------------------------------------------------
+    # Parallel scan machinery
+    # ------------------------------------------------------------------
+
+    def responsibility(self) -> set[int]:
+        """The hash buckets this member currently scans."""
+        if self.my_slice is None:
+            return set()
+        rank, size = self.my_slice
+        return {b for b in range(_BUCKETS) if b % size == rank}
+
+    def _recompute_slice(self, eview: EView) -> None:
+        members = sorted(eview.members)
+        self.my_slice = (members.index(self.pid), len(members))
+
+    def _scan(self, request: _LookupRequest) -> frozenset:
+        predicate = self.predicates[request.predicate_name]
+        mine = self.responsibility()
+        self.scans_performed += 1
+        return frozenset(
+            (key, value)
+            for key, value in self.records.items()
+            if _bucket(key) in mine and predicate(key, value)
+        )
+
+    def on_app_message(self, sender: ProcessId, payload: Any, msg_id: MessageId) -> None:
+        if isinstance(payload, _LookupRequest):
+            if self.my_slice is None or payload.predicate_name not in self.predicates:
+                return
+            matches = self._scan(payload)
+            reply = _LookupReply(payload.query_id, matches)
+            if payload.origin == self.pid:
+                self._on_reply(self.pid, reply)
+            else:
+                self.stack.send_direct(payload.origin, reply)
+
+    def on_app_direct(self, sender: ProcessId, payload: Any) -> None:
+        if isinstance(payload, _LookupReply):
+            self._on_reply(sender, payload)
+
+    def _on_reply(self, sender: ProcessId, reply: _LookupReply) -> None:
+        handle = self._queries.get(reply.query_id)
+        if handle is None or handle.done:
+            return
+        if sender in handle.replied:
+            return
+        handle.replied.add(sender)
+        handle.results |= reply.matches
+        if len(handle.replied) >= handle.expected_replies:
+            handle.status = "complete"
+            del self._queries[reply.query_id]
+
+    # ------------------------------------------------------------------
+    # Group-object plumbing
+    # ------------------------------------------------------------------
+
+    def apply_op(self, sender: ProcessId, op: Any, msg_id: MessageId) -> None:
+        kind, key, value = op
+        if kind == "insert":
+            self.records[key] = value
+            self._persist_records()
+
+    def on_view(self, eview: EView) -> None:
+        # Any in-flight query may now miss slices: abort, client retries.
+        for handle in self._queries.values():
+            handle.status = "aborted"
+        self._queries.clear()
+        self.my_slice = None  # the division of responsibility is stale
+        super().on_view(eview)
+        if self.mode is Mode.NORMAL:
+            # A view change that kept the membership (e.g. a divergence
+            # repair) does not settle; the assignment is re-derived
+            # directly since it is a pure function of the membership.
+            self._recompute_slice(eview)
+
+    def on_mode_change(self, change, eview: EView) -> None:
+        if change.new is Mode.NORMAL:
+            # Reconcile: the new division of responsibility takes effect.
+            self._recompute_slice(eview)
+
+    def snapshot_state(self) -> dict[Any, Any]:
+        return dict(self.records)
+
+    def adopt_state(self, state: dict[Any, Any]) -> None:
+        self.records = dict(state)
+        self._persist_records()
+
+    def merge_app_states(self, offers: list[AppStateOffer]) -> Any:
+        """Partition repair: the database is the union of what every
+        concurrent partition accumulated."""
+        merged: dict[Any, Any] = {}
+        for offer in sorted(offers, key=lambda o: (o.version, o.sender)):
+            merged.update(offer.state)
+        return merged

@@ -1,0 +1,5 @@
+"""Experiment harness shared by the benchmarks (see DESIGN.md §3)."""
+
+from repro.bench.harness import Table, run_with_schedule, seeded_runs
+
+__all__ = ["Table", "run_with_schedule", "seeded_runs"]

@@ -1,0 +1,78 @@
+"""Experiment plumbing: run clusters under schedules, print tables.
+
+Each benchmark in ``benchmarks/`` regenerates one of the paper's figures
+or analytical claims; this module keeps them short and uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.net.faults import FaultSchedule
+from repro.runtime.cluster import AppFactory, Cluster, ClusterConfig
+
+
+@dataclass
+class Table:
+    """A minimal aligned-text table for experiment output."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        cells = [list(map(_fmt, row)) for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def run_with_schedule(
+    n_sites: int,
+    schedule: FaultSchedule,
+    app_factory: AppFactory | None = None,
+    config: ClusterConfig | None = None,
+    tail: float = 300.0,
+    settle_timeout: float = 600.0,
+) -> Cluster:
+    """Build a cluster, arm the schedule, run past its horizon, settle."""
+    cluster = Cluster(n_sites, app_factory=app_factory, config=config)
+    schedule.arm(cluster.scheduler, cluster)
+    cluster.run(until=schedule.horizon + tail)
+    cluster.settle(timeout=settle_timeout)
+    return cluster
+
+
+def seeded_runs(
+    seeds: Iterable[int],
+    build: Callable[[int], Cluster],
+) -> list[Cluster]:
+    """Run ``build(seed)`` for every seed and return the clusters."""
+    return [build(seed) for seed in seeds]

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    Run the quickstart scenario (bootstrap, partition, heal) and print
+    the views and property-check results.
+``run``
+    Run a seeded random fault schedule over a chosen application and
+    print a run summary plus the property reports.
+``check``
+    Sweep many seeds, verifying all six properties on each run; exits
+    non-zero if any violation is found (useful as a soak test).
+``experiments``
+    List the paper experiments and the benchmark files that regenerate
+    them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps.lock_manager import MajorityLockManager
+from repro.apps.replicated_db import ParallelLookupDatabase
+from repro.apps.replicated_file import ReplicatedFile
+from repro.bench.harness import Table, run_with_schedule
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.trace.checks import check_enriched_views, check_view_synchrony
+from repro.workload.generator import RandomFaultGenerator
+
+EXPERIMENTS = [
+    ("E1", "Figure 1: mode-transition diagram", "bench_e1_modes.py"),
+    ("E2", "Properties 2.1-2.3 under adversarial runs", "bench_e2_vs_properties.py"),
+    ("E3", "Figure 2: structure preservation (6.3)", "bench_e3_structure.py"),
+    ("E4", "Figure 3: e-view change ordering (6.1/6.2)", "bench_e4_eview_order.py"),
+    ("E5", "Section 5: merge cost, one-at-a-time vs one change", "bench_e5_merge_cost.py"),
+    ("E6", "Sections 4/6.2: flat vs enriched classification", "bench_e6_classify.py"),
+    ("E7", "Section 4: primary partition excludes merging", "bench_e7_primary.py"),
+    ("E8", "Section 5: blocking vs two-piece transfer", "bench_e8_transfer.py"),
+    ("E9", "Section 6.2: undisturbed internal operations", "bench_e9_undisturbed.py"),
+    ("E10", "Section 3: example-object invariants", "bench_e10_apps.py"),
+    ("A1-A3", "ablations of load-bearing mechanisms", "bench_ablations.py"),
+]
+
+_APP_FACTORIES = {
+    "none": lambda n: None,
+    "file": lambda n: (lambda pid: ReplicatedFile({s: 1 for s in range(n)})),
+    "db": lambda n: (lambda pid: ParallelLookupDatabase({"all": lambda k, v: True})),
+    "lock": lambda n: (lambda pid: MajorityLockManager(range(n))),
+}
+
+
+def _report_properties(cluster: Cluster) -> int:
+    reports = check_view_synchrony(cluster.recorder)
+    reports += check_enriched_views(cluster.recorder)
+    violations = 0
+    for report in reports:
+        print(f"  {report}")
+        violations += len(report.violations)
+    return violations
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    cluster = Cluster(args.sites, config=ClusterConfig(seed=args.seed))
+    cluster.settle()
+    print(f"group formed at t={cluster.now}:")
+    for site, view in cluster.views().items():
+        print(f"  site {site}: {view}")
+    minority = max(1, args.sites // 3)
+    left = list(range(args.sites - minority))
+    right = list(range(args.sites - minority, args.sites))
+    cluster.partition([left, right])
+    cluster.settle()
+    print(f"\npartitioned {left} | {right}:")
+    for site, view in cluster.views().items():
+        print(f"  site {site}: {view}")
+    cluster.heal()
+    cluster.settle()
+    print("\nhealed:")
+    for site, view in cluster.views().items():
+        print(f"  site {site}: {view}")
+    print("\nproperty checks:")
+    return 1 if _report_properties(cluster) else 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    generator = RandomFaultGenerator(
+        n_sites=args.sites, seed=args.seed, duration=args.duration
+    )
+    schedule = generator.generate()
+    factory = _APP_FACTORIES[args.app](args.sites)
+    config = ClusterConfig(seed=args.seed, loss_prob=args.loss)
+    cluster = run_with_schedule(
+        args.sites, schedule, app_factory=factory, config=config,
+        tail=generator.settle_tail,
+    )
+    from repro.trace.stats import summarize
+
+    stats = summarize(cluster.recorder)
+    table = Table(
+        f"run summary (sites={args.sites} seed={args.seed} app={args.app})",
+        ["metric", "value"],
+    )
+    table.add("virtual time", cluster.now)
+    table.add("fault actions", len(schedule.actions))
+    table.add("messages sent", cluster.network.stats.sent)
+    table.add("messages delivered", cluster.network.stats.delivered)
+    table.add("view installs", stats.view_installs)
+    table.add("max concurrent views", stats.max_concurrent_views)
+    table.add("app deliveries", stats.deliveries)
+    table.add("e-view changes", stats.eview_changes)
+    table.add("settlement sessions", stats.settlement_sessions)
+    table.add("settled", cluster.is_settled())
+    table.show()
+    if args.export:
+        from repro.trace.export import dump_trace
+
+        with open(args.export, "w", encoding="utf-8") as handle:
+            count = dump_trace(cluster.recorder, handle)
+        print(f"exported {count} trace events to {args.export}")
+    print("property checks:")
+    return 1 if _report_properties(cluster) else 0
+
+
+def cmd_recheck(args: argparse.Namespace) -> int:
+    """Re-verify an exported trace file."""
+    from repro.trace.export import load_trace
+
+    with open(args.trace, encoding="utf-8") as handle:
+        recorder = load_trace(handle)
+    print(f"loaded {len(recorder)} events from {args.trace}")
+    if args.timeline:
+        from repro.trace.timeline import render_timeline
+
+        print()
+        print(render_timeline(recorder))
+        print()
+    reports = check_view_synchrony(recorder) + check_enriched_views(recorder)
+    violations = 0
+    for report in reports:
+        print(f"  {report}")
+        violations += len(report.violations)
+    return 1 if violations else 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    failures = 0
+    for seed in range(args.runs):
+        generator = RandomFaultGenerator(
+            n_sites=args.sites, seed=seed, duration=args.duration
+        )
+        cluster = run_with_schedule(
+            args.sites,
+            generator.generate(),
+            config=ClusterConfig(seed=seed),
+            tail=generator.settle_tail,
+        )
+        reports = check_view_synchrony(cluster.recorder)
+        reports += check_enriched_views(cluster.recorder)
+        bad = [r for r in reports if not r.ok]
+        status = "ok" if not bad and cluster.is_settled() else "FAIL"
+        print(f"seed {seed}: {status}")
+        for report in bad:
+            failures += 1
+            print(f"    {report.name}: {report.violations[:3]}")
+    print(f"\n{args.runs - failures}/{args.runs} seeds clean")
+    return 1 if failures else 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    table = Table("paper experiments (pytest benchmarks/ --benchmark-only)",
+                  ["id", "what it reproduces", "benchmark"])
+    for exp_id, description, bench in EXPERIMENTS:
+        table.add(exp_id, description, bench)
+    table.show()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On Programming with View Synchrony' (ICDCS 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="bootstrap / partition / heal walkthrough")
+    demo.add_argument("--sites", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_demo)
+
+    run = sub.add_parser("run", help="run a random fault schedule")
+    run.add_argument("--sites", type=int, default=5)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--duration", type=float, default=400.0)
+    run.add_argument("--loss", type=float, default=0.0)
+    run.add_argument("--app", choices=sorted(_APP_FACTORIES), default="none")
+    run.add_argument("--export", metavar="FILE", default=None,
+                     help="write the trace as JSON lines to FILE")
+    run.set_defaults(func=cmd_run)
+
+    recheck = sub.add_parser("recheck", help="verify an exported trace file")
+    recheck.add_argument("trace", help="JSON-lines trace produced by run --export")
+    recheck.add_argument("--timeline", action="store_true",
+                         help="render the per-process event timeline")
+    recheck.set_defaults(func=cmd_recheck)
+
+    check = sub.add_parser("check", help="property soak test over many seeds")
+    check.add_argument("--sites", type=int, default=5)
+    check.add_argument("--runs", type=int, default=10)
+    check.add_argument("--duration", type=float, default=300.0)
+    check.set_defaults(func=cmd_check)
+
+    experiments = sub.add_parser("experiments", help="list paper experiments")
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Three classifiers for the shared-state problem.
+
+The paper's central observation (Section 4): *occurrence* of a shared
+state problem is locally deducible (the mode function evaluates to
+S-mode), but *classifying* it is not, because flat views "do not contain
+information regarding S_R, S_N and possible clusters".  Section 6.2 then
+shows the enriched structure restores classifiability.
+
+We implement all three points of that argument:
+
+* :func:`ground_truth` — omniscient: reads ``S_R``/``S_N``/clusters off
+  the recorded trace at the install cut;
+* :func:`classify_flat` — a process reasoning only from its own previous
+  mode and the new view composition; returns the *set* of diagnoses
+  consistent with that knowledge (usually more than one — the paper's
+  scenarios (i)/(ii)/(iii));
+* :func:`classify_enriched` — the Section 6.2 reasoning over subviews
+  and sv-sets; returns a single verdict, exact for applications that
+  follow the enriched-view methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.cuts import cut_at_install
+from repro.core.shared_state import Diagnosis, Problem, diagnose, problems_from_sets
+from repro.errors import ClassificationError
+from repro.evs.eview import EView, Subview, SvSet
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, ViewId
+
+NCapable = Callable[[frozenset[ProcessId]], bool]
+
+
+# ---------------------------------------------------------------------------
+# Ground truth (omniscient)
+# ---------------------------------------------------------------------------
+
+
+def ground_truth(rec: TraceRecorder, view_id: ViewId) -> Diagnosis:
+    """The actual ``S_R`` / ``S_N`` / cluster decomposition at the
+    installation of ``view_id``, from the recorded trace."""
+    cut = cut_at_install(rec, view_id)
+    if not cut:
+        raise ClassificationError(f"nobody installed {view_id}")
+    prev_modes = {pid: (st.prev_mode or "R") for pid, st in cut.items()}
+    prev_views: dict[ProcessId, ViewId] = {}
+    for pid, state in cut.items():
+        if state.prev_view_id is not None:
+            prev_views[pid] = state.prev_view_id
+        else:
+            # A process with no predecessor view cannot be in S_N anyway.
+            prev_modes[pid] = "R"
+    return diagnose(view_id, prev_modes, prev_views)
+
+
+# ---------------------------------------------------------------------------
+# Flat-view local reasoning
+# ---------------------------------------------------------------------------
+
+
+def classify_flat(
+    my_prev_mode: str,
+    n_members: int,
+    exclusive_full: bool = True,
+) -> frozenset[str]:
+    """All diagnosis labels consistent with flat-view local knowledge.
+
+    A process knows its own previous mode and the new view composition,
+    nothing else; every assignment of previous modes (and clusterings)
+    to the other ``n_members - 1`` members is possible.
+    ``exclusive_full`` encodes the one deduction a quorum-style mode
+    function allows: at most one concurrent view can be FULL, so
+    ``S_N`` can never span two clusters and state merging is excluded.
+
+    The return value is a frozenset of canonical labels (see
+    :attr:`~repro.core.shared_state.Diagnosis.label`); a singleton means
+    the situation was locally classifiable, which the paper argues is
+    rare — that claim is experiment E6.
+    """
+    if my_prev_mode not in ("N", "R", "S"):
+        raise ClassificationError(f"bad mode {my_prev_mode!r}")
+    if n_members < 1:
+        raise ClassificationError("a view has at least one member")
+    others = n_members - 1
+    i_am_n = my_prev_mode == "N"
+    labels: set[str] = set()
+    for others_in_n in range(others + 1):
+        n_count = others_in_n + (1 if i_am_n else 0)
+        r_count = (others - others_in_n) + (0 if i_am_n else 1)
+        if n_count == 0:
+            cluster_options = [0]
+        elif exclusive_full:
+            cluster_options = [1]
+        else:
+            cluster_options = sorted({1, min(2, n_count), n_count})
+        for n_clusters in cluster_options:
+            problems = problems_from_sets(n_count > 0, r_count > 0, n_clusters)
+            if not problems:
+                label = "none"
+            else:
+                label = "+".join(sorted(str(p) for p in problems))
+            labels.add(label)
+    return frozenset(labels)
+
+
+# ---------------------------------------------------------------------------
+# Enriched-view local reasoning (Section 6.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnrichedVerdict:
+    """What a process can conclude from the new e-view alone.
+
+    ``donor_subviews`` are the subviews whose composition satisfies the
+    mode function's N-condition — under the Section 6.2 methodology
+    their members *are* ``S_N`` and each is one cluster, and they "know
+    how to obtain an up-to-date shared state".  When no subview
+    qualifies, ``in_progress_svset`` distinguishes the paper's scenarios
+    (ii) and (iii): an sv-set satisfying the N-condition marks a state
+    creation that was already running at the view change (wait for it /
+    join it), while no qualifying sv-set means creation must start from
+    scratch.
+    """
+
+    view_id: ViewId
+    label: str
+    s_n: frozenset[ProcessId]
+    s_r: frozenset[ProcessId]
+    donor_subviews: tuple[Subview, ...]
+    in_progress_svset: SvSet | None
+
+    @property
+    def problems(self) -> frozenset[Problem]:
+        if self.label == "none":
+            return frozenset()
+        return frozenset(Problem(part) for part in self.label.split("+"))
+
+
+def classify_enriched(eview: EView, n_capable: NCapable) -> EnrichedVerdict:
+    """Section 6.2 local reasoning over the new e-view's structure."""
+    structure = eview.structure
+    donors = tuple(
+        sv for sv in structure.subviews if n_capable(sv.members)
+    )
+    if donors:
+        s_n = frozenset().union(*(sv.members for sv in donors))
+        s_r = eview.members - s_n
+        problems = problems_from_sets(True, bool(s_r), len(donors))
+        label = (
+            "+".join(sorted(str(p) for p in problems)) if problems else "none"
+        )
+        return EnrichedVerdict(
+            eview.view_id, label, s_n, s_r, donors, in_progress_svset=None
+        )
+    # No subview is N-capable: some flavour of state creation.
+    in_progress = None
+    for svset in structure.svsets:
+        if n_capable(structure.svset_members(svset.ssid)):
+            in_progress = svset
+            break
+    return EnrichedVerdict(
+        eview.view_id,
+        label=str(Problem.STATE_CREATION),
+        s_n=frozenset(),
+        s_r=eview.members,
+        donor_subviews=(),
+        in_progress_svset=in_progress,
+    )

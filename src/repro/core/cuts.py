@@ -1,0 +1,63 @@
+"""Consistent cuts at view installations.
+
+Section 4 reasons about "any consistent cut of the computation that
+includes the ``vchg(p, v)`` events for each process ``p`` in ``v``".
+For a recorded trace, the state of each member *just before* it installs
+``v`` — its predecessor view and its mode at that instant — is exactly
+what the ground-truth classifier needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.events import ModeChangeEvent, ViewInstallEvent
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, ViewId
+
+
+@dataclass(frozen=True)
+class PreInstallState:
+    """A member's situation immediately before installing a view."""
+
+    pid: ProcessId
+    prev_view_id: ViewId | None
+    prev_mode: str  # "N", "R", "S", or "" for a fresh process
+
+
+def cut_at_install(rec: TraceRecorder, view_id: ViewId) -> dict[ProcessId, PreInstallState]:
+    """Per-member pre-install state for every installer of ``view_id``.
+
+    Walks the trace in order, tracking each process's current view and
+    mode; snapshots them at the instant the process installs
+    ``view_id``.  Only processes that actually installed the view appear
+    in the result (a member that crashed before installing never reached
+    the cut).
+    """
+    current_view: dict[ProcessId, ViewId] = {}
+    current_mode: dict[ProcessId, str] = {}
+    result: dict[ProcessId, PreInstallState] = {}
+    for event in rec.events:
+        if isinstance(event, ViewInstallEvent):
+            if event.view_id == view_id and event.pid not in result:
+                result[event.pid] = PreInstallState(
+                    pid=event.pid,
+                    prev_view_id=current_view.get(event.pid),
+                    prev_mode=current_mode.get(event.pid, ""),
+                )
+            current_view[event.pid] = event.view_id
+        elif isinstance(event, ModeChangeEvent):
+            current_mode[event.pid] = event.new_mode
+    return result
+
+
+def s_mode_entries(rec: TraceRecorder) -> list[tuple[ProcessId, ViewId]]:
+    """Every (process, view) pair where a view change put the process
+    into S-mode — the events at which a shared-state problem must be
+    classified."""
+    entries: list[tuple[ProcessId, ViewId]] = []
+    for event in rec.events:
+        if isinstance(event, ModeChangeEvent) and event.new_mode == "S":
+            if event.transition in ("Repair", "Reconfigure", "Join"):
+                entries.append((event.pid, event.view_id))
+    return entries

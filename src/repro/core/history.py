@@ -1,0 +1,108 @@
+"""Process histories (Section 3).
+
+The paper defines the history ``h_p`` of a process as the sequence of
+its ``dlvr`` and ``vchg`` events, with the mode after ``i`` events given
+by a mode function over the prefix ``h_p[i]``.  This module materialises
+histories from a recorded trace so tests and classifiers can reason the
+way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.events import DeliveryEvent, TraceEvent, ViewInstallEvent
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, ViewId
+
+
+@dataclass(frozen=True)
+class History:
+    """The ordered ``dlvr`` / ``vchg`` events of one process."""
+
+    pid: ProcessId
+    events: tuple[TraceEvent, ...]
+
+    def prefix(self, n: int) -> "History":
+        """The initial prefix ``h_p[n]``."""
+        return History(self.pid, self.events[:n])
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def view_changes(self) -> tuple[ViewInstallEvent, ...]:
+        return tuple(e for e in self.events if isinstance(e, ViewInstallEvent))
+
+    @property
+    def deliveries(self) -> tuple[DeliveryEvent, ...]:
+        return tuple(e for e in self.events if isinstance(e, DeliveryEvent))
+
+    @property
+    def current_view(self) -> ViewId | None:
+        for event in reversed(self.events):
+            if isinstance(event, ViewInstallEvent):
+                return event.view_id
+        return None
+
+    def joined_first(self) -> bool:
+        """The paper's well-formedness condition: the first event of a
+        history is the view change corresponding to joining the group."""
+        if not self.events:
+            return True
+        return isinstance(self.events[0], ViewInstallEvent)
+
+
+def history_of(rec: TraceRecorder, pid: ProcessId) -> History:
+    """Extract ``h_p`` from a recorded trace."""
+    events = tuple(
+        e
+        for e in rec.events
+        if isinstance(e, (DeliveryEvent, ViewInstallEvent)) and e.pid == pid
+    )
+    return History(pid, events)
+
+
+class HistoryModeFunction:
+    """The paper's general mode function: :math:`f(h_p[i])`.
+
+    Section 3 defines the mode of a process after ``i`` events as a
+    function of the initial prefix of its history; the run-time mode
+    functions in :mod:`repro.core.mode_functions` use the simplified
+    view-only form, while this class supports the general definition for
+    *post-hoc analysis* of recorded traces: evaluate any
+    history-predicate at every prefix and get the induced mode sequence.
+
+    ``classify`` maps a :class:`History` prefix to a mode string
+    ("N"/"R"/"S"); :meth:`mode_sequence` evaluates it after every event,
+    "re-evaluating f each time view synchrony delivers a new event",
+    exactly as the paper prescribes.
+    """
+
+    def __init__(self, classify) -> None:
+        self.classify = classify
+
+    def mode_after(self, history: History, n_events: int) -> str:
+        return self.classify(history.prefix(n_events))
+
+    def mode_sequence(self, history: History) -> list[str]:
+        return [
+            self.classify(history.prefix(i))
+            for i in range(1, len(history) + 1)
+        ]
+
+    def transitions(self, history: History) -> list[tuple[str, str]]:
+        """The (old, new) mode pairs the induced sequence walks through."""
+        sequence = self.mode_sequence(history)
+        return [
+            (a, b) for a, b in zip(sequence, sequence[1:]) if a != b
+        ]
+
+
+def all_histories(rec: TraceRecorder) -> dict[ProcessId, History]:
+    pids = {
+        e.pid
+        for e in rec.events
+        if isinstance(e, (DeliveryEvent, ViewInstallEvent))
+    }
+    return {pid: history_of(rec, pid) for pid in sorted(pids)}

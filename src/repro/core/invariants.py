@@ -1,0 +1,187 @@
+"""Run-time invariant monitoring for group objects.
+
+The paper defines group-object correctness "through invariants over the
+internal state" (Section 3).  This module lets an experiment or test
+declare those invariants once and have them evaluated continuously over
+a running cluster — catching violations at the instant they occur
+instead of only at the end of a run.
+
+Two kinds of predicate:
+
+* **global** — sees the whole cluster (all live applications at once);
+  used for cross-replica properties such as "at most one lock holder".
+  Global predicates may legitimately fail *while the group is
+  settling*; monitors therefore support a ``settled_only`` flag that
+  samples the predicate only when the cluster's membership has
+  converged.
+* **eventual** — checked once, by :meth:`InvariantMonitor.assert_eventually`,
+  after the caller decides the system has quiesced (e.g. replica
+  convergence after a repair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import InvariantViolation
+from repro.runtime.cluster import Cluster
+
+
+@dataclass
+class Violation:
+    """One observed invariant failure."""
+
+    name: str
+    time: float
+    detail: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.name}] violated at t={self.time}: {self.detail}"
+
+
+@dataclass
+class _Invariant:
+    name: str
+    predicate: Callable[[Cluster], Any]
+    settled_only: bool = False
+    samples: int = 0
+    failures: list[Violation] = field(default_factory=list)
+
+
+class InvariantMonitor:
+    """Samples declared invariants on a cluster at a fixed cadence.
+
+    A predicate returns a truthy value when the invariant holds; a falsy
+    value (or a raised AssertionError) records a violation with the
+    returned/raised detail.  Other exceptions propagate — a crashing
+    predicate is a bug in the experiment, not a violation.
+    """
+
+    def __init__(self, cluster: Cluster, interval: float = 10.0) -> None:
+        self.cluster = cluster
+        self.interval = interval
+        self._invariants: list[_Invariant] = []
+        self._started = False
+
+    def declare(
+        self,
+        name: str,
+        predicate: Callable[[Cluster], Any],
+        settled_only: bool = False,
+    ) -> "InvariantMonitor":
+        """Register an invariant; chainable."""
+        self._invariants.append(_Invariant(name, predicate, settled_only))
+        return self
+
+    def start(self) -> "InvariantMonitor":
+        """Arm the sampling loop on the cluster's scheduler."""
+        if not self._started:
+            self._started = True
+            self._arm()
+        return self
+
+    def _arm(self) -> None:
+        self.cluster.scheduler.after(self.interval, self._sample)
+
+    def _sample(self) -> None:
+        settled = None
+        for invariant in self._invariants:
+            if invariant.settled_only:
+                if settled is None:
+                    settled = self.cluster.is_settled()
+                if not settled:
+                    continue
+            invariant.samples += 1
+            self._evaluate(invariant)
+        self._arm()
+
+    def _evaluate(self, invariant: _Invariant) -> None:
+        try:
+            result = invariant.predicate(self.cluster)
+        except AssertionError as exc:
+            result = False
+            detail: Any = str(exc)
+        else:
+            detail = result
+        if not result:
+            invariant.failures.append(
+                Violation(invariant.name, self.cluster.now, detail)
+            )
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def violations(self) -> list[Violation]:
+        return [v for inv in self._invariants for v in inv.failures]
+
+    def samples(self, name: str) -> int:
+        for invariant in self._invariants:
+            if invariant.name == name:
+                return invariant.samples
+        raise KeyError(name)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`InvariantViolation` if anything ever failed."""
+        if self.violations:
+            first = self.violations[0]
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violations; first: {first}"
+            )
+
+    def assert_eventually(self, name: str, predicate: Callable[[Cluster], Any]) -> None:
+        """One-shot check for quiescent-state properties."""
+        if not predicate(self.cluster):
+            raise InvariantViolation(f"eventual invariant {name!r} does not hold")
+
+
+# ---------------------------------------------------------------------------
+# Stock predicates for the example objects
+# ---------------------------------------------------------------------------
+
+
+def replicas_converged(state_of: Callable[[Any], Any]) -> Callable[[Cluster], Any]:
+    """All live, fresh, NORMAL-mode replicas expose identical state."""
+
+    def predicate(cluster: Cluster) -> bool:
+        from repro.core.modes import Mode
+
+        states = [
+            state_of(app)
+            for site, app in cluster.apps.items()
+            if cluster.stacks[site].alive
+            and getattr(app, "mode", None) is Mode.NORMAL
+        ]
+        return all(state == states[0] for state in states) if states else True
+
+    return predicate
+
+
+def at_most_one_lock_holder(cluster: Cluster) -> bool:
+    """Global mutual exclusion over :class:`MajorityLockManager` apps."""
+    from repro.core.modes import Mode
+
+    holders = {
+        app.holder
+        for site, app in cluster.apps.items()
+        if cluster.stacks[site].alive
+        and getattr(app, "mode", None) is Mode.NORMAL
+        and app.holder is not None
+    }
+    return len(holders) <= 1
+
+
+def responsibility_exact(cluster: Cluster) -> bool:
+    """Parallel-lookup DBs: settled slices partition the bucket space."""
+    from repro.apps.replicated_db import _BUCKETS
+    from repro.core.modes import Mode
+
+    slices = [
+        app.responsibility()
+        for site, app in cluster.apps.items()
+        if cluster.stacks[site].alive and app.mode is Mode.NORMAL
+    ]
+    if not slices:
+        return True
+    union: set[int] = set().union(*slices)
+    return union == set(range(_BUCKETS)) and sum(map(len, slices)) == _BUCKETS

@@ -1,0 +1,151 @@
+"""Mode functions.
+
+"The actual mode function associated with a group object depends on both
+the invariants of the application and on the implementation technique
+used to attain them" (Section 3).  We keep the paper's simplifying
+assumptions: the function may depend on the whole delivery history but,
+with respect to view changes, only on the *current view*; and all
+processes of a group share the same function.
+
+A mode function here answers two questions:
+
+* :meth:`ModeFunction.capability` — can this view support *all* external
+  operations (FULL) or only a subset (REDUCED)?
+* :meth:`ModeFunction.needs_settling` — does moving from the old view to
+  this new one require reconstructing global state before serving
+  external operations again?  The default says yes exactly when the
+  view *expanded* (joins, merges) — the Reconfigure causes of Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.evs.eview import EView
+from repro.types import ProcessId, SiteId
+
+
+class Capability(enum.Enum):
+    FULL = "full"
+    REDUCED = "reduced"
+
+
+def _expanded(old: EView | None, new: EView) -> bool:
+    if old is None:
+        return True
+    return not new.members <= old.members
+
+
+@runtime_checkable
+class ModeFunction(Protocol):
+    """What the mode automaton needs from an application's mode logic."""
+
+    def capability(self, eview: EView) -> Capability: ...
+
+    def needs_settling(self, old: EView | None, new: EView) -> bool: ...
+
+    def n_capable(self, members: frozenset[ProcessId]) -> bool:
+        """Could a group with exactly these members support FULL mode?
+
+        Used by the enriched-view classifier (Section 6.2) to recognise
+        a subview or sv-set "defining a majority".
+        """
+        ...
+
+
+class QuorumModeFunction:
+    """Weighted-vote quorum (the replicated-file example of Section 3).
+
+    Each site carries a number of votes; FULL capability requires a
+    strict majority of the total votes in the view, which guarantees at
+    most one concurrent view can be FULL.
+    """
+
+    def __init__(self, votes: Mapping[SiteId, int]) -> None:
+        if not votes or any(v < 0 for v in votes.values()):
+            raise ValueError("votes must be a non-empty non-negative mapping")
+        self.votes = dict(votes)
+        self.total = sum(self.votes.values())
+
+    @classmethod
+    def uniform(cls, sites: Iterable[SiteId]) -> "QuorumModeFunction":
+        return cls({s: 1 for s in sites})
+
+    def _vote_sum(self, members: frozenset[ProcessId]) -> int:
+        return sum(self.votes.get(pid.site, 0) for pid in members)
+
+    def n_capable(self, members: frozenset[ProcessId]) -> bool:
+        return 2 * self._vote_sum(members) > self.total
+
+    def capability(self, eview: EView) -> Capability:
+        if self.n_capable(eview.members):
+            return Capability.FULL
+        return Capability.REDUCED
+
+    def needs_settling(self, old: EView | None, new: EView) -> bool:
+        return _expanded(old, new)
+
+
+class StaticMajorityModeFunction(QuorumModeFunction):
+    """Plain majority of a static universe (the Section 6.2 lock example)."""
+
+    def __init__(self, universe: Iterable[SiteId]) -> None:
+        super().__init__({s: 1 for s in universe})
+
+
+class DynamicPrimaryModeFunction(StaticMajorityModeFunction):
+    """Primary-partition awareness for the Isis-style baseline.
+
+    A process blocked outside the primary receives *no further views*
+    (linear membership), so a purely view-dependent mode function would
+    leave it in N-mode forever on the strength of a stale view.  Real
+    Isis applications block as soon as they cannot assemble a majority
+    of acknowledgements; this function models that by requiring, in
+    addition to the view naming a universe majority, that a universe
+    majority of the view's members is *currently reachable* per the
+    failure detector.
+
+    Setting ``dynamic = True`` makes :class:`~repro.core.group_object.
+    GroupObject` re-evaluate the mode periodically (not only at view
+    changes) — the Failure transition it fires is still *caused* by the
+    partition, merely detected by timeout, exactly as an Isis
+    application would experience it.
+    """
+
+    dynamic = True
+
+    def __init__(self, universe: Iterable[SiteId]) -> None:
+        super().__init__(universe)
+        self.stack = None
+
+    def bind_stack(self, stack) -> None:
+        self.stack = stack
+
+    def capability(self, eview: EView) -> Capability:
+        if super().capability(eview) is Capability.REDUCED:
+            return Capability.REDUCED
+        if self.stack is None:
+            return Capability.FULL
+        operational = self.stack.fd.reachable() & eview.members
+        if self.n_capable(frozenset(operational)):
+            return Capability.FULL
+        return Capability.REDUCED
+
+
+class AlwaysFullModeFunction:
+    """Every view supports the external interface; every view change
+    settles (the parallel-lookup database example of Section 3, where
+    "R-mode does not exist" and any view change forces redistribution of
+    lookup responsibility)."""
+
+    def capability(self, eview: EView) -> Capability:
+        return Capability.FULL
+
+    def needs_settling(self, old: EView | None, new: EView) -> bool:
+        if old is None:
+            return True
+        return old.members != new.members
+
+    def n_capable(self, members: frozenset[ProcessId]) -> bool:
+        return bool(members)

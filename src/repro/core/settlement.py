@@ -1,0 +1,296 @@
+"""The Section 6.2 settlement protocol.
+
+This is the internal-operations engine behind
+:class:`~repro.core.group_object.GroupObject`, implementing the paper's
+methodology: *external operations are performed within a subview;
+internal operations are performed across subviews belonging to the same
+sv-set; upon successful completion of an internal operation, the
+corresponding subviews are merged into a single one.*
+
+One settlement session, led by the least view member:
+
+1. **mark** — merge all sv-sets into one, marking every member as a
+   participant of the internal operation;
+2. **collect** — classify the situation from the e-view structure
+   (:func:`~repro.core.classify.classify_enriched`) and request state
+   from the responders it identifies: one representative per donor
+   subview, or everybody for state creation;
+3. **decide** — a single donor's snapshot is adopted as-is; multiple
+   donors go through the application's ``merge_states``; creation goes
+   through ``choose_creation_state``;
+4. **adopt** — the decision is multicast view-synchronously; every
+   member installs it;
+5. **collapse** — all subviews are merged into one; each member seeing
+   a single subview spanning the view, with fresh state, performs the
+   (synchronous) Reconcile transition back to N-mode.
+
+The *continuation rule* is the paper's §6.2 punchline: because subview
+and sv-set composition can only shrink underneath a running internal
+operation, the session survives a view change whenever the processes it
+is still waiting on survive — with ``enriched_continuation=False`` the
+engine instead restarts on every view change, which is all a flat-view
+application can safely do.  Experiment E9 measures the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.classify import classify_enriched
+from repro.core.mode_functions import Capability
+from repro.evs.eview import EView
+from repro.trace.events import AppEvent
+from repro.types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.group_object import GroupObject
+
+SessionId = tuple[ProcessId, int]
+
+
+@dataclass(frozen=True)
+class StateRequest:
+    """Leader -> responder: please offer your state."""
+
+    session: SessionId
+
+
+@dataclass(frozen=True)
+class StateOffer:
+    """Responder -> leader: snapshot plus selection metadata."""
+
+    session: SessionId
+    sender: ProcessId
+    snapshot: Any
+    version: int
+    last_epoch: int  # highest view epoch persisted before this offer
+
+
+@dataclass(frozen=True)
+class StateAdopt:
+    """Leader -> view (view-synchronous): the reconstructed state."""
+
+    session: SessionId
+    state: Any
+
+
+@dataclass
+class _Session:
+    session_id: SessionId
+    responders: frozenset[ProcessId]
+    offers: dict[ProcessId, StateOffer] = field(default_factory=dict)
+    kind: str = "transfer"
+    adopted_sent: bool = False
+
+    @property
+    def pending(self) -> frozenset[ProcessId]:
+        return self.responders - frozenset(self.offers)
+
+
+@dataclass
+class SettlementStats:
+    """Counters for E9."""
+
+    sessions_started: int = 0
+    sessions_restarted: int = 0
+    sessions_continued: int = 0
+    sessions_completed: int = 0
+
+
+class SettlementEngine:
+    """Leader-side driver plus member-side hooks of the protocol."""
+
+    def __init__(self, obj: "GroupObject", enriched_continuation: bool = True) -> None:
+        self.obj = obj
+        self.enriched_continuation = enriched_continuation
+        self.session: _Session | None = None
+        self._counter = 0
+        self.stats = SettlementStats()
+        self._retry_interval = 20.0
+        self._retry_timer = None
+
+    # -- leadership --------------------------------------------------------
+
+    def _i_lead(self, eview: EView) -> bool:
+        return min(eview.members) == self.obj.pid
+
+    def _needed(self, eview: EView) -> bool:
+        fn = self.obj.automaton.mode_function
+        if fn.capability(eview) is not Capability.FULL:
+            return False  # cannot reach N-mode anyway; wait for repair
+        if len(eview.structure.subviews) > 1:
+            return True
+        return self.obj.mode is not None and str(self.obj.mode) == "S"
+
+    # -- events from the group object -------------------------------------------
+
+    def on_view(self, eview: EView) -> None:
+        """A view change: continue the session if allowed, else restart."""
+        self._arm_retry()
+        if self.session is not None:
+            survivors_ok = self.session.pending <= eview.members
+            if self.enriched_continuation and survivors_ok and self._i_lead(eview):
+                self.stats.sessions_continued += 1
+                # The new view invalidates the previous adopt multicast:
+                # members that entered without fresh state (the view
+                # change may have demoted donors) need the decision
+                # re-issued, and StateAdopt application is idempotent.
+                self.session.adopted_sent = False
+                self._progress(eview)
+                return
+            self._abandon()
+        self.maybe_start(eview)
+
+    def on_eview(self, eview: EView) -> None:
+        self._progress(eview)
+
+    def maybe_start(self, eview: EView) -> None:
+        if not self._i_lead(eview) or not self._needed(eview):
+            return
+        if self.session is not None:
+            return
+        self._counter += 1
+        verdict = classify_enriched(
+            eview, self.obj.automaton.mode_function.n_capable
+        )
+        if verdict.donor_subviews:
+            responders = frozenset(
+                min(sv.members) for sv in verdict.donor_subviews
+            )
+            kind = "merge" if len(verdict.donor_subviews) > 1 else "transfer"
+        else:
+            if getattr(self.obj, "creation_requires_all_sites", False):
+                # Skeen-safe creation: recreating from a subset of the
+                # group risks missing the true last process to fail;
+                # wait until every site of the universe has recovered.
+                present = {p.site for p in eview.members}
+                expected = set(self.obj.stack.universe_sites())
+                if not expected <= present:
+                    self._record(
+                        "settle_wait_all_sites",
+                        {"present": len(present), "expected": len(expected)},
+                    )
+                    return
+            responders = eview.members
+            kind = "creation"
+        session = _Session(
+            session_id=(self.obj.pid, self._counter),
+            responders=responders,
+            kind=kind,
+        )
+        self.session = session
+        self.stats.sessions_started += 1
+        self._record("settle_start", {"kind": kind, "responders": len(responders)})
+        self._progress(eview)
+        self._arm_retry()
+
+    # -- the protocol ----------------------------------------------------------------
+
+    def _progress(self, eview: EView) -> None:
+        """Drive whichever phase is currently incomplete."""
+        session = self.session
+        if session is None or not self._i_lead(eview):
+            return
+        stack = self.obj.stack
+        assert stack is not None
+        # Phase 1: mark -- collapse sv-sets into one.
+        ssids = [ss.ssid for ss in eview.structure.svsets]
+        if len(ssids) > 1:
+            stack.sv_set_merge(ssids)
+            return  # resume from on_eview when the change lands
+        # Phase 2: collect.
+        if session.pending:
+            request = StateRequest(session.session_id)
+            for responder in session.pending:
+                if responder == self.obj.pid:
+                    self._offer_locally(request)
+                else:
+                    stack.send_direct(responder, request)
+            return
+        # Phase 3 + 4: decide and adopt.
+        if not session.adopted_sent:
+            state = self._decide(session)
+            session.adopted_sent = True
+            stack.multicast(StateAdopt(session.session_id, state))
+            return
+        # Phase 5: collapse subviews once everyone could adopt.
+        sids = [sv.sid for sv in eview.structure.subviews]
+        if len(sids) > 1 and self.obj.fresh:
+            stack.subview_merge(sids)
+
+    def _decide(self, session: _Session) -> Any:
+        offers = list(session.offers.values())
+        if session.kind == "creation":
+            chosen = self.obj.choose_creation_state(offers)
+        elif len(offers) == 1:
+            chosen = offers[0].snapshot
+        else:
+            chosen = self.obj.merge_states(offers)
+        self._record("settle_decide", {"kind": session.kind, "offers": len(offers)})
+        return chosen
+
+    def _offer_locally(self, request: StateRequest) -> None:
+        offer = self.obj.make_offer(request.session)
+        self.on_offer(self.obj.pid, offer)
+
+    # -- message hooks (wired through the group object) ---------------------------------
+
+    def on_request(self, src: ProcessId, request: StateRequest) -> None:
+        offer = self.obj.make_offer(request.session)
+        assert self.obj.stack is not None
+        self.obj.stack.send_direct(src, offer)
+
+    def on_offer(self, src: ProcessId, offer: StateOffer) -> None:
+        session = self.session
+        if session is None or offer.session != session.session_id:
+            return
+        session.offers[offer.sender] = offer
+        eview = self.obj.stack.eview if self.obj.stack else None
+        if eview is not None and not session.pending:
+            self._progress(eview)
+
+    def on_adopt_delivered(self) -> None:
+        """Called by the group object after it installed an adopt."""
+        eview = self.obj.stack.eview if self.obj.stack else None
+        if eview is not None:
+            self._progress(eview)
+
+    def on_reconciled(self) -> None:
+        if self.session is not None:
+            self.stats.sessions_completed += 1
+            self._record("settle_done", {"kind": self.session.kind})
+            self.session = None
+
+    # -- plumbing -------------------------------------------------------------------------
+
+    def _abandon(self) -> None:
+        if self.session is not None:
+            self.stats.sessions_restarted += 1
+            self._record("settle_abandon", {"kind": self.session.kind})
+            self.session = None
+
+    def _arm_retry(self) -> None:
+        stack = self.obj.stack
+        if stack is None or not stack.alive:
+            return
+        if self._retry_timer is None or not self._retry_timer.active:
+            self._retry_timer = stack.set_periodic(
+                self._retry_interval, self._retry
+            )
+
+    def _retry(self) -> None:
+        stack = self.obj.stack
+        if stack is None or stack.eview is None:
+            return
+        if self.session is not None:
+            self._progress(stack.eview)
+        else:
+            self.maybe_start(stack.eview)
+
+    def _record(self, tag: str, data: Any) -> None:
+        stack = self.obj.stack
+        if stack is not None:
+            stack.recorder.record(
+                AppEvent(time=stack.now, pid=stack.pid, tag=tag, data=data)
+            )

@@ -1,0 +1,116 @@
+"""The shared-state problem taxonomy (Section 4).
+
+When a new view makes every member switch to S-mode, the members split
+into two sets along the install cut:
+
+* ``S_N`` — members that were in N-mode just before switching.  Their
+  notion of the shared state is up to date.  ``S_N`` decomposes into
+  *clusters*: members of the same cluster were in the same view while in
+  N-mode; different clusters come from concurrent partitions.
+* ``S_R`` — members that were *not* in N-mode (the paper says R-mode; we
+  also place still-SETTLING and freshly joined processes here, since
+  like R-mode processes their state is not known to be up to date).
+
+The paper's necessary conditions, implemented by :func:`diagnose`:
+
+* **state transfer**: ``S_R`` and ``S_N`` both non-empty;
+* **state creation**: ``S_N`` empty, ``S_R`` non-empty;
+* **state merging**: ``S_N`` has at least two clusters (may co-occur
+  with transfer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.types import ProcessId, ViewId
+
+
+class Problem(str, enum.Enum):
+    STATE_TRANSFER = "transfer"
+    STATE_CREATION = "creation"
+    STATE_MERGING = "merging"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """The shared-state situation at one S-mode entry.
+
+    ``clusters`` partitions ``s_n`` by predecessor view; ``problems`` is
+    the (possibly empty) set of applicable problem classes.
+    """
+
+    view_id: ViewId
+    s_n: frozenset[ProcessId]
+    s_r: frozenset[ProcessId]
+    clusters: tuple[frozenset[ProcessId], ...]
+    problems: frozenset[Problem]
+
+    @property
+    def label(self) -> str:
+        """Canonical human-readable label, e.g. ``"transfer+merging"``."""
+        if not self.problems:
+            return "none"
+        return "+".join(sorted(str(p) for p in self.problems))
+
+    def __str__(self) -> str:
+        return (
+            f"Diagnosis({self.view_id}: {self.label}, "
+            f"|S_N|={len(self.s_n)}, |S_R|={len(self.s_r)}, "
+            f"clusters={len(self.clusters)})"
+        )
+
+
+def problems_from_sets(
+    s_n_nonempty: bool, s_r_nonempty: bool, n_clusters: int
+) -> frozenset[Problem]:
+    """Apply the paper's necessary conditions to set cardinalities."""
+    problems: set[Problem] = set()
+    if s_r_nonempty and s_n_nonempty:
+        problems.add(Problem.STATE_TRANSFER)
+    if s_r_nonempty and not s_n_nonempty:
+        problems.add(Problem.STATE_CREATION)
+    if n_clusters >= 2:
+        problems.add(Problem.STATE_MERGING)
+    return frozenset(problems)
+
+
+def diagnose(
+    view_id: ViewId,
+    prev_modes: dict[ProcessId, str],
+    prev_views: dict[ProcessId, ViewId],
+) -> Diagnosis:
+    """Build the ground-truth diagnosis for one S-mode entry.
+
+    ``prev_modes`` maps each member of the new view to the mode it was
+    in just before the install cut ("N", "R" or "S"); ``prev_views``
+    maps each member to its predecessor view.
+    """
+    s_n = frozenset(p for p, m in prev_modes.items() if m == "N")
+    s_r = frozenset(p for p in prev_modes if p not in s_n)
+    by_view: dict[ViewId, set[ProcessId]] = {}
+    for pid in s_n:
+        by_view.setdefault(prev_views[pid], set()).add(pid)
+    clusters = tuple(
+        frozenset(group) for _, group in sorted(by_view.items(), key=lambda kv: kv[0])
+    )
+    problems = problems_from_sets(bool(s_n), bool(s_r), len(clusters))
+    return Diagnosis(view_id, s_n, s_r, clusters, problems)
+
+
+@dataclass
+class DiagnosisStats:
+    """Aggregate of many diagnoses (used by E6/E7)."""
+
+    total: int = 0
+    by_label: dict[str, int] = field(default_factory=dict)
+    max_clusters: int = 0
+
+    def add(self, diagnosis: Diagnosis) -> None:
+        self.total += 1
+        self.by_label[diagnosis.label] = self.by_label.get(diagnosis.label, 0) + 1
+        self.max_clusters = max(self.max_clusters, len(diagnosis.clusters))

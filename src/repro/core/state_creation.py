@@ -1,0 +1,50 @@
+"""State creation after total failures (Section 4, citing Skeen [11]).
+
+"Identifying which local state is to be used for recreation of the
+others may require determining the last process to fail."  We implement
+the stable-storage flavour of that idea: every group object persists the
+epoch of each view it installs; after a total failure the recovered
+processes offer their persisted ``last_epoch``, and the process that
+installed the highest-epoch view is (one of) the last to fail — its
+permanent state has seen every update any quorum ever acknowledged.
+
+Ties on epoch are broken by the persisted state version, then by
+process identifier, so every member of the creation protocol picks the
+same winner deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ApplicationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.settlement import StateOffer
+
+
+def last_to_fail_order(offers: Sequence["StateOffer"]) -> list["StateOffer"]:
+    """Offers sorted best-first by the last-to-fail criterion."""
+    return sorted(
+        offers,
+        key=lambda o: (o.last_epoch, o.version, o.sender),
+        reverse=True,
+    )
+
+
+def choose_by_last_to_fail(offers: Sequence["StateOffer"]) -> "StateOffer":
+    """The offer to recreate global state from."""
+    if not offers:
+        raise ApplicationError("state creation with no candidate states")
+    return last_to_fail_order(offers)[0]
+
+
+def creation_is_safe(offers: Sequence["StateOffer"], expected_sites: int) -> bool:
+    """Conservative safety test: did every site of the group offer?
+
+    Recreating from a subset risks missing the true last-to-fail
+    process.  Applications that cannot tolerate that (the paper's
+    "determining the last process to fail" requirement) should wait for
+    all sites before creating; this predicate is that check.
+    """
+    return len({o.sender.site for o in offers}) >= expected_sites

@@ -1,0 +1,141 @@
+"""State-merging policies (Section 4).
+
+"When the conditions leading to the partition are repaired, an
+application-specific decision has to be taken in defining a new global
+state that somehow reconciles the divergence."  These are the stock
+decisions; applications plug one into
+:meth:`~repro.core.group_object.GroupObject.merge_app_states`.
+
+All policies operate on dictionary-shaped states (``key -> value``),
+the natural shape for the paper's replicated-file and database
+examples; :class:`VersionVectorMerge` additionally expects values
+wrapped as :class:`Versioned`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.group_object import AppStateOffer
+from repro.errors import ApplicationError
+
+
+class LastWriterWins:
+    """Keep, per key, the value from the offer with the highest version
+    (ties broken by last_epoch then sender, so the result is the same at
+    every process)."""
+
+    def merge(self, offers: Sequence[AppStateOffer]) -> dict:
+        if not offers:
+            raise ApplicationError("nothing to merge")
+        ranked = sorted(
+            offers, key=lambda o: (o.version, o.last_epoch, o.sender)
+        )
+        merged: dict = {}
+        for offer in ranked:  # later (higher-version) offers overwrite
+            merged.update(offer.state)
+        return merged
+
+
+class SetUnionMerge:
+    """Union of all offers; values must themselves be sets.
+
+    The grow-only shape makes merging trivially convergent — the classic
+    "weak consistency requirement" application the paper says the
+    primary-partition model cannot support (Section 5).
+    """
+
+    def merge(self, offers: Sequence[AppStateOffer]) -> dict:
+        merged: dict[Any, set] = {}
+        for offer in offers:
+            for key, values in offer.state.items():
+                merged.setdefault(key, set()).update(values)
+        return merged
+
+
+@dataclass(frozen=True)
+class Versioned:
+    """A value with a version vector (site -> update count)."""
+
+    value: Any
+    vv: tuple[tuple[int, int], ...] = ()
+
+    def clock(self) -> dict[int, int]:
+        return dict(self.vv)
+
+    def bump(self, site: int) -> "Versioned":
+        clock = self.clock()
+        clock[site] = clock.get(site, 0) + 1
+        return Versioned(self.value, tuple(sorted(clock.items())))
+
+    def with_value(self, value: Any) -> "Versioned":
+        return Versioned(value, self.vv)
+
+    def dominates(self, other: "Versioned") -> bool:
+        """Reflexive version-vector dominance: pointwise >= on clocks."""
+        mine, theirs = self.clock(), other.clock()
+        return all(mine.get(s, 0) >= c for s, c in theirs.items())
+
+    def concurrent_with(self, other: "Versioned") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+
+@dataclass
+class VersionVectorMerge:
+    """Per-key version-vector reconciliation.
+
+    Dominant versions win outright; genuinely concurrent updates go to
+    ``resolver`` (default: deterministic pick of the lexicographically
+    larger value representation) and are counted in ``conflicts`` so
+    experiments can report divergence.
+    """
+
+    resolver: Callable[[Any, Versioned, Versioned], Versioned] | None = None
+    conflicts: list[Any] = field(default_factory=list)
+
+    def merge(self, offers: Sequence[AppStateOffer]) -> dict:
+        merged: dict[Any, Versioned] = {}
+        for offer in offers:
+            state: Mapping[Any, Versioned] = offer.state
+            for key, incoming in state.items():
+                if key not in merged:
+                    merged[key] = incoming
+                    continue
+                current = merged[key]
+                if incoming.dominates(current):
+                    merged[key] = incoming
+                elif current.dominates(incoming):
+                    pass
+                else:
+                    merged[key] = self._resolve(key, current, incoming)
+        return merged
+
+    def _resolve(self, key: Any, a: Versioned, b: Versioned) -> Versioned:
+        self.conflicts.append(key)
+        if self.resolver is not None:
+            return self.resolver(key, a, b)
+        winner = a if repr(a.value) >= repr(b.value) else b
+        joined = winner.clock()
+        for site, count in (b if winner is a else a).clock().items():
+            joined[site] = max(joined.get(site, 0), count)
+        return Versioned(winner.value, tuple(sorted(joined.items())))
+
+
+def divergence(offers: Sequence[AppStateOffer]) -> dict[str, int]:
+    """Quick report of how far the offered states drifted apart:
+    keys present everywhere with equal values, keys with conflicting
+    values, and keys missing somewhere."""
+    if not offers:
+        return {"agree": 0, "conflict": 0, "partial": 0}
+    all_keys = set().union(*(set(o.state) for o in offers))
+    agree = conflict = partial = 0
+    for key in all_keys:
+        present = [o.state[key] for o in offers if key in o.state]
+        if len(present) < len(offers):
+            partial += 1
+        elif all(v == present[0] for v in present):
+            agree += 1
+        else:
+            conflict += 1
+    return {"agree": agree, "conflict": conflict, "partial": partial}

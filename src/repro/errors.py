@@ -1,0 +1,49 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the simulation kernel (scheduler, timers, processes)."""
+
+
+class NetworkError(ReproError):
+    """Misuse of the simulated network (unknown sites, bad topology)."""
+
+
+class MembershipError(ReproError):
+    """Protocol-level error in the group membership service."""
+
+
+class ViewSynchronyError(ReproError):
+    """Violation or misuse detected in the view-synchronous layer."""
+
+
+class EnrichedViewError(ReproError):
+    """Invalid subview / sv-set operation in the enriched-view layer."""
+
+
+class ApplicationError(ReproError):
+    """Error raised by a group-object application."""
+
+
+class InvariantViolation(ReproError):
+    """A group-object invariant was found violated.
+
+    Raised by invariant checkers (e.g. in :mod:`repro.core.group_object`
+    and :mod:`repro.trace.checks`) when a property the paper guarantees
+    does not hold on an execution.  Test suites treat any instance of
+    this exception as a reproduction failure.
+    """
+
+
+class ClassificationError(ReproError):
+    """A shared-state classifier was invoked on an ineligible event."""

@@ -1,0 +1,211 @@
+"""Per-process enriched-view state machine.
+
+Maintains the current :class:`~repro.evs.eview.EView`, sequences merge
+requests when this process is the view coordinator, applies e-view
+changes in sequence order, and supports the flush-time snapshot /
+install-time replay choreography that keeps Properties 6.1-6.3 true
+across view changes (see DESIGN.md §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import EnrichedViewError
+from repro.evs.eview import EvDelta, EView, EViewStructure
+from repro.evs.messages import EvChange, EvRepairReq, EvReq
+from repro.gms.view import View
+from repro.trace.events import EViewChangeEvent
+from repro.types import ProcessId, SubviewId, SvSetId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsync.stack import GroupStack
+
+
+class EViewManager:
+    """Owns the e-view of one process."""
+
+    def __init__(self, stack: "GroupStack") -> None:
+        self.stack = stack
+        self.eview: EView | None = None
+        self.evlog: list[EvDelta] = []
+        self._pending: dict[int, EvDelta] = {}
+        self.suspended = False
+        # Coordinator-only: sequence number of the last change broadcast.
+        self._sequenced = 0
+
+    # -- view lifecycle ---------------------------------------------------
+
+    def install(self, view: View, structure: EViewStructure) -> None:
+        """Adopt the structure delivered with a new view (seq 0)."""
+        structure.validate(view.members)
+        self.eview = EView(view, structure, seq=0)
+        self.evlog = []
+        self._pending = {}
+        self.suspended = False
+        self._sequenced = 0
+        self._record()
+
+    def suspend(self) -> None:
+        """Stop applying e-view changes (called when flushing starts).
+
+        The flush report snapshots our applied sequence number; applying
+        further changes after the snapshot would let our structure run
+        ahead of what the coordinator knows, breaking Property 6.3 at the
+        next view.  Changes received while suspended stay pending; if the
+        coordinator saw them from another survivor they come back to us
+        through the install plan's replay log.
+        """
+        if self.stack.config.unsafe_disable_eview_suspension:
+            return  # ablation: see benchmarks/bench_ablations.py
+        self.suspended = True
+
+    @property
+    def applied_seq(self) -> int:
+        return self.eview.seq if self.eview is not None else 0
+
+    @property
+    def structure(self) -> EViewStructure:
+        if self.eview is None:
+            raise EnrichedViewError("no e-view installed yet")
+        return self.eview.structure
+
+    # -- application API ----------------------------------------------------
+
+    def subview_merge(self, sids: Iterable[SubviewId]) -> None:
+        """Ask the coordinator to merge the given subviews (Section 6.1:
+        no effect unless they all belong to one sv-set — that rule is
+        enforced at application time by the delta semantics)."""
+        self._request("subview", frozenset(sids))
+
+    def sv_set_merge(self, ssids: Iterable[SvSetId]) -> None:
+        """Ask the coordinator to merge the given sv-sets."""
+        self._request("svset", frozenset(ssids))
+
+    def _request(self, kind: str, inputs: frozenset) -> None:
+        if self.eview is None:
+            raise EnrichedViewError("cannot merge before the first view")
+        req = EvReq(self.stack.pid, self.eview.view_id, kind, inputs)  # type: ignore[arg-type]
+        coordinator = self.eview.view.coordinator
+        if coordinator == self.stack.pid:
+            self.on_request(self.stack.pid, req)
+        else:
+            self.stack.send(coordinator, req)
+
+    # -- coordinator side ---------------------------------------------------
+
+    def on_request(self, src: ProcessId, req: EvReq) -> None:
+        """Sequence a merge request (coordinator only)."""
+        if self.eview is None or req.view_id != self.eview.view_id:
+            return  # stale request from a previous view
+        if self.stack.pid != self.eview.view.coordinator:
+            return  # we are not the sequencer
+        if self.suspended:
+            return  # a view change is in progress; the request dies
+        self._sequenced = max(self._sequenced, self.applied_seq) + 1
+        seq = self._sequenced
+        epoch = self.eview.view.epoch
+        if req.kind == "subview":
+            delta = EvDelta(
+                seq, "subview", req.inputs, new_subview=SubviewId(epoch, req.sender, seq)
+            )
+        else:
+            delta = EvDelta(
+                seq, "svset", req.inputs, new_svset=SvSetId(epoch, req.sender, seq)
+            )
+        change = EvChange(self.eview.view_id, delta)
+        for member in self.eview.members:
+            if member != self.stack.pid:
+                self.stack.send(member, change)
+        self.on_change(self.stack.pid, change)
+
+    # -- loss repair within a stable view ----------------------------------
+
+    def note_peer_seq(self, src: ProcessId, peer_seq: int) -> None:
+        """A heartbeat shows a peer ahead of us in e-view changes; ask
+        the coordinator to resend the tail we must have lost."""
+        if self.eview is None or self.suspended:
+            return
+        if peer_seq <= self.applied_seq:
+            return
+        coordinator = self.eview.view.coordinator
+        request = EvRepairReq(self.eview.view_id, self.applied_seq)
+        if coordinator == self.stack.pid:
+            self.on_repair_request(self.stack.pid, request)
+        else:
+            self.stack.send(coordinator, request)
+
+    def on_repair_request(self, src: ProcessId, request: EvRepairReq) -> None:
+        """Coordinator side: resend our applied log past ``have_seq``."""
+        if self.eview is None or request.view_id != self.eview.view_id:
+            return
+        for delta in self.evlog:
+            if delta.seq > request.have_seq:
+                self.stack.send(src, EvChange(self.eview.view_id, delta))
+
+    # -- member side ----------------------------------------------------------
+
+    def on_change(self, src: ProcessId, change: EvChange) -> None:
+        """Buffer a sequenced change and apply it when its turn comes."""
+        if self.eview is None or change.view_id != self.eview.view_id:
+            return
+        self._pending[change.delta.seq] = change.delta
+        self._apply_ready()
+
+    def _apply_ready(self) -> None:
+        while not self.suspended and (self.applied_seq + 1) in self._pending:
+            delta = self._pending.pop(self.applied_seq + 1)
+            self._apply(delta)
+        if not self.suspended:
+            self.stack.on_eview_progress()
+
+    def _apply(self, delta: EvDelta) -> None:
+        assert self.eview is not None
+        new_structure = self.eview.structure.apply(delta)
+        self.eview = EView(self.eview.view, new_structure, seq=delta.seq)
+        self.evlog.append(delta)
+        self._record()
+        self.stack.app.on_eview(self.eview)
+
+    # -- flush / install choreography -----------------------------------------
+
+    def flush_snapshot(self) -> tuple[int, EViewStructure, tuple[EvDelta, ...]]:
+        """What goes into our :class:`~repro.gms.messages.VcFlush`."""
+        if self.eview is None:
+            raise EnrichedViewError("flushing before the first view")
+        return self.applied_seq, self.eview.structure, tuple(self.evlog)
+
+    def replay(self, evlog: tuple[EvDelta, ...], upto: int) -> None:
+        """Apply the authority's remaining deltas before leaving the view.
+
+        Called during install handling: brings this process to the same
+        e-view sequence number as the authority, so that every member of
+        the install group observed the identical totally-ordered sequence
+        of e-view changes (Property 6.1) before the view change.
+        """
+        if self.eview is None:
+            return
+        self.suspended = False
+        for delta in evlog:
+            if delta.seq <= self.applied_seq:
+                continue
+            if delta.seq > upto:
+                break
+            self._apply(delta)
+        self.suspended = True
+
+    # -- tracing ----------------------------------------------------------------
+
+    def _record(self) -> None:
+        assert self.eview is not None
+        subviews, svsets = self.eview.structure.as_tuples()
+        self.stack.recorder.record(
+            EViewChangeEvent(
+                time=self.stack.now,
+                pid=self.stack.pid,
+                view_id=self.eview.view_id,
+                eview_seq=self.eview.seq,
+                subviews=subviews,
+                svsets=svsets,
+            )
+        )

@@ -1,0 +1,46 @@
+"""Wire messages of the enriched-view layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.evs.eview import EvDelta
+from repro.types import ProcessId, ViewId
+
+
+@dataclass(frozen=True)
+class EvReq:
+    """Application request to merge subviews or sv-sets.
+
+    Sent to the view coordinator, which sequences it (Property 6.1).
+    ``inputs`` holds :class:`~repro.types.SubviewId` values for
+    ``kind == "subview"`` and :class:`~repro.types.SvSetId` values for
+    ``kind == "svset"``.
+    """
+
+    sender: ProcessId
+    view_id: ViewId
+    kind: Literal["subview", "svset"]
+    inputs: frozenset
+
+
+@dataclass(frozen=True)
+class EvChange:
+    """A sequenced e-view change, broadcast by the coordinator."""
+
+    view_id: ViewId
+    delta: EvDelta
+
+
+@dataclass(frozen=True)
+class EvRepairReq:
+    """Lagging member -> coordinator: resend changes past ``have_seq``.
+
+    Sent when a heartbeat reveals a peer applied more e-view changes
+    than we have — inside a stable view that means our copy of some
+    ``EvChange`` was lost and no view change will come to repair it.
+    """
+
+    view_id: ViewId
+    have_seq: int

@@ -1,0 +1,44 @@
+"""Human-readable rendering of e-view structures.
+
+The examples, benchmarks and debug sessions all want the same compact
+notation the paper's figures use: subviews as brace groups, sv-sets as
+bracket groups around them.
+
+>>> format_structure(structure)
+'[{p0.0,p1.0} {p2.0}] [{p3.0}]'
+"""
+
+from __future__ import annotations
+
+from repro.evs.eview import EView, EViewStructure, Subview
+
+
+def _format_subview(subview: Subview) -> str:
+    return "{" + ",".join(str(p) for p in sorted(subview.members)) + "}"
+
+
+def format_structure(structure: EViewStructure, with_svsets: bool = True) -> str:
+    """Render a structure as brace groups (subviews) inside bracket
+    groups (sv-sets); pass ``with_svsets=False`` for subviews only."""
+    by_id = {sv.sid: sv for sv in structure.subviews}
+    if not with_svsets:
+        ordered = sorted(structure.subviews, key=lambda sv: min(sv.members))
+        return " ".join(_format_subview(sv) for sv in ordered)
+    rendered_sets = []
+    for svset in structure.svsets:
+        subviews = sorted(
+            (by_id[sid] for sid in svset.subviews), key=lambda sv: min(sv.members)
+        )
+        rendered_sets.append(
+            "[" + " ".join(_format_subview(sv) for sv in subviews) + "]"
+        )
+    rendered_sets.sort()
+    return " ".join(rendered_sets)
+
+
+def format_eview(eview: EView, with_svsets: bool = True) -> str:
+    """``v7@p0.0 seq=2: [{p0.0,p1.0}] [{p2.0}]``"""
+    return (
+        f"{eview.view_id} seq={eview.seq}: "
+        f"{format_structure(eview.structure, with_svsets)}"
+    )

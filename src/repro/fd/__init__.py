@@ -1,0 +1,13 @@
+"""Unreliable failure detection by heartbeats.
+
+In an asynchronous system, "the inability to communicate with a certain
+process cannot be attributed to its real cause" (Section 1): the
+detector here is deliberately *unreliable* — a heartbeat delayed past the
+timeout produces a false suspicion indistinguishable from a crash, and
+the membership service above must cope, exactly as the paper's model
+demands.
+"""
+
+from repro.fd.heartbeat import Heartbeat, HeartbeatDetector
+
+__all__ = ["Heartbeat", "HeartbeatDetector"]

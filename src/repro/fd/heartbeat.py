@@ -1,0 +1,161 @@
+"""Heartbeat failure detector.
+
+Every process periodically sends a :class:`Heartbeat` to every site in
+the universe.  The detector considers a site reachable iff it heard from
+it recently enough; the freshest incarnation heard wins, which is how a
+recovered process (fresh identifier, same site) replaces its predecessor
+in everyone's estimates without any extra mechanism.
+
+Heartbeats carry the sender's current view identifier.  A heartbeat from
+a reachable process whose view differs from ours is evidence that the
+component disagrees about membership — the detector surfaces it so the
+membership service can trigger a reconciling view change (this is the
+anti-divergence rule described in DESIGN.md §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.types import ProcessId, SiteId, ViewId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsync.stack import GroupStack
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """I-am-alive beacon: sender's identifier and current view.
+
+    ``last_seqno`` (the sender's own multicast count in its current
+    view) and ``eview_seq`` (its applied e-view change count) piggyback
+    so receivers can detect losses inside a *stable* view — without
+    them, a dropped multicast or e-view change would only be repaired
+    by the next view change, stalling the victim indefinitely.
+    """
+
+    sender: ProcessId
+    view_id: ViewId | None
+    last_seqno: int = 0
+    eview_seq: int = 0
+
+
+class HeartbeatDetector:
+    """Per-process failure detector component."""
+
+    def __init__(
+        self,
+        stack: "GroupStack",
+        interval: float = 5.0,
+        timeout: float = 16.0,
+    ) -> None:
+        self.stack = stack
+        self.interval = interval
+        self.timeout = timeout
+        self._last_heard: dict[SiteId, tuple[float, ProcessId]] = {}
+        self._heard_views: dict[ProcessId, tuple[float, ViewId | None]] = {}
+        self._reachable_cache: frozenset[ProcessId] = frozenset({stack.pid})
+        self.on_change: Callable[[], None] | None = None
+
+    def start(self) -> None:
+        """Arm the heartbeat and sweep timers."""
+        self.stack.set_periodic(self.interval, self._beat)
+        self.stack.set_periodic(self.interval, self._sweep)
+        self._beat()
+
+    # -- sending ----------------------------------------------------------
+
+    def _beat(self) -> None:
+        beat = Heartbeat(
+            self.stack.pid,
+            self.stack.current_view_id(),
+            last_seqno=self.stack.channels.own_seqno(),
+            eview_seq=self.stack.evs.applied_seq,
+        )
+        for site in self.stack.universe_sites():
+            if site == self.stack.pid.site:
+                continue
+            self.stack.send_site(site, beat)
+
+    # -- receiving --------------------------------------------------------
+
+    def on_heartbeat(self, src: ProcessId, beat: Heartbeat) -> None:
+        self._heard_views[src] = (self.stack.now, beat.view_id)
+        self.heard(src)
+
+    def heard(self, src: ProcessId) -> None:
+        """Register life evidence for ``src`` (any message counts)."""
+        site = src.site
+        prev = self._last_heard.get(site)
+        if prev is not None and prev[1].incarnation > src.incarnation:
+            return  # stale incarnation; ignore
+        self._last_heard[site] = (self.stack.now, src)
+        self._refresh()
+
+    def _sweep(self) -> None:
+        self._refresh()
+
+    def force_down(self, site: SiteId) -> None:
+        """Expire a site immediately (used for graceful leaves)."""
+        self._last_heard.pop(site, None)
+        self._refresh()
+
+    def _refresh(self) -> None:
+        now = self.stack.now
+        alive = {self.stack.pid}
+        for site, (when, pid) in self._last_heard.items():
+            if site == self.stack.pid.site:
+                continue
+            if now - when <= self.timeout:
+                alive.add(pid)
+        new_cache = frozenset(alive)
+        if new_cache != self._reachable_cache:
+            self._reachable_cache = new_cache
+            if self.on_change is not None:
+                self.on_change()
+
+    # -- queries ----------------------------------------------------------
+
+    def reachable(self) -> frozenset[ProcessId]:
+        """Current estimate of reachable processes (always includes self)."""
+        return self._reachable_cache
+
+    def suspects(self, pids: frozenset[ProcessId]) -> frozenset[ProcessId]:
+        """The subset of ``pids`` currently *not* believed reachable."""
+        return pids - self._reachable_cache
+
+    def heard_view(self, pid: ProcessId) -> ViewId | None:
+        """Last view identifier heard from ``pid`` (None if never)."""
+        entry = self._heard_views.get(pid)
+        return entry[1] if entry is not None else None
+
+    def view_disagreement(self, since: float = 0.0) -> bool:
+        """True iff some reachable peer reports a different view id.
+
+        ``since`` filters out heartbeats that predate our own latest
+        view installation — a peer's pre-install beacon necessarily
+        names an older view and is not evidence of divergence.
+
+        A heard view *older* than ours is also ignored even when fresh:
+        the peer may simply not have installed yet, and if it truly
+        stalled it is the peer's own trigger (it hears our newer view)
+        that reconciles the group.  Only a newer view, or a concurrent
+        one with an equal epoch but different coordinator, is evidence
+        that we are the ones lagging or diverged.
+        """
+        mine = self.stack.current_view_id()
+        if mine is None:
+            return False
+        for pid in self._reachable_cache:
+            if pid == self.stack.pid:
+                continue
+            entry = self._heard_views.get(pid)
+            if entry is None:
+                continue
+            when, theirs = entry
+            if when < since or theirs is None:
+                continue
+            if theirs != mine and theirs > mine:
+                return True
+        return False

@@ -1,0 +1,37 @@
+"""Partitionable group membership service.
+
+Implements the membership half of view synchrony (Section 2): agreed
+views per connected component, with *concurrent views* in concurrent
+partitions — the model the paper insists on, as opposed to Isis's
+primary-partition model (which lives in :mod:`repro.isis`).
+
+The protocol is a coordinator-driven flush/agree/install loop described
+in DESIGN.md §4.1; :mod:`repro.gms.membership` holds the state machine.
+"""
+
+from repro.gms.view import View
+from repro.gms.messages import (
+    Leave,
+    PredecessorPlan,
+    RoundId,
+    VcFlush,
+    VcInstall,
+    VcNack,
+    VcPrepare,
+    VcPropose,
+)
+from repro.gms.membership import MembershipConfig, ViewAgreement
+
+__all__ = [
+    "View",
+    "RoundId",
+    "VcPropose",
+    "VcPrepare",
+    "VcNack",
+    "VcFlush",
+    "VcInstall",
+    "PredecessorPlan",
+    "Leave",
+    "MembershipConfig",
+    "ViewAgreement",
+]

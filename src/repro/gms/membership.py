@@ -1,0 +1,464 @@
+"""Coordinator-driven view agreement for partitionable groups.
+
+One :class:`ViewAgreement` instance runs inside every
+:class:`~repro.vsync.stack.GroupStack`.  The protocol (DESIGN.md §4.1):
+
+1. A process whose failure detector disagrees with its view (or that
+   hears a reachable peer report a different view identifier) *initiates*
+   a change: it proposes its reachability estimate to the least
+   unsuspected identifier, the coordinator candidate.
+2. The coordinator runs numbered *rounds*: it broadcasts ``VcPrepare``;
+   members stop multicasting, suspend delivery and e-view application,
+   and answer ``VcFlush``.  Estimates are merged until a fixed point;
+   members that stay silent past a timeout are dropped and the round
+   restarts; discovering a smaller live identifier makes the coordinator
+   abdicate to it.
+3. When every proposed member has flushed, the coordinator *decides*:
+   it picks a fresh epoch, computes per-predecessor-view delivery unions
+   and the authoritative e-view log, projects the old subview / sv-set
+   structure onto the survivors (Property 6.3), and broadcasts
+   ``VcInstall``.  Members replay the e-view log tail, deliver the union
+   (Agreement, 2.1) *in the old view*, then install.
+
+Concurrent partitions run disjoint instances of this loop and install
+concurrent views — the paper's partitionable model, where two successive
+views can differ by arbitrarily many members (contrast
+:mod:`repro.isis`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.evs.eview import EViewStructure, Subview, SvSet
+from repro.gms.messages import (
+    Leave,
+    PredecessorPlan,
+    RoundId,
+    VcFlush,
+    VcInstall,
+    VcNack,
+    VcPrepare,
+    VcPropose,
+)
+from repro.gms.view import View
+from repro.trace.events import ViewInstallEvent
+from repro.types import (
+    Message,
+    MessageId,
+    ProcessId,
+    SubviewId,
+    SvSetId,
+    ViewId,
+    min_process,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsync.stack import GroupStack
+
+_MAX_EPOCH_KEY = "gms.max_epoch"
+
+
+@dataclass
+class MembershipConfig:
+    """Protocol timers (virtual-time units; network latency is ~1)."""
+
+    check_interval: float = 7.0
+    flush_stall_timeout: float = 45.0
+    round_timeout: float = 25.0
+    min_initiate_gap: float = 3.0
+
+
+@dataclass
+class _Round:
+    """Coordinator-side state of one prepare/flush round."""
+
+    round_id: RoundId
+    members: frozenset[ProcessId]
+    replies: dict[ProcessId, VcFlush] = field(default_factory=dict)
+    attempts: int = 0
+    timer: object = None
+
+
+class ViewAgreement:
+    """The membership state machine of one process."""
+
+    def __init__(self, stack: "GroupStack", config: MembershipConfig | None = None) -> None:
+        self.stack = stack
+        self.config = config or MembershipConfig()
+        self.view: View | None = None
+        self.flushing = False
+        self._flushed_round: RoundId | None = None
+        self._flush_since = 0.0
+        self._round: _Round | None = None
+        self._round_counter = 0
+        self._last_initiate = -1e9
+        self.max_epoch = int(stack.storage.read(_MAX_EPOCH_KEY, 0))
+        self.views_installed = 0
+        self.last_install_time = 0.0
+        # Members dropped from a timed-out round are quarantined briefly
+        # so flush-reply expansion does not immediately re-admit a
+        # reachable-but-unresponsive process and livelock the round.
+        self._quarantine: dict[ProcessId, float] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bootstrap: install a singleton view, then watch for peers.
+
+        Joining is uniform with partition healing: a fresh process is a
+        one-member group whose view merges with others as soon as the
+        failure detectors on both sides hear each other.
+        """
+        epoch = self.max_epoch + 1
+        view = View(ViewId(epoch, self.stack.pid), frozenset({self.stack.pid}))
+        structure = EViewStructure.singletons(epoch, view.members)
+        self._install(view, structure, predecessors={})
+        self.stack.set_periodic(self.config.check_interval, self._check)
+
+    # -- trigger logic --------------------------------------------------------
+
+    def _check(self) -> None:
+        if self.view is None:
+            return
+        if self.flushing:
+            if self.stack.now - self._flush_since > self.config.flush_stall_timeout:
+                self._initiate()
+            return
+        reachable = self.stack.fd.reachable() - (
+            self._quarantined() - {self.stack.pid}
+        )
+        disagreement = self.stack.fd.view_disagreement(since=self.last_install_time)
+        if reachable != self.view.members or disagreement:
+            self._initiate()
+
+    def on_fd_change(self) -> None:
+        """Failure-detector output changed; maybe start a view change."""
+        self._check()
+
+    def _initiate(self) -> None:
+        now = self.stack.now
+        if now - self._last_initiate < self.config.min_initiate_gap:
+            return
+        self._last_initiate = now
+        target = (self.stack.fd.reachable() | {self.stack.pid}) - (
+            self._quarantined() - {self.stack.pid}
+        )
+        candidate = min_process(target)
+        if candidate == self.stack.pid:
+            self._start_round(target)
+        else:
+            self.stack.send(candidate, VcPropose(self.stack.pid, target))
+
+    # -- coordinator side ---------------------------------------------------------
+
+    def on_propose(self, src: ProcessId, msg: VcPropose) -> None:
+        target = (
+            msg.target | self.stack.fd.reachable() | {self.stack.pid}
+        ) - (self._quarantined() - {self.stack.pid})
+        candidate = min_process(target)
+        if candidate != self.stack.pid:
+            # We are not the right coordinator; forward.
+            self.stack.send(candidate, VcPropose(self.stack.pid, target))
+            return
+        if self._round is not None:
+            extra = target - self._round.members
+            if extra:
+                self._start_round(self._round.members | extra)
+            return
+        self._start_round(target)
+
+    def _start_round(self, members: frozenset[ProcessId]) -> None:
+        members = members | {self.stack.pid}
+        candidate = min_process(members)
+        if candidate != self.stack.pid:
+            # A smaller identifier belongs in the coordinator seat.
+            self._cancel_round()
+            self.stack.send(candidate, VcPropose(self.stack.pid, members))
+            return
+        if self._round is not None and self._round.members == members:
+            # The same round is already running; restarting it here would
+            # reset its timeout forever and silent members could never be
+            # dropped.  Let the round's own timer drive retries/shrinks.
+            return
+        self._cancel_round()
+        self._round_counter += 1
+        round_id: RoundId = (self.stack.pid, self._round_counter)
+        rnd = _Round(round_id, members)
+        rnd.timer = self.stack.set_timer(self.config.round_timeout, self._round_timeout)
+        self._round = rnd
+        prepare = VcPrepare(round_id, members)
+        for member in members:
+            if member != self.stack.pid:
+                self.stack.send(member, prepare)
+        self.on_prepare(self.stack.pid, prepare)
+
+    def _cancel_round(self) -> None:
+        if self._round is not None and self._round.timer is not None:
+            self._round.timer.cancel()  # type: ignore[attr-defined]
+        self._round = None
+
+    def _round_timeout(self) -> None:
+        rnd = self._round
+        if rnd is None:
+            return
+        missing = rnd.members - set(rnd.replies)
+        if not missing:
+            return
+        rnd.attempts += 1
+        if rnd.attempts == 1:
+            # Maybe the prepare or the reply was lost; ask again.
+            prepare = VcPrepare(rnd.round_id, rnd.members)
+            for member in missing:
+                self.stack.send(member, prepare)
+            rnd.timer = self.stack.set_timer(
+                self.config.round_timeout, self._round_timeout
+            )
+            return
+        # Give up on the silent members and re-run without them.
+        until = self.stack.now + 4 * self.config.round_timeout
+        for silent in missing:
+            self._quarantine[silent] = until
+        survivors = frozenset(rnd.replies) | {self.stack.pid}
+        self._start_round(survivors)
+
+    def _quarantined(self) -> frozenset[ProcessId]:
+        now = self.stack.now
+        self._quarantine = {
+            pid: until for pid, until in self._quarantine.items() if until > now
+        }
+        return frozenset(self._quarantine)
+
+    def on_nack(self, src: ProcessId, msg: VcNack) -> None:
+        rnd = self._round
+        if rnd is None or msg.round_id != rnd.round_id:
+            return
+        if msg.better < self.stack.pid:
+            members = rnd.members
+            self._cancel_round()
+            self.stack.send(msg.better, VcPropose(self.stack.pid, members))
+
+    def on_flush(self, src: ProcessId, msg: VcFlush) -> None:
+        rnd = self._round
+        if rnd is None or msg.round_id != rnd.round_id:
+            return
+        rnd.replies[msg.sender] = msg
+        extra = (
+            (msg.reachable - rnd.members)
+            & self.stack.fd.reachable()
+        ) - self._quarantined()
+        if extra:
+            self._start_round(rnd.members | extra)
+            return
+        if set(rnd.replies) == set(rnd.members):
+            self._decide(rnd)
+
+    def _decide(self, rnd: _Round) -> None:
+        """All members flushed: compute and broadcast the install."""
+        replies = rnd.replies
+        new_epoch = 1 + max(
+            [self.max_epoch]
+            + [f.max_epoch for f in replies.values()]
+            + [f.view_id.epoch for f in replies.values()]
+        )
+        view = View(ViewId(new_epoch, self.stack.pid), rnd.members)
+
+        # Group survivors by predecessor view.
+        groups: dict[ViewId, list[VcFlush]] = {}
+        for flush in replies.values():
+            groups.setdefault(flush.view_id, []).append(flush)
+
+        predecessors: dict[ViewId, PredecessorPlan] = {}
+        subviews: list[Subview] = []
+        svsets: list[SvSet] = []
+        for prev_vid, flushes in groups.items():
+            authority = max(flushes, key=lambda f: (f.eview_seq, f.sender))
+            union: dict[MessageId, Message] = {}
+            for flush in flushes:
+                for m in flush.received:
+                    union[m.msg_id] = m
+            # Messages tagged past the authority's e-view position can
+            # only come from non-survivors (a surviving sender would have
+            # reported the higher position and become the authority);
+            # dropping them keeps the e-view gate consistent at install.
+            messages = tuple(
+                union[mid]
+                for mid in sorted(union)
+                if union[mid].eview_seq <= authority.eview_seq
+            )
+            predecessors[prev_vid] = PredecessorPlan(
+                messages=messages,
+                evlog=authority.evlog,
+                eview_seq=authority.eview_seq,
+            )
+            survivors = frozenset(f.sender for f in flushes)
+            self._project_structure(
+                authority.structure, survivors, new_epoch, subviews, svsets
+            )
+
+        structure = EViewStructure(tuple(subviews), tuple(svsets))
+        install = VcInstall(rnd.round_id, view, structure, predecessors)
+        self._cancel_round()
+        for member in view.members:
+            if member != self.stack.pid:
+                self.stack.send(member, install)
+        self.on_install(self.stack.pid, install)
+
+    @staticmethod
+    def _project_structure(
+        structure: EViewStructure,
+        survivors: frozenset[ProcessId],
+        new_epoch: int,
+        subviews: list[Subview],
+        svsets: list[SvSet],
+    ) -> None:
+        """Project one predecessor group's structure onto its survivors.
+
+        Subviews and sv-sets keep their *composition* (restricted to
+        survivors; empty ones disappear) but get fresh identifiers keyed
+        by their least member — identifiers from the old view cannot be
+        reused because two concurrent predecessor views descending from
+        a common ancestor may both carry the same ones.  The least
+        member is unique within the new view since subviews (sv-sets)
+        are disjoint, so the derived identifiers never clash.  Appends
+        into the accumulator lists shared by all predecessor groups of
+        the new view.
+        """
+        renamed: dict = {}
+        for sv in structure.subviews:
+            remaining = sv.members & survivors
+            if remaining:
+                new_sid = SubviewId(new_epoch, min(remaining), 0)
+                renamed[sv.sid] = new_sid
+                subviews.append(Subview(new_sid, remaining))
+        for ss in structure.svsets:
+            remaining_ids = frozenset(
+                renamed[sid] for sid in ss.subviews if sid in renamed
+            )
+            if remaining_ids:
+                anchor = min(
+                    member
+                    for sv in subviews
+                    if sv.sid in remaining_ids
+                    for member in sv.members
+                )
+                svsets.append(
+                    SvSet(SvSetId(new_epoch, anchor, 0), remaining_ids)
+                )
+
+    # -- member side --------------------------------------------------------------
+
+    def on_prepare(self, src: ProcessId, msg: VcPrepare) -> None:
+        coordinator = msg.round_id[0]
+        candidate = min_process(
+            msg.members | self.stack.fd.reachable() | {self.stack.pid}
+        )
+        if candidate == self.stack.pid and coordinator != self.stack.pid:
+            # We should coordinate instead; tell them and do it.
+            self.stack.send(coordinator, VcNack(msg.round_id, self.stack.pid))
+            self._start_round(
+                (msg.members | self.stack.fd.reachable())
+                - (self._quarantined() - {self.stack.pid})
+            )
+            return
+        if candidate < coordinator:
+            self.stack.send(coordinator, VcNack(msg.round_id, candidate))
+            self.stack.send(
+                candidate, VcPropose(self.stack.pid, msg.members | {candidate})
+            )
+            return
+        self._flush_to(msg.round_id, coordinator)
+
+    def _flush_to(self, round_id: RoundId, coordinator: ProcessId) -> None:
+        if self.view is None:
+            return
+        if not self.flushing:
+            self.flushing = True
+            self._flush_since = self.stack.now
+            self.stack.channels.suspend()
+            self.stack.evs.suspend()
+        self._flushed_round = round_id
+        eview_seq, structure, evlog = self.stack.evs.flush_snapshot()
+        flush = VcFlush(
+            round_id=round_id,
+            sender=self.stack.pid,
+            view_id=self.view.view_id,
+            max_epoch=self.max_epoch,
+            received=self.stack.channels.flush_report(),
+            eview_seq=eview_seq,
+            structure=structure,
+            evlog=evlog,
+            reachable=self.stack.fd.reachable(),
+        )
+        if coordinator == self.stack.pid:
+            self.on_flush(self.stack.pid, flush)
+        else:
+            self.stack.send(coordinator, flush)
+
+    def on_install(self, src: ProcessId, msg: VcInstall) -> None:
+        if msg.round_id != self._flushed_round:
+            return  # we have moved on to a newer round
+        if self.view is not None and msg.view.view_id <= self.view.view_id:
+            return  # never regress
+        self._install(msg.view, msg.structure, msg.predecessors)
+
+    def _install(
+        self,
+        view: View,
+        structure: EViewStructure,
+        predecessors,
+    ) -> None:
+        prev_view_id = self.view.view_id if self.view is not None else None
+        if prev_view_id is not None and prev_view_id in predecessors:
+            plan = predecessors[prev_view_id]
+            # First catch up on the e-view changes the authority applied,
+            # then deliver the union — both still in the old view.
+            self.stack.evs.replay(plan.evlog, plan.eview_seq)
+            self.stack.channels.deliver_plan(plan.messages)
+
+        self.view = view
+        self.last_install_time = self.stack.now
+        self.max_epoch = max(self.max_epoch, view.epoch)
+        self.stack.storage.write(_MAX_EPOCH_KEY, self.max_epoch)
+        self.flushing = False
+        self._flushed_round = None
+        self.views_installed += 1
+
+        self.stack.channels.install(view)
+        self.stack.evs.install(view, structure)
+        self.stack.recorder.record(
+            ViewInstallEvent(
+                time=self.stack.now,
+                pid=self.stack.pid,
+                view_id=view.view_id,
+                members=view.members,
+                prev_view_id=prev_view_id,
+            )
+        )
+        self.stack.app.on_view(self.stack.evs.eview)
+        self.stack.channels.activate()
+        self.stack.channels.flush_pending_sends()
+        self.stack.channels.try_deliver()
+
+    # -- leaves ----------------------------------------------------------------------
+
+    def announce_leave(self) -> None:
+        if self.view is None:
+            return
+        for member in self.view.members:
+            if member != self.stack.pid:
+                self.stack.send(member, Leave(self.stack.pid))
+
+    def on_leave(self, src: ProcessId, msg: Leave) -> None:
+        self.stack.fd.force_down(msg.sender.site)
+        self._check()
+
+    def on_abort(self, src: ProcessId, msg) -> None:
+        """Round-abort notification; the base protocol has no pledged
+        state to release (subclasses override)."""
+
+    # -- queries ----------------------------------------------------------------------
+
+    def current_view_id(self) -> ViewId | None:
+        return self.view.view_id if self.view is not None else None

@@ -1,0 +1,117 @@
+"""Wire messages of the view-agreement protocol.
+
+The protocol (DESIGN.md §4.1) uses five message types:
+
+``VcPropose``  any process → coordinator candidate: "membership looks
+               like ``target``, please run a view change".
+``VcPrepare``  coordinator → proposed members: start of a round; the
+               receiver stops sending application multicasts and flushes.
+``VcFlush``    member → coordinator: everything the coordinator needs to
+               decide — the member's predecessor view, every message it
+               received in it, its e-view position and delta log, its own
+               reachability estimate, and the largest epoch it has seen.
+``VcNack``     member → coordinator: "a smaller-identifier coordinator
+               candidate exists; abdicate to it".
+``VcInstall``  coordinator → members: the decision.  Per predecessor
+               view it carries the union of received messages (whose
+               delivery before installation is exactly what yields
+               Agreement, Property 2.1) and the authoritative e-view
+               delta log (whose replay preserves Properties 6.1-6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.evs.eview import EvDelta, EViewStructure
+from repro.gms.view import View
+from repro.types import Message, ProcessId, ViewId
+
+# A round is identified by its coordinator plus a per-coordinator counter.
+RoundId = tuple[ProcessId, int]
+
+
+@dataclass(frozen=True)
+class VcPropose:
+    """Request that ``target`` become the next view."""
+
+    sender: ProcessId
+    target: frozenset[ProcessId]
+
+
+@dataclass(frozen=True)
+class VcPrepare:
+    """Round start: flush and report back."""
+
+    round_id: RoundId
+    members: frozenset[ProcessId]
+
+
+@dataclass(frozen=True)
+class VcNack:
+    """Refusal: ``better`` should coordinate instead."""
+
+    round_id: RoundId
+    better: ProcessId
+
+
+@dataclass(frozen=True)
+class VcFlush:
+    """A member's flush report for one round.
+
+    ``structure`` snapshots the member's e-view structure at its applied
+    sequence number ``eview_seq``; the coordinator adopts, per
+    predecessor view, the snapshot of the member with the highest
+    ``eview_seq`` (the *authority*) and replays its ``evlog`` tail at the
+    other survivors so everyone leaves the view at the same structure.
+    """
+
+    round_id: RoundId
+    sender: ProcessId
+    view_id: ViewId
+    max_epoch: int
+    received: tuple[Message, ...]
+    eview_seq: int
+    structure: EViewStructure
+    evlog: tuple[EvDelta, ...]
+    reachable: frozenset[ProcessId]
+
+
+@dataclass(frozen=True)
+class PredecessorPlan:
+    """What survivors of one predecessor view must do before installing:
+    deliver ``messages`` (the union over survivors) and replay the
+    authoritative e-view delta log up to ``eview_seq``."""
+
+    messages: tuple[Message, ...]
+    evlog: tuple[EvDelta, ...]
+    eview_seq: int
+
+
+@dataclass(frozen=True)
+class VcInstall:
+    """The coordinator's decision for a round."""
+
+    round_id: RoundId
+    view: View
+    structure: EViewStructure
+    predecessors: Mapping[ViewId, PredecessorPlan] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class VcAbort:
+    """Coordinator -> members: the round is dead, release whatever you
+    pledged to it (the Isis baseline's endorsement, notably).  The base
+    partitionable protocol never needs it — members there re-flush
+    freely — but a linear-membership member must not stay pledged to a
+    coordinator whose every decision is blocked by the majority rule."""
+
+    round_id: RoundId
+
+
+@dataclass(frozen=True)
+class Leave:
+    """Graceful departure announcement."""
+
+    sender: ProcessId

@@ -1,0 +1,33 @@
+"""The Isis-style baseline (Section 5).
+
+Three design decisions of Isis that the paper analyses:
+
+* **primary partition** (linear membership): only the component holding
+  a majority of the previous view installs new views; minority
+  components block.  Consequence: state merging "can never arise ...
+  since primary partitions are totally ordered" — at the price of "the
+  inability to support applications with weak consistency requirements
+  that could make progress in multiple concurrent partitions";
+* **one-member-at-a-time view growth**: two consecutive views may
+  expand by at most one member, which makes post-view-change local
+  reasoning easy but costs ``m`` view changes to absorb ``m`` processes
+  (the paper's merge example) — experiment E5;
+* **blocking state transfer**: the new view is withheld until the
+  joiner has received the application state, so "all processes in the
+  current view have an up-to-date state" — at the price of an
+  installation latency proportional to the state size — experiment E8.
+
+:func:`isis_stack_config` plugs all of this into the regular
+:class:`~repro.runtime.cluster.Cluster` harness.
+"""
+
+from repro.isis.membership import IsisConfig, PrimaryPartitionAgreement
+from repro.isis.transfer_tool import BlockingTransferTool
+from repro.isis.stack import isis_stack_config
+
+__all__ = [
+    "IsisConfig",
+    "PrimaryPartitionAgreement",
+    "BlockingTransferTool",
+    "isis_stack_config",
+]

@@ -1,0 +1,38 @@
+"""Plugging the Isis baseline into the cluster harness."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.isis.membership import IsisConfig, PrimaryPartitionAgreement
+from repro.isis.transfer_tool import BlockingTransferTool
+from repro.vsync.stack import StackConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsync.stack import GroupStack
+
+
+def isis_stack_config(
+    base: StackConfig | None = None,
+    isis_config: IsisConfig | None = None,
+    blocking_transfer: bool = False,
+    size_of: Callable[[Any], int] | None = None,
+) -> StackConfig:
+    """A :class:`StackConfig` whose stacks run the Isis-style protocol.
+
+    ``blocking_transfer=True`` additionally wires the Section 5 blocking
+    state-transfer tool into every view change that admits a joiner.
+    """
+    base = base or StackConfig()
+    isis = isis_config or IsisConfig()
+
+    def factory(stack: "GroupStack") -> PrimaryPartitionAgreement:
+        tool = (
+            BlockingTransferTool(stack, size_of=size_of)
+            if blocking_transfer
+            else None
+        )
+        return PrimaryPartitionAgreement(stack, isis, transfer_tool=tool)
+
+    return replace(base, membership_factory=factory)

@@ -1,0 +1,39 @@
+"""Simulated asynchronous, partitionable network substrate.
+
+Models exactly the system of Section 2 of the paper: processes at sites
+communicate over links with unpredictable (but simulated) delays; links
+and processes fail by crashing; the network may partition into components
+that later merge.  There are no bounds relating delay to failure — which
+is why the failure detector above this layer can make false suspicions.
+"""
+
+from repro.net.topology import Topology
+from repro.net.latency import ConstantLatency, UniformLatency, SpikeLatency
+from repro.net.network import Network, NetworkStats
+from repro.net.faults import (
+    Crash,
+    FaultSchedule,
+    Heal,
+    Join,
+    OneWayCut,
+    OneWayHeal,
+    Partition,
+    Recover,
+)
+
+__all__ = [
+    "Topology",
+    "ConstantLatency",
+    "UniformLatency",
+    "SpikeLatency",
+    "Network",
+    "NetworkStats",
+    "Crash",
+    "Recover",
+    "Partition",
+    "Heal",
+    "Join",
+    "OneWayCut",
+    "OneWayHeal",
+    "FaultSchedule",
+]

@@ -1,0 +1,152 @@
+"""Declarative fault schedules.
+
+A fault schedule is a time-ordered list of environment actions — crashes,
+recoveries, partitions, repairs and joins — applied to a cluster at
+virtual times.  Schedules are plain data, so workload generators
+(:mod:`repro.workload`) can build, inspect, shrink and replay them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Scheduler
+from repro.types import SiteId
+
+
+class FaultTarget(Protocol):
+    """What a fault schedule needs from the cluster it acts on."""
+
+    def crash(self, site: SiteId) -> None: ...
+
+    def recover(self, site: SiteId) -> None: ...
+
+    def partition(self, groups: Sequence[Sequence[SiteId]]) -> None: ...
+
+    def heal(self) -> None: ...
+
+    def join(self, site: SiteId) -> None: ...
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Crash the process currently running at ``site``."""
+
+    time: float
+    site: SiteId
+
+    def apply(self, target: FaultTarget) -> None:
+        target.crash(self.site)
+
+
+@dataclass(frozen=True)
+class Recover:
+    """Restart ``site`` with a fresh process identifier."""
+
+    time: float
+    site: SiteId
+
+    def apply(self, target: FaultTarget) -> None:
+        target.recover(self.site)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Split connectivity into the given site groups."""
+
+    time: float
+    groups: tuple[tuple[SiteId, ...], ...]
+
+    def apply(self, target: FaultTarget) -> None:
+        target.partition(self.groups)
+
+
+@dataclass(frozen=True)
+class Heal:
+    """Repair every network cut."""
+
+    time: float
+
+    def apply(self, target: FaultTarget) -> None:
+        target.heal()
+
+
+@dataclass(frozen=True)
+class Join:
+    """Start a brand-new site and have it join the group."""
+
+    time: float
+    site: SiteId
+
+    def apply(self, target: FaultTarget) -> None:
+        target.join(self.site)
+
+
+@dataclass(frozen=True)
+class OneWayCut:
+    """Silence the ``src -> dst`` direction only (asymmetric failure)."""
+
+    time: float
+    src: SiteId
+    dst: SiteId
+
+    def apply(self, target: FaultTarget) -> None:
+        target.topology.cut_oneway(self.src, self.dst)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class OneWayHeal:
+    """Repair a one-way cut."""
+
+    time: float
+    src: SiteId
+    dst: SiteId
+
+    def apply(self, target: FaultTarget) -> None:
+        target.topology.heal_oneway(self.src, self.dst)  # type: ignore[attr-defined]
+
+
+FaultAction = Crash | Recover | Partition | Heal | Join | OneWayCut | OneWayHeal
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault actions."""
+
+    actions: list[FaultAction] = field(default_factory=list)
+
+    def add(self, action: FaultAction) -> "FaultSchedule":
+        self.actions.append(action)
+        return self
+
+    def validate(self) -> None:
+        """Check the schedule is internally consistent (up/down parity)."""
+        down: set[SiteId] = set()
+        for action in sorted(self.actions, key=lambda a: a.time):
+            if isinstance(action, Crash):
+                if action.site in down:
+                    raise SimulationError(
+                        f"site {action.site} crashed twice without recovery"
+                    )
+                down.add(action.site)
+            elif isinstance(action, Recover):
+                if action.site not in down:
+                    raise SimulationError(
+                        f"site {action.site} recovered while up"
+                    )
+                down.discard(action.site)
+
+    def arm(self, scheduler: Scheduler, target: FaultTarget) -> None:
+        """Schedule every action on ``scheduler`` against ``target``."""
+        self.validate()
+        for action in self.actions:
+            scheduler.at(action.time, action.apply, target)
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time of the last scheduled action (0 if empty)."""
+        if not self.actions:
+            return 0.0
+        return max(a.time for a in self.actions)

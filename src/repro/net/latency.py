@@ -1,0 +1,52 @@
+"""Link latency models.
+
+A latency model is any object with ``sample(rng) -> float``.  The models
+here cover the regimes the paper's asynchrony argument needs: constant
+(for fully deterministic tests), uniform jitter, and occasional long
+spikes — the spikes are what provoke *false suspicions* in the failure
+detector, one of the failure scenarios Section 2 insists a realistic
+model must include.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Every message takes exactly ``delay`` units."""
+
+    delay: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Delay drawn uniformly from ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 2.0
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class SpikeLatency:
+    """Mostly ``base`` delay, but with probability ``spike_prob`` the
+    message is delayed by ``spike`` instead — long enough, when
+    configured above the failure detector's timeout, to cause false
+    suspicions without any real crash."""
+
+    base: float = 1.0
+    spike: float = 50.0
+    spike_prob: float = 0.01
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.spike_prob:
+            return self.spike
+        return self.base

@@ -1,0 +1,134 @@
+"""The simulated message-passing network.
+
+Point-to-point, connectivity-gated delivery with per-link latency and
+optional loss.  Connectivity is checked both when a message is sent and
+when it would be delivered, so a partition that forms while a message is
+in flight destroys it — the harshest (and simplest) cut semantics.
+
+Links are FIFO by default: deliveries on the same ``(src, dst)`` link
+never overtake each other even when sampled latencies would reorder
+them.  The protocols above do not *depend* on this (sequence numbers and
+round identifiers guard them), but FIFO links keep traces easier to read;
+tests exercise the non-FIFO mode too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import NetworkError
+from repro.net.latency import ConstantLatency
+from repro.net.topology import Topology
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+from repro.types import ProcessId
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing what happened on the wire."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    dropped_loss: int = 0
+    dropped_dead: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def record_type(self, payload: Any) -> None:
+        name = type(payload).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+
+class Network:
+    """Routes payloads between registered processes."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        topology: Topology,
+        rng: RngStreams,
+        latency: Any = None,
+        loss_prob: float = 0.0,
+        fifo_links: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.topology = topology
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.loss_prob = loss_prob
+        self.fifo_links = fifo_links
+        self.stats = NetworkStats()
+        self._rng = rng.stream("network")
+        self._procs: dict[ProcessId, Process] = {}
+        self._site_proc: dict[int, ProcessId] = {}
+        self._link_clock: dict[tuple[ProcessId, ProcessId], float] = {}
+
+    # -- registration -------------------------------------------------
+
+    def register(self, process: Process) -> None:
+        """Attach ``process`` so it can send and receive."""
+        if process.pid in self._procs:
+            raise NetworkError(f"duplicate process id {process.pid}")
+        if process.pid.site not in self.topology.sites:
+            raise NetworkError(f"site {process.pid.site} not in topology")
+        self._procs[process.pid] = process
+        self._site_proc[process.pid.site] = process.pid
+        process.attach(self)
+
+    def process(self, pid: ProcessId) -> Process | None:
+        return self._procs.get(pid)
+
+    def pid_at_site(self, site: int) -> ProcessId | None:
+        """Identifier of the most recent incarnation hosted at ``site``."""
+        return self._site_proc.get(site)
+
+    def live_processes(self) -> list[Process]:
+        return [p for p in self._procs.values() if p.alive]
+
+    # -- transmission ---------------------------------------------------
+
+    def send_to_site(self, src: ProcessId, site: int, payload: Any) -> None:
+        """Send to whichever incarnation currently lives at ``site``.
+
+        Used by heartbeats and join probes, which must reach a recovered
+        process without knowing its fresh identifier.
+        """
+        dst = self._site_proc.get(site)
+        if dst is None:
+            self.stats.dropped_dead += 1
+            return
+        self.send(src, dst, payload)
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` (may silently drop)."""
+        self.stats.sent += 1
+        self.stats.record_type(payload)
+        if dst.site not in self.topology.sites:
+            self.stats.dropped_dead += 1
+            return
+        if not self.topology.allows(src.site, dst.site):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_prob > 0 and self._rng.random() < self.loss_prob:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.latency.sample(self._rng)
+        arrival = self.scheduler.now + delay
+        if self.fifo_links:
+            link = (src, dst)
+            arrival = max(arrival, self._link_clock.get(link, 0.0) + 1e-9)
+            self._link_clock[link] = arrival
+        self.scheduler.at(arrival, self._deliver, src, dst, payload)
+
+    def _deliver(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        if not self.topology.allows(src.site, dst.site):
+            self.stats.dropped_partition += 1
+            return
+        target = self._procs.get(dst)
+        if target is None or not target.alive:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        target.deliver_network(src, payload)

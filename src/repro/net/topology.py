@@ -1,0 +1,125 @@
+"""Dynamic partition topology.
+
+The network's connectivity is a partition of the site universe into
+*components*: two sites can exchange messages iff they are in the same
+component.  Partitions and repairs happen instantaneously at a virtual
+time, driven by the fault schedule; messages in flight across a fresh cut
+are lost (connectivity is re-checked at delivery time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import NetworkError
+from repro.types import SiteId
+
+
+class Topology:
+    """Mutable partition of the site universe into connected components."""
+
+    def __init__(self, sites: Iterable[SiteId]) -> None:
+        self.sites: set[SiteId] = set(sites)
+        if not self.sites:
+            raise NetworkError("topology needs at least one site")
+        self._component: dict[SiteId, int] = {s: 0 for s in self.sites}
+        self._changes = 0
+        # Directed cuts: (src, dst) pairs whose one-way traffic is lost
+        # even inside a component (asymmetric link failures).
+        self._oneway_cuts: set[tuple[SiteId, SiteId]] = set()
+
+    @property
+    def changes(self) -> int:
+        """How many times connectivity was reconfigured."""
+        return self._changes
+
+    def connected(self, a: SiteId, b: SiteId) -> bool:
+        """True iff sites ``a`` and ``b`` are in the same component.
+
+        Symmetric by construction; one-way cuts are queried separately
+        via :meth:`allows` because they break the symmetry.
+        """
+        if a not in self._component or b not in self._component:
+            raise NetworkError(f"unknown site in connectivity query: {a}, {b}")
+        return self._component[a] == self._component[b]
+
+    def allows(self, src: SiteId, dst: SiteId) -> bool:
+        """True iff a message from ``src`` can currently reach ``dst``
+        (same component AND no one-way cut on that direction)."""
+        return self.connected(src, dst) and (src, dst) not in self._oneway_cuts
+
+    def cut_oneway(self, src: SiteId, dst: SiteId) -> None:
+        """Silence the ``src -> dst`` direction only (asymmetric fault);
+        traffic from ``dst`` to ``src`` is unaffected."""
+        if src not in self.sites or dst not in self.sites:
+            raise NetworkError(f"unknown site in one-way cut: {src}, {dst}")
+        self._oneway_cuts.add((src, dst))
+        self._changes += 1
+
+    def heal_oneway(self, src: SiteId, dst: SiteId) -> None:
+        """Repair a previously installed one-way cut (no-op if absent)."""
+        self._oneway_cuts.discard((src, dst))
+        self._changes += 1
+
+    def component_of(self, site: SiteId) -> frozenset[SiteId]:
+        """The set of sites currently connected to ``site`` (inclusive)."""
+        cid = self._component[site]
+        return frozenset(s for s, c in self._component.items() if c == cid)
+
+    def components(self) -> list[frozenset[SiteId]]:
+        """All current components, ordered by their smallest site."""
+        by_cid: dict[int, set[SiteId]] = {}
+        for site, cid in self._component.items():
+            by_cid.setdefault(cid, set()).add(site)
+        groups = [frozenset(g) for g in by_cid.values()]
+        return sorted(groups, key=min)
+
+    def partition(self, groups: Sequence[Iterable[SiteId]]) -> None:
+        """Split the universe into the given groups.
+
+        Groups must be disjoint; sites not mentioned in any group each
+        become a singleton component (they are cut off from everyone).
+        """
+        assigned: dict[SiteId, int] = {}
+        for index, group in enumerate(groups):
+            for site in group:
+                if site not in self.sites:
+                    raise NetworkError(f"unknown site {site} in partition spec")
+                if site in assigned:
+                    raise NetworkError(f"site {site} appears in two groups")
+                assigned[site] = index
+        next_cid = len(groups)
+        for site in self.sites:
+            if site not in assigned:
+                assigned[site] = next_cid
+                next_cid += 1
+        self._component = assigned
+        self._changes += 1
+
+    def heal(self) -> None:
+        """Repair every cut (including one-way cuts): one component."""
+        self._component = {s: 0 for s in self.sites}
+        self._oneway_cuts.clear()
+        self._changes += 1
+
+    def isolate(self, site: SiteId) -> None:
+        """Cut ``site`` away from everyone else, keeping other cuts."""
+        if site not in self.sites:
+            raise NetworkError(f"unknown site {site}")
+        new_cid = 1 + max(self._component.values())
+        self._component[site] = new_cid
+        self._changes += 1
+
+    def add_site(self, site: SiteId) -> None:
+        """Grow the universe by a new site.
+
+        The new site lands in the component of the lowest-numbered
+        existing site (the "main" component); use :meth:`partition` or
+        :meth:`isolate` afterwards for anything fancier.
+        """
+        if site in self.sites:
+            raise NetworkError(f"site {site} already exists")
+        anchor = min(self.sites)
+        self.sites.add(site)
+        self._component[site] = self._component[anchor]
+        self._changes += 1

@@ -1,0 +1,5 @@
+"""Run-time harness: builds and drives whole simulated clusters."""
+
+from repro.runtime.cluster import Cluster, ClusterConfig
+
+__all__ = ["Cluster", "ClusterConfig"]

@@ -1,0 +1,215 @@
+"""Cluster harness: one object per simulated run.
+
+Owns the scheduler, the network, stable storage, the trace recorder and
+one :class:`~repro.vsync.stack.GroupStack` per site, and exposes the
+environment actions fault schedules need (crash / recover / partition /
+heal / join).  Examples, tests and benchmarks all start here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+from repro.sim.stable_storage import StableStore
+from repro.trace.events import CrashEvent, RecoverEvent
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, SiteId
+from repro.vsync.events import GroupApplication
+from repro.vsync.stack import GroupStack, StackConfig
+
+AppFactory = Callable[[ProcessId], GroupApplication]
+
+
+def _default_app_factory(pid: ProcessId) -> GroupApplication:
+    return GroupApplication()
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for a simulated cluster."""
+
+    seed: int = 0
+    latency: Any = field(default_factory=lambda: ConstantLatency(1.0))
+    loss_prob: float = 0.0
+    fifo_links: bool = True
+    stack: StackConfig = field(default_factory=StackConfig)
+
+
+class Cluster:
+    """A set of sites running group stacks over one simulated network."""
+
+    def __init__(
+        self,
+        n_sites: int,
+        app_factory: AppFactory | None = None,
+        config: ClusterConfig | None = None,
+        auto_start: bool = True,
+    ) -> None:
+        if n_sites < 1:
+            raise SimulationError("cluster needs at least one site")
+        self.config = config or ClusterConfig()
+        self.app_factory = app_factory or _default_app_factory
+        self.scheduler = Scheduler()
+        self.rng = RngStreams(self.config.seed)
+        self.topology = Topology(range(n_sites))
+        self.network = Network(
+            self.scheduler,
+            self.topology,
+            self.rng,
+            latency=self.config.latency,
+            loss_prob=self.config.loss_prob,
+            fifo_links=self.config.fifo_links,
+        )
+        self.store = StableStore()
+        self.recorder = TraceRecorder()
+        self._incarnation: dict[SiteId, int] = {}
+        self.stacks: dict[SiteId, GroupStack] = {}
+        self.apps: dict[SiteId, GroupApplication] = {}
+        if auto_start:
+            for site in sorted(self.topology.sites):
+                self.start_site(site)
+
+    # -- process management --------------------------------------------------
+
+    def start_site(self, site: SiteId) -> GroupStack:
+        """Start (or restart) the process at ``site``."""
+        if site in self.stacks and self.stacks[site].alive:
+            raise SimulationError(f"site {site} is already running")
+        incarnation = self._incarnation.get(site, -1) + 1
+        self._incarnation[site] = incarnation
+        pid = ProcessId(site, incarnation)
+        app = self.app_factory(pid)
+        stack = GroupStack(
+            pid,
+            self.scheduler,
+            self.store.site(site),
+            app,
+            self.recorder,
+            universe=lambda: self.topology.sites,
+            config=self.config.stack,
+        )
+        self.stacks[site] = stack
+        self.apps[site] = app
+        self.network.register(stack)
+        return stack
+
+    def crash(self, site: SiteId) -> None:
+        stack = self.stacks.get(site)
+        if stack is None or not stack.alive:
+            return
+        stack.crash()
+        self.recorder.record(CrashEvent(time=self.scheduler.now, pid=stack.pid))
+
+    def recover(self, site: SiteId) -> GroupStack:
+        """Restart a crashed site under a fresh process identifier."""
+        stack = self.stacks.get(site)
+        if stack is not None and stack.alive:
+            raise SimulationError(f"site {site} is up; cannot recover")
+        new_stack = self.start_site(site)
+        self.recorder.record(
+            RecoverEvent(time=self.scheduler.now, pid=new_stack.pid, site=site)
+        )
+        return new_stack
+
+    def join(self, site: SiteId) -> GroupStack:
+        """Add a brand-new site to the universe and start it."""
+        self.topology.add_site(site)
+        return self.start_site(site)
+
+    # -- connectivity -------------------------------------------------------------
+
+    def partition(self, groups: Sequence[Sequence[SiteId]]) -> None:
+        self.topology.partition(groups)
+
+    def heal(self) -> None:
+        self.topology.heal()
+
+    def isolate(self, site: SiteId) -> None:
+        self.topology.isolate(site)
+
+    # -- execution ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(self, until: float | None = None) -> float:
+        return self.scheduler.run(until=until)
+
+    def run_for(self, duration: float) -> float:
+        return self.scheduler.run_for(duration)
+
+    def run_until(
+        self,
+        predicate: Callable[["Cluster"], Any],
+        timeout: float = 600.0,
+        poll: float = 5.0,
+    ) -> bool:
+        """Run until ``predicate(cluster)`` is truthy or ``timeout``
+        virtual units elapse; returns whether it became true."""
+        deadline = self.scheduler.now + timeout
+        while self.scheduler.now < deadline:
+            if predicate(self):
+                return True
+            self.run_for(min(poll, deadline - self.scheduler.now))
+        return bool(predicate(self))
+
+    def settle(self, timeout: float = 600.0, poll: float = 10.0) -> bool:
+        """Run until membership converges (or ``timeout`` elapses).
+
+        Converged means: every live process has installed a view whose
+        membership is exactly the live processes of its own network
+        component, agrees on the view identifier with all of them, and
+        is not in the middle of a flush.
+        """
+        deadline = self.scheduler.now + timeout
+        while self.scheduler.now < deadline:
+            if self.is_settled():
+                return True
+            self.run_for(min(poll, deadline - self.scheduler.now))
+        return self.is_settled()
+
+    def is_settled(self) -> bool:
+        live = [s for s in self.stacks.values() if s.alive]
+        for stack in live:
+            if stack.view is None or stack.is_flushing:
+                return False
+            component = self.topology.component_of(stack.pid.site)
+            expected = {
+                s.pid for s in live if s.pid.site in component
+            }
+            if stack.view.members != expected:
+                return False
+            for other in live:
+                if other.pid in expected and other.current_view_id() != stack.current_view_id():
+                    return False
+        return True
+
+    # -- queries ------------------------------------------------------------------------
+
+    def stack_at(self, site: SiteId) -> GroupStack:
+        stack = self.stacks.get(site)
+        if stack is None:
+            raise SimulationError(f"no process was ever started at site {site}")
+        return stack
+
+    def live_stacks(self) -> list[GroupStack]:
+        return [s for s in self.stacks.values() if s.alive]
+
+    def live_pids(self) -> set[ProcessId]:
+        return {s.pid for s in self.live_stacks()}
+
+    def views(self) -> dict[SiteId, str]:
+        """Human-readable current view per live site (for debugging)."""
+        return {
+            site: str(stack.view)
+            for site, stack in sorted(self.stacks.items())
+            if stack.alive
+        }

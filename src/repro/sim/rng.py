@@ -1,0 +1,32 @@
+"""Seeded random-number substreams.
+
+Every source of randomness in a run (network latency, fault schedules,
+workload generators, ...) draws from its own named substream derived
+deterministically from the master seed, so adding a new consumer of
+randomness never perturbs the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStreams:
+    """A family of independent :class:`random.Random` substreams."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the substream called ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive an independent child family (for nested generators)."""
+        digest = hashlib.sha256(f"{self.seed}/{name}".encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))

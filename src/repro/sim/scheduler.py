@@ -1,0 +1,130 @@
+"""Virtual-time event scheduler.
+
+A tiny, deterministic discrete-event core: events are ``(time, seq,
+callback)`` triples kept in a binary heap; ``seq`` is a monotonically
+increasing counter that breaks ties between events scheduled for the
+same instant, so execution order is a pure function of the schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class Scheduler:
+    """Orders and executes all events of one simulation run."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[Event] = []
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Number of events executed so far (for budget checks)."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after a relative ``delay`` >= 0."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns False when the queue is empty (simulation quiescent).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_run += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run events until quiescence or virtual time ``until``.
+
+        Returns the virtual time at which the run stopped.  ``max_events``
+        is a safety net against livelocked protocols: exceeding it raises
+        :class:`SimulationError` rather than looping forever.
+        """
+        executed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; protocol livelock?"
+                )
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float, max_events: int = 10_000_000) -> float:
+        """Run for ``duration`` units of virtual time from now."""
+        return self.run(until=self._now + duration, max_events=max_events)

@@ -1,0 +1,68 @@
+"""Per-site stable storage.
+
+The application model (Section 3) lets part of a process's local state be
+*permanent* and survive crashes.  Crashing destroys a process's volatile
+state and its identifier; the stable store belongs to the *site* and is
+handed to the next incarnation.  The state-creation machinery
+(:mod:`repro.core.state_creation`) keeps its view log here, which is what
+makes "determining the last process to fail" possible after a total
+failure, exactly as in Skeen's algorithm cited by the paper.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator
+
+from repro.types import SiteId
+
+
+class SiteStorage:
+    """Stable key/value storage of a single site.
+
+    Values are deep-copied on write and read so a crashed process cannot
+    keep mutating what it "persisted" — writes are atomic snapshots, like
+    a force-write to disk.
+    """
+
+    def __init__(self, site: SiteId) -> None:
+        self.site = site
+        self._data: dict[str, Any] = {}
+
+    def write(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        self._data[key] = copy.deepcopy(value)
+
+    def read(self, key: str, default: Any = None) -> Any:
+        """Return a private copy of the persisted value (or ``default``)."""
+        if key not in self._data:
+            return default
+        return copy.deepcopy(self._data[key])
+
+    def append(self, key: str, item: Any) -> None:
+        """Append ``item`` to the list persisted under ``key``."""
+        log = self._data.setdefault(key, [])
+        log.append(copy.deepcopy(item))
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def wipe(self) -> None:
+        """Destroy the site's storage (models disk loss, used in tests)."""
+        self._data.clear()
+
+
+class StableStore:
+    """The collection of every site's stable storage in a run."""
+
+    def __init__(self) -> None:
+        self._sites: dict[SiteId, SiteStorage] = {}
+
+    def site(self, site: SiteId) -> SiteStorage:
+        """Return (creating on first use) the storage of ``site``."""
+        if site not in self._sites:
+            self._sites[site] = SiteStorage(site)
+        return self._sites[site]

@@ -1,0 +1,100 @@
+"""Trace event records.
+
+Each record captures one externally visible event of the execution, in
+the vocabulary of the paper: ``mcast(p, m)``, ``dlvr(p, m)`` and
+``vchg(p, v)`` (Section 2), plus e-view changes (Section 6), mode
+transitions (Section 3) and environment events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.types import MessageId, ProcessId, SiteId, SubviewId, SvSetId, ViewId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base record: when and at which process something happened."""
+
+    time: float
+    pid: ProcessId
+
+
+@dataclass(frozen=True)
+class MulticastEvent(TraceEvent):
+    """``mcast(pid, msg)``: the application handed a message to VS."""
+
+    msg_id: MessageId
+
+
+@dataclass(frozen=True)
+class DeliveryEvent(TraceEvent):
+    """``dlvr(pid, msg)``: VS delivered a message to the application.
+
+    ``view_id`` is the view the process had installed at delivery time;
+    Uniqueness (2.2) says each ``msg_id`` appears with exactly one
+    ``view_id`` across the whole trace.  ``sender_eview_seq`` is the
+    e-view change count the *sender* had applied when it multicast; the
+    Causal Order checker (6.2) verifies the receiver had applied at
+    least as many at delivery time.
+    """
+
+    msg_id: MessageId
+    view_id: ViewId
+    sender_eview_seq: int = 0
+
+
+@dataclass(frozen=True)
+class ViewInstallEvent(TraceEvent):
+    """``vchg(pid, view)``: the process installed a new view."""
+
+    view_id: ViewId
+    members: frozenset[ProcessId]
+    prev_view_id: ViewId | None
+
+
+@dataclass(frozen=True)
+class EViewChangeEvent(TraceEvent):
+    """An enriched-view change was applied at a process.
+
+    ``eview_seq`` counts e-view changes within the enclosing ``view_id``
+    (0 is the structure delivered with the view itself); ``subviews`` and
+    ``svsets`` snapshot the structure after the change.
+    """
+
+    view_id: ViewId
+    eview_seq: int
+    subviews: tuple[tuple[SubviewId, frozenset[ProcessId]], ...]
+    svsets: tuple[tuple[SvSetId, frozenset[SubviewId]], ...]
+
+
+@dataclass(frozen=True)
+class ModeChangeEvent(TraceEvent):
+    """A mode-automaton transition (Figure 1) at a process."""
+
+    old_mode: str
+    new_mode: str
+    transition: str
+    view_id: ViewId
+
+
+@dataclass(frozen=True)
+class CrashEvent(TraceEvent):
+    """The process at ``pid`` crashed."""
+
+
+@dataclass(frozen=True)
+class RecoverEvent(TraceEvent):
+    """A site restarted; ``pid`` is the fresh incarnation."""
+
+    site: SiteId = -1
+
+
+@dataclass(frozen=True)
+class AppEvent(TraceEvent):
+    """Free-form application event (state transfers, merges, ...)."""
+
+    tag: str = ""
+    data: Any = None

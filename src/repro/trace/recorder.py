@@ -1,0 +1,114 @@
+"""Append-only trace recorder with query helpers.
+
+One recorder observes the whole run.  Protocol stacks append events as
+they happen; checkers and the ground-truth classifier query the result.
+All query methods are pure reads — the recorder never influences the
+execution it observes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, TypeVar
+
+from repro.trace.events import (
+    AppEvent,
+    DeliveryEvent,
+    EViewChangeEvent,
+    ModeChangeEvent,
+    MulticastEvent,
+    TraceEvent,
+    ViewInstallEvent,
+)
+from repro.types import MessageId, ProcessId, ViewId
+
+E = TypeVar("E", bound=TraceEvent)
+
+
+class TraceRecorder:
+    """Collects every :class:`TraceEvent` of a run, in occurrence order."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- generic queries ------------------------------------------------
+
+    def of_type(self, event_type: type[E]) -> Iterator[E]:
+        """All events of exactly the given type, in order."""
+        return (e for e in self.events if type(e) is event_type)
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> Iterator[TraceEvent]:
+        return (e for e in self.events if predicate(e))
+
+    # -- view-synchrony-shaped queries -----------------------------------
+
+    def multicasts(self) -> list[MulticastEvent]:
+        return list(self.of_type(MulticastEvent))
+
+    def deliveries(self) -> list[DeliveryEvent]:
+        return list(self.of_type(DeliveryEvent))
+
+    def view_installs(self) -> list[ViewInstallEvent]:
+        return list(self.of_type(ViewInstallEvent))
+
+    def eview_changes(self) -> list[EViewChangeEvent]:
+        return list(self.of_type(EViewChangeEvent))
+
+    def mode_changes(self) -> list[ModeChangeEvent]:
+        return list(self.of_type(ModeChangeEvent))
+
+    def app_events(self, tag: str | None = None) -> list[AppEvent]:
+        events = self.of_type(AppEvent)
+        if tag is None:
+            return list(events)
+        return [e for e in events if e.tag == tag]
+
+    def installed_views(self) -> dict[ViewId, frozenset[ProcessId]]:
+        """Mapping view id -> membership, over every installation."""
+        views: dict[ViewId, frozenset[ProcessId]] = {}
+        for ev in self.of_type(ViewInstallEvent):
+            views[ev.view_id] = ev.members
+        return views
+
+    def installers_of(self, view_id: ViewId) -> set[ProcessId]:
+        """Which processes actually installed ``view_id``."""
+        return {
+            ev.pid
+            for ev in self.of_type(ViewInstallEvent)
+            if ev.view_id == view_id
+        }
+
+    def deliveries_in_view(self, pid: ProcessId, view_id: ViewId) -> set[MessageId]:
+        """Messages process ``pid`` delivered while in ``view_id``."""
+        return {
+            ev.msg_id
+            for ev in self.of_type(DeliveryEvent)
+            if ev.pid == pid and ev.view_id == view_id
+        }
+
+    def view_sequence(self, pid: ProcessId) -> list[ViewInstallEvent]:
+        """The ordered sequence of views installed by process ``pid``."""
+        return [ev for ev in self.of_type(ViewInstallEvent) if ev.pid == pid]
+
+    def successor_views(self) -> dict[tuple[ProcessId, ViewId], ViewId]:
+        """For each (process, view) pair, the next view that process
+        installed, if any.  Used by the Agreement checker to find the
+        groups of processes that "survive from one view to the same
+        next view"."""
+        result: dict[tuple[ProcessId, ViewId], ViewId] = {}
+        for ev in self.of_type(ViewInstallEvent):
+            if ev.prev_view_id is not None:
+                result[(ev.pid, ev.prev_view_id)] = ev.view_id
+        return result
+
+    def mode_at_install(self, pid: ProcessId, view_id: ViewId) -> str | None:
+        """The mode ``pid`` adopted when it installed ``view_id``."""
+        for ev in self.of_type(ModeChangeEvent):
+            if ev.pid == pid and ev.view_id == view_id:
+                return ev.new_mode
+        return None

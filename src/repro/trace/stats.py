@@ -1,0 +1,141 @@
+"""Summary statistics over recorded traces.
+
+Turns a raw trace into the aggregates experiments and operators care
+about: view-change counts and rates, mode residency (how much
+process-time was spent NORMAL / REDUCED / SETTLING), delivery counts,
+and settlement activity.  Used by the CLI and by E-series analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import (
+    AppEvent,
+    CrashEvent,
+    DeliveryEvent,
+    EViewChangeEvent,
+    ModeChangeEvent,
+    MulticastEvent,
+    ViewInstallEvent,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId
+
+
+@dataclass
+class ModeResidency:
+    """Process-time spent in each mode (virtual units)."""
+
+    normal: float = 0.0
+    reduced: float = 0.0
+    settling: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.normal + self.reduced + self.settling
+
+    def fraction(self, mode: str) -> float:
+        if self.total == 0:
+            return 0.0
+        value = {"N": self.normal, "R": self.reduced, "S": self.settling}[mode]
+        return value / self.total
+
+
+@dataclass
+class TraceStats:
+    """All aggregates for one trace."""
+
+    duration: float = 0.0
+    view_installs: int = 0
+    distinct_views: int = 0
+    max_concurrent_views: int = 0
+    multicasts: int = 0
+    deliveries: int = 0
+    eview_changes: int = 0
+    crashes: int = 0
+    mode_transitions: dict[str, int] = field(default_factory=dict)
+    residency: ModeResidency = field(default_factory=ModeResidency)
+    settlement_sessions: int = 0
+
+
+def mode_residency(rec: TraceRecorder, until: float | None = None) -> ModeResidency:
+    """Integrate each process's mode over time, up to ``until`` (defaults
+    to the last event time)."""
+    horizon = until
+    if horizon is None:
+        horizon = max((e.time for e in rec.events), default=0.0)
+    residency = ModeResidency()
+    last_change: dict[ProcessId, tuple[float, str]] = {}
+    dead: set[ProcessId] = set()
+
+    def credit(mode: str, span: float) -> None:
+        if span <= 0:
+            return
+        if mode == "N":
+            residency.normal += span
+        elif mode == "R":
+            residency.reduced += span
+        elif mode == "S":
+            residency.settling += span
+
+    for event in rec.events:
+        if isinstance(event, ModeChangeEvent):
+            previous = last_change.get(event.pid)
+            if previous is not None:
+                credit(previous[1], event.time - previous[0])
+            last_change[event.pid] = (event.time, event.new_mode)
+        elif isinstance(event, CrashEvent):
+            previous = last_change.pop(event.pid, None)
+            if previous is not None:
+                credit(previous[1], event.time - previous[0])
+            dead.add(event.pid)
+    for pid, (since, mode) in last_change.items():
+        if pid not in dead:
+            credit(mode, horizon - since)
+    return residency
+
+
+def concurrent_view_peak(rec: TraceRecorder) -> int:
+    """The largest number of distinct current views held simultaneously
+    by live processes at any install instant."""
+    current: dict[ProcessId, object] = {}
+    dead: set[ProcessId] = set()
+    peak = 0
+    for event in rec.events:
+        if isinstance(event, ViewInstallEvent):
+            current[event.pid] = event.view_id
+            dead.discard(event.pid)
+        elif isinstance(event, CrashEvent):
+            current.pop(event.pid, None)
+            dead.add(event.pid)
+        else:
+            continue
+        distinct = len({vid for pid, vid in current.items()})
+        peak = max(peak, distinct)
+    return peak
+
+
+def summarize(rec: TraceRecorder) -> TraceStats:
+    """Compute the full aggregate bundle for a trace."""
+    stats = TraceStats()
+    stats.duration = max((e.time for e in rec.events), default=0.0)
+    installs = list(rec.of_type(ViewInstallEvent))
+    stats.view_installs = len(installs)
+    stats.distinct_views = len({e.view_id for e in installs})
+    stats.max_concurrent_views = concurrent_view_peak(rec)
+    stats.multicasts = sum(1 for _ in rec.of_type(MulticastEvent))
+    stats.deliveries = sum(1 for _ in rec.of_type(DeliveryEvent))
+    stats.eview_changes = sum(
+        1 for e in rec.of_type(EViewChangeEvent) if e.eview_seq > 0
+    )
+    stats.crashes = sum(1 for _ in rec.of_type(CrashEvent))
+    for event in rec.of_type(ModeChangeEvent):
+        stats.mode_transitions[event.transition] = (
+            stats.mode_transitions.get(event.transition, 0) + 1
+        )
+    stats.residency = mode_residency(rec)
+    stats.settlement_sessions = sum(
+        1 for e in rec.of_type(AppEvent) if e.tag == "settle_start"
+    )
+    return stats

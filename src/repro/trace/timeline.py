@@ -1,0 +1,104 @@
+"""ASCII timeline rendering of recorded traces.
+
+Turns a trace into per-process lanes with view installs, mode changes,
+e-view changes, crashes and recoveries — the quickest way to see *what
+happened* in a failing adversarial run.  Used by humans; nothing in the
+library depends on it.
+
+Example output::
+
+    t        p0.0                  p1.0                  p2.0
+    0.0      v1[J:S]               v1[J:S]               v1[J:S]
+    5.0      v2{3}[S]              .                     .
+    6.0      .                     v2{3}[S]              v2{3}[S]
+    31.0     CRASH                 .                     .
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import (
+    CrashEvent,
+    EViewChangeEvent,
+    ModeChangeEvent,
+    RecoverEvent,
+    ViewInstallEvent,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId
+
+_TRANSITION_ABBREV = {
+    "Join": "J",
+    "Failure": "F",
+    "Repair": "P",
+    "Reconfigure": "C",
+    "Reconcile": "R",
+}
+
+
+@dataclass
+class _Cell:
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, note: str) -> None:
+        if note not in self.notes:
+            self.notes.append(note)
+
+    def render(self) -> str:
+        return "+".join(self.notes) if self.notes else "."
+
+
+def render_timeline(
+    rec: TraceRecorder,
+    include_eviews: bool = False,
+    max_rows: int = 200,
+    column_width: int = 22,
+) -> str:
+    """Render the trace as aligned per-process lanes."""
+    pids = sorted(
+        {
+            e.pid
+            for e in rec.events
+            if isinstance(
+                e, (ViewInstallEvent, ModeChangeEvent, CrashEvent, RecoverEvent)
+            )
+        }
+    )
+    if not pids:
+        return "(empty trace)"
+    columns = {pid: index for index, pid in enumerate(pids)}
+    rows: dict[float, list[_Cell]] = {}
+
+    def cell(time: float, pid: ProcessId) -> _Cell:
+        row = rows.setdefault(round(time, 3), [_Cell() for _ in pids])
+        return row[columns[pid]]
+
+    for event in rec.events:
+        if isinstance(event, ViewInstallEvent):
+            cell(event.time, event.pid).add(
+                f"v{event.view_id.epoch}{{{len(event.members)}}}"
+            )
+        elif isinstance(event, ModeChangeEvent):
+            abbrev = _TRANSITION_ABBREV.get(event.transition, "?")
+            cell(event.time, event.pid).add(f"[{abbrev}:{event.new_mode}]")
+        elif isinstance(event, CrashEvent):
+            cell(event.time, event.pid).add("CRASH")
+        elif isinstance(event, RecoverEvent):
+            cell(event.time, event.pid).add("UP")
+        elif include_eviews and isinstance(event, EViewChangeEvent):
+            if event.eview_seq > 0:
+                cell(event.time, event.pid).add(f"ev#{event.eview_seq}")
+
+    lines = []
+    header = "t".ljust(9) + "".join(str(p).ljust(column_width) for p in pids)
+    lines.append(header)
+    for time in sorted(rows)[:max_rows]:
+        row = rows[time]
+        lines.append(
+            f"{time:<9.1f}"
+            + "".join(c.render().ljust(column_width) for c in row)
+        )
+    if len(rows) > max_rows:
+        lines.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join(lines)

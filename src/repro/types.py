@@ -1,0 +1,129 @@
+"""Core identifier types shared across every layer.
+
+The paper's system model (Section 2) assumes an *infinite name space of
+process identifiers*: a recovering process takes a fresh identifier, so
+identifiers never repeat across crashes.  We realise this with
+:class:`ProcessId` — a pair of a stable *site* number and a monotonically
+increasing *incarnation* number managed by the site's stable storage.
+
+View identifiers (:class:`ViewId`) are pairs ``(epoch, coordinator)``
+ordered lexicographically; concurrent partitions produce distinct view
+identifiers because either the epoch or the installing coordinator
+differs.  Message identifiers (:class:`MessageId`) are ``(sender, view,
+seqno)`` triples: the embedded view is what lets the delivery rule
+enforce Uniqueness (Property 2.2) purely locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+SiteId = int
+
+
+@dataclass(frozen=True, order=True)
+class ProcessId:
+    """Identifier of one incarnation of a process at a site.
+
+    Ordering is lexicographic on ``(site, incarnation)``; the membership
+    protocol uses the minimum live identifier as view coordinator.
+    """
+
+    site: SiteId
+    incarnation: int = 0
+
+    def __str__(self) -> str:
+        return f"p{self.site}.{self.incarnation}"
+
+    def next_incarnation(self) -> "ProcessId":
+        """Identifier assigned to this site's process after a recovery."""
+        return ProcessId(self.site, self.incarnation + 1)
+
+
+@dataclass(frozen=True, order=True)
+class ViewId:
+    """Identifier of an installed view: ``(epoch, coordinator)``.
+
+    Epochs grow monotonically along every process history (a coordinator
+    picks ``1 + max`` over every epoch reported in flush replies), so a
+    process never installs a view with a smaller identifier than its
+    current one.
+    """
+
+    epoch: int
+    coordinator: ProcessId
+
+    def __str__(self) -> str:
+        return f"v{self.epoch}@{self.coordinator}"
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Identifier of an application multicast.
+
+    ``seqno`` numbers the sender's multicasts *within* ``view`` starting
+    from 1, giving per-sender FIFO order and gap detection for free.
+    """
+
+    sender: ProcessId
+    view: ViewId
+    seqno: int
+
+    def __str__(self) -> str:
+        return f"m({self.sender},{self.view},{self.seqno})"
+
+
+@dataclass(frozen=True, order=True)
+class SubviewId:
+    """Identifier of a subview.
+
+    Subviews are created either by the membership service (singletons for
+    fresh processes, projections of old subviews onto survivors) or by
+    application-requested merges.  The ``(view_epoch, origin, counter)``
+    triple makes identifiers unique across the whole execution.
+    """
+
+    view_epoch: int
+    origin: ProcessId
+    counter: int
+
+    def __str__(self) -> str:
+        return f"sv({self.view_epoch},{self.origin},{self.counter})"
+
+
+@dataclass(frozen=True, order=True)
+class SvSetId:
+    """Identifier of a subview set (sv-set); same uniqueness scheme."""
+
+    view_epoch: int
+    origin: ProcessId
+    counter: int
+
+    def __str__(self) -> str:
+        return f"ss({self.view_epoch},{self.origin},{self.counter})"
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application multicast as carried by the network.
+
+    ``payload`` is opaque to every protocol layer.  ``eview_seq`` is the
+    sender's enriched-view sequence number at multicast time; receivers
+    delay delivery until they have applied that e-view change, which is
+    exactly what makes e-view changes consistent cuts (Property 6.2).
+    """
+
+    msg_id: MessageId
+    payload: Any = None
+    eview_seq: int = 0
+
+    def __str__(self) -> str:
+        return f"Message({self.msg_id}, eview_seq={self.eview_seq})"
+
+
+def min_process(pids: "set[ProcessId] | frozenset[ProcessId]") -> ProcessId:
+    """Deterministic coordinator choice: the least process identifier."""
+    if not pids:
+        raise ValueError("cannot pick a coordinator from an empty set")
+    return min(pids)

@@ -1,0 +1,271 @@
+"""Per-view message bookkeeping.
+
+Tracks, for the current view: what this process multicast, what it
+received, and what it delivered.  Normal-path delivery is FIFO per
+sender and gated on the sender's e-view sequence number (the mechanism
+behind Property 6.2).  At a view change, the membership layer suspends
+normal delivery, reports the received set in its flush reply, and later
+delivers the coordinator's union before installing — which is where
+Agreement (2.1) comes from.
+
+Uniqueness (2.2) is enforced by the view tag: a message is delivered
+only while the view it was multicast in is the receiver's current view.
+Multicasts requested while a flush is in progress are buffered and
+re-issued (with fresh identifiers) in the next view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ViewSynchronyError
+from repro.gms.view import View
+from repro.trace.events import DeliveryEvent, MulticastEvent
+from repro.types import Message, MessageId, ProcessId, ViewId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vsync.stack import GroupStack
+
+
+@dataclass(frozen=True)
+class RetransmitRequest:
+    """Receiver -> original sender: these seqnos never arrived."""
+
+    view_id: ViewId
+    seqnos: tuple[int, ...]
+
+
+class ViewChannels:
+    """Message state of one process for its current view."""
+
+    def __init__(self, stack: "GroupStack") -> None:
+        self.stack = stack
+        self.view: View | None = None
+        self._next_seqno = 0
+        self.received: dict[MessageId, Message] = {}
+        self.delivered: set[MessageId] = set()
+        self._fifo_next: dict[ProcessId, int] = {}
+        self.suspended = False
+        self.pending_sends: list[Any] = []
+        self._future: dict[ViewId, list[Message]] = {}
+        self._all_delivered_ids: set[MessageId] = set()
+        # Garbage collection: per-sender stable prefix (everything at or
+        # below it was delivered by every member and has been pruned).
+        self._stable: dict[ProcessId, int] = {}
+
+    # -- view lifecycle ------------------------------------------------------
+
+    def install(self, view: View) -> None:
+        """Reset per-view state for a freshly installed view.
+
+        Messages of the new view that arrived early stay buffered until
+        :meth:`activate` — the e-view structure must be installed first,
+        or the delivery gate would consult the old view's sequence.
+        """
+        self.view = view
+        self._next_seqno = 0
+        self.received = {}
+        self.delivered = set()
+        self._fifo_next = {m: 1 for m in view.members}
+        self.suspended = False
+        self._stable = {}
+
+    def activate(self) -> None:
+        """Feed in the new view's early arrivals (post e-view install)."""
+        if self.view is None:
+            return
+        early = self._future.pop(self.view.view_id, [])
+        # Drop buffered messages for views we will now never install.
+        self._future = {
+            vid: msgs for vid, msgs in self._future.items()
+            if vid.epoch > self.view.epoch
+        }
+        for msg in early:
+            self.on_app_message(msg)
+
+    def suspend(self) -> None:
+        """Stop normal-path delivery (a flush reply is about to fix our
+        received set); arrivals keep accumulating in ``received``."""
+        self.suspended = True
+
+    # -- sending ---------------------------------------------------------------
+
+    def multicast(self, payload: Any) -> MessageId | None:
+        """Multicast ``payload`` in the current view.
+
+        Returns the message identifier, or None if the send was buffered
+        because a view change is in progress.
+        """
+        if self.view is None:
+            raise ViewSynchronyError("multicast before the first view")
+        if self.suspended:
+            self.pending_sends.append(payload)
+            return None
+        self._next_seqno += 1
+        msg_id = MessageId(self.stack.pid, self.view.view_id, self._next_seqno)
+        msg = Message(msg_id, payload, eview_seq=self.stack.evs.applied_seq)
+        self.stack.recorder.record(
+            MulticastEvent(time=self.stack.now, pid=self.stack.pid, msg_id=msg_id)
+        )
+        for member in self.view.members:
+            if member != self.stack.pid:
+                self.stack.send(member, msg)
+        self.on_app_message(msg)  # self-delivery path
+        return msg_id
+
+    def flush_pending_sends(self) -> None:
+        """Re-issue multicasts buffered during the last view change."""
+        queued, self.pending_sends = self.pending_sends, []
+        for payload in queued:
+            self.multicast(payload)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def on_app_message(self, msg: Message) -> None:
+        """Accept a message from the network (or from ourselves)."""
+        if self.view is None:
+            return
+        vid = msg.msg_id.view
+        if vid != self.view.view_id:
+            if vid.epoch > self.view.epoch:
+                self._future.setdefault(vid, []).append(msg)
+            return  # older view: the message missed its window (2.2)
+        if msg.msg_id in self.received:
+            return  # duplicate (2.3)
+        if msg.msg_id.seqno <= self._stable.get(msg.msg_id.sender, 0):
+            return  # already stable (delivered by everyone) and pruned
+        self.received[msg.msg_id] = msg
+        self.try_deliver()
+
+    def try_deliver(self) -> None:
+        """Deliver everything currently eligible on the normal path."""
+        if self.suspended or self.view is None:
+            return
+        progress = True
+        while progress:
+            progress = False
+            for msg_id in sorted(self.received.keys() - self.delivered):
+                if self._eligible(msg_id):
+                    self._deliver(self.received[msg_id])
+                    progress = True
+
+    def _eligible(self, msg_id: MessageId) -> bool:
+        msg = self.received[msg_id]
+        gate_enabled = not self.stack.config.unsafe_disable_eview_gate
+        if gate_enabled and msg.eview_seq > self.stack.evs.applied_seq:
+            return False  # e-view gate (Property 6.2)
+        return msg_id.seqno == self._fifo_next.get(msg_id.sender, 1)
+
+    def _deliver(self, msg: Message) -> None:
+        assert self.view is not None
+        self.delivered.add(msg.msg_id)
+        self._all_delivered_ids.add(msg.msg_id)
+        self._fifo_next[msg.msg_id.sender] = msg.msg_id.seqno + 1
+        self.stack.recorder.record(
+            DeliveryEvent(
+                time=self.stack.now,
+                pid=self.stack.pid,
+                msg_id=msg.msg_id,
+                view_id=self.view.view_id,
+                sender_eview_seq=msg.eview_seq,
+            )
+        )
+        self.stack.deliver_app_message(msg.msg_id.sender, msg.payload, msg.msg_id)
+
+    # -- flush / install -----------------------------------------------------------
+
+    def flush_report(self) -> tuple[Message, ...]:
+        """The received set reported in our flush reply."""
+        return tuple(self.received[m] for m in sorted(self.received))
+
+    # -- loss repair within a stable view -----------------------------------
+
+    def own_seqno(self) -> int:
+        """Our multicast count in the current view (heartbeat payload)."""
+        return self._next_seqno
+
+    def note_sender_high(self, sender: ProcessId, high: int) -> None:
+        """A heartbeat advertised ``sender``'s multicast count; request
+        retransmission of anything we are missing below it.  Without a
+        view change, a lost copy would otherwise never be repaired."""
+        if self.view is None or self.suspended or high <= 0:
+            return
+        if sender not in self.view.members:
+            return
+        have = {
+            mid.seqno for mid in self.received if mid.sender == sender
+        }
+        floor = self._stable.get(sender, 0)
+        missing = tuple(
+            seqno
+            for seqno in range(floor + 1, high + 1)
+            if seqno not in have
+        )[:64]
+        if missing:
+            self.stack.send(
+                sender, RetransmitRequest(self.view.view_id, missing)
+            )
+
+    def on_retransmit_request(self, src: ProcessId, request: "RetransmitRequest") -> None:
+        """Resend our own messages a peer reports missing."""
+        if self.view is None or request.view_id != self.view.view_id:
+            return
+        for seqno in request.seqnos:
+            msg_id = MessageId(self.stack.pid, self.view.view_id, seqno)
+            msg = self.received.get(msg_id)
+            if msg is not None:
+                self.stack.send(src, msg)
+
+    # -- stability / garbage collection ------------------------------------
+
+    def delivered_prefix(self) -> dict[ProcessId, int]:
+        """Per sender, the contiguous prefix of seqnos we delivered."""
+        return {
+            sender: next_seq - 1
+            for sender, next_seq in self._fifo_next.items()
+            if next_seq > 1
+        }
+
+    def prune(self, stable: dict[ProcessId, int]) -> int:
+        """Drop buffered messages every member has delivered.
+
+        Safe because a stable message can never appear in an install
+        plan as *missing* at anyone; returns how many were pruned.
+        """
+        pruned = 0
+        for sender, prefix in stable.items():
+            current = self._stable.get(sender, 0)
+            if prefix > current:
+                self._stable[sender] = prefix
+        for msg_id in list(self.received):
+            if msg_id.seqno <= self._stable.get(msg_id.sender, 0):
+                if msg_id not in self.delivered:
+                    continue  # paranoia: never prune undelivered input
+                del self.received[msg_id]
+                self.delivered.discard(msg_id)
+                pruned += 1
+        return pruned
+
+    def deliver_plan(self, messages: tuple[Message, ...]) -> None:
+        """Deliver the coordinator's union before leaving the view.
+
+        Every survivor of the same install executes this with the same
+        ``messages``, so their delivered sets in the old view end up
+        identical — Agreement (2.1).  FIFO order per sender is respected
+        because the union is replayed in message-identifier order and
+        the union always contains a sender-prefix of what anyone saw.
+        """
+        if self.view is None:
+            return
+        for msg in sorted(messages, key=lambda m: m.msg_id):
+            if msg.msg_id.view != self.view.view_id:
+                raise ViewSynchronyError(
+                    f"install plan crosses views: {msg.msg_id} vs {self.view.view_id}"
+                )
+            if msg.msg_id in self.delivered:
+                continue
+            if msg.msg_id.seqno <= self._stable.get(msg.msg_id.sender, 0):
+                continue  # stable: we delivered and pruned it already
+            self.received.setdefault(msg.msg_id, msg)
+            self._deliver(msg)

@@ -1,0 +1,190 @@
+"""Optional ordering layers on top of view-synchronous multicast.
+
+Section 2 notes that the base specification imposes "no conditions ...
+on the relative ordering of messages delivered within a given view", and
+that stronger orderings "can only help in solving shared state problems
+but cannot prevent them".  These two adapters provide the standard
+strengthenings so applications (and the E6/E9 experiments) can opt in:
+
+* :class:`CausalOrderApp` — causal delivery via per-view vector clocks;
+* :class:`TotalOrderApp` — total delivery order via a sequencer (the
+  view coordinator re-multicasts submissions in its chosen order).
+
+Both are written as wrappers around an inner
+:class:`~repro.vsync.events.GroupApplication`, so any application can be
+lifted onto an ordered channel without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.evs.eview import EView
+from repro.types import MessageId, ProcessId
+from repro.vsync.events import GroupApplication
+
+
+@dataclass(frozen=True)
+class _CausalEnvelope:
+    clock: tuple[tuple[ProcessId, int], ...]
+    payload: Any
+
+
+class CausalOrderApp(GroupApplication):
+    """Delays deliveries until their causal predecessors are delivered.
+
+    Vector clocks are per view: every view change resets them, which is
+    sound because view synchrony already guarantees that no message
+    crosses a view boundary (Uniqueness, 2.2).
+    """
+
+    def __init__(self, inner: GroupApplication) -> None:
+        super().__init__()
+        self.inner = inner
+        self._clock: dict[ProcessId, int] = {}
+        self._pending: list[tuple[ProcessId, _CausalEnvelope, MessageId]] = []
+
+    def bind(self, stack) -> None:
+        super().bind(stack)
+        self.inner.bind(stack)
+
+    def cbcast(self, payload: Any) -> None:
+        """Causally ordered multicast."""
+        assert self.stack is not None
+        me = self.stack.pid
+        clock = dict(self._clock)
+        clock[me] = clock.get(me, 0) + 1
+        envelope = _CausalEnvelope(tuple(sorted(clock.items())), payload)
+        self.stack.multicast(envelope)
+
+    # -- hooks -------------------------------------------------------------
+
+    def on_view(self, eview: EView) -> None:
+        self._clock = {}
+        self._pending = []
+        self.inner.on_view(eview)
+
+    def on_eview(self, eview: EView) -> None:
+        self.inner.on_eview(eview)
+
+    def on_message(self, sender: ProcessId, payload: Any, msg_id: MessageId) -> None:
+        if not isinstance(payload, _CausalEnvelope):
+            self.inner.on_message(sender, payload, msg_id)
+            return
+        self._pending.append((sender, payload, msg_id))
+        self._drain()
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for item in list(self._pending):
+                sender, envelope, msg_id = item
+                if self._deliverable(sender, dict(envelope.clock)):
+                    self._pending.remove(item)
+                    self._clock[sender] = self._clock.get(sender, 0) + 1
+                    self.inner.on_message(sender, envelope.payload, msg_id)
+                    progress = True
+
+    def _deliverable(self, sender: ProcessId, clock: dict[ProcessId, int]) -> bool:
+        assert self.stack is not None
+        if self.stack.pid == sender:
+            pass  # own messages respect FIFO already, but check anyway
+        if clock.get(sender, 0) != self._clock.get(sender, 0) + 1:
+            return False
+        for pid, count in clock.items():
+            if pid == sender:
+                continue
+            if count > self._clock.get(pid, 0):
+                return False
+        return True
+
+    def on_direct(self, sender: ProcessId, payload: Any) -> None:
+        self.inner.on_direct(sender, payload)
+
+    def on_stop(self) -> None:
+        self.inner.on_stop()
+
+
+@dataclass(frozen=True)
+class _ToSubmit:
+    origin: ProcessId
+    payload: Any
+
+
+@dataclass(frozen=True)
+class _ToOrdered:
+    origin: ProcessId
+    payload: Any
+
+
+class TotalOrderApp(GroupApplication):
+    """Sequencer-based totally ordered multicast.
+
+    Submissions go point-to-point to the view coordinator, which
+    re-multicasts them view-synchronously; the coordinator's multicast
+    order *is* the total order, and Agreement (2.1) makes it uniform
+    among survivors.  Submissions in flight at a view change are re-sent
+    to the new coordinator (dedup is the application's business, as in
+    all sequencer designs).
+    """
+
+    def __init__(self, inner: GroupApplication) -> None:
+        super().__init__()
+        self.inner = inner
+        self._unacked: list[Any] = []
+
+    def bind(self, stack) -> None:
+        super().bind(stack)
+        self.inner.bind(stack)
+
+    def tobcast(self, payload: Any) -> None:
+        """Totally ordered multicast."""
+        assert self.stack is not None
+        self._unacked.append(payload)
+        self._submit(payload)
+
+    def _submit(self, payload: Any) -> None:
+        assert self.stack is not None
+        view = self.stack.view
+        if view is None:
+            return
+        submit = _ToSubmit(self.stack.pid, payload)
+        if view.coordinator == self.stack.pid:
+            self._sequence(submit)
+        else:
+            self.stack.send_direct(view.coordinator, submit)
+
+    def _sequence(self, submit: _ToSubmit) -> None:
+        assert self.stack is not None
+        self.stack.multicast(_ToOrdered(submit.origin, submit.payload))
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_view(self, eview: EView) -> None:
+        self.inner.on_view(eview)
+        for payload in list(self._unacked):
+            self._submit(payload)
+
+    def on_eview(self, eview: EView) -> None:
+        self.inner.on_eview(eview)
+
+    def on_message(self, sender: ProcessId, payload: Any, msg_id: MessageId) -> None:
+        if isinstance(payload, _ToOrdered):
+            if payload.origin == self.stack.pid and payload.payload in self._unacked:
+                self._unacked.remove(payload.payload)
+            self.inner.on_message(payload.origin, payload.payload, msg_id)
+        else:
+            self.inner.on_message(sender, payload, msg_id)
+
+    def on_direct(self, sender: ProcessId, payload: Any) -> None:
+        if isinstance(payload, _ToSubmit):
+            view = self.stack.view if self.stack else None
+            if view is not None and view.coordinator == self.stack.pid:
+                self._sequence(payload)
+            return
+        self.inner.on_direct(sender, payload)
+
+    def on_stop(self) -> None:
+        self.inner.on_stop()

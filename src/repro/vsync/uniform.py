@@ -1,0 +1,126 @@
+"""Uniform (safe) delivery on top of view-synchronous multicast.
+
+The paper's reference [10] (Schiper & Sandoz, *Uniform reliable
+multicast in a virtually synchronous environment*) distinguishes
+*reliable* delivery — what the base stack provides — from **uniform**
+delivery: if *any* process delivers a message (even one that crashes
+immediately after), then every correct process in the view delivers it.
+Plain view synchrony does not give this: a process can deliver a
+message, act on it (e.g. answer a client), and crash, while the view
+change discards the message at everyone else.
+
+:class:`UniformDeliveryApp` buffers each received multicast and only
+*u-delivers* it to the inner application once a majority of the view
+has acknowledged receipt.  Combined with the flush protocol's Agreement
+this yields the uniform guarantee in every majority component:
+
+* a message u-delivered anywhere was received by a majority;
+* any successor view retaining a majority of the old view intersects
+  that set, so the flush union contains the message and every survivor
+  delivers it (at the latest, at the view change).
+
+Messages still pending at a view change are re-examined in the next
+view: whatever the flush delivered stays eligible; acknowledgements
+restart (they are view-local state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.evs.eview import EView
+from repro.types import MessageId, ProcessId
+from repro.vsync.events import GroupApplication
+
+
+@dataclass(frozen=True)
+class _UAck:
+    """Receipt acknowledgement, multicast so everyone counts it."""
+
+    msg_id: MessageId
+
+
+@dataclass
+class _Pending:
+    sender: ProcessId
+    payload: Any
+    msg_id: MessageId
+    ackers: set[ProcessId] = field(default_factory=set)
+
+
+class UniformDeliveryApp(GroupApplication):
+    """Wrapper adding majority-stable (uniform) delivery.
+
+    The inner application's ``on_message`` is invoked only for
+    u-delivered messages.  ``ubcast(payload)`` is the sending-side
+    sugar (it is an ordinary multicast; uniformity is a receive-side
+    discipline).
+    """
+
+    def __init__(self, inner: GroupApplication) -> None:
+        super().__init__()
+        self.inner = inner
+        self._pending: dict[MessageId, _Pending] = {}
+        self.u_delivered: int = 0
+
+    def bind(self, stack) -> None:
+        super().bind(stack)
+        self.inner.bind(stack)
+
+    def ubcast(self, payload: Any) -> MessageId | None:
+        assert self.stack is not None
+        return self.stack.multicast(("udata", payload))
+
+    # -- hooks -------------------------------------------------------------
+
+    def on_view(self, eview: EView) -> None:
+        # Acks are view-local: restart the counts, keep the payloads.
+        for pending in self._pending.values():
+            pending.ackers.clear()
+        self.inner.on_view(eview)
+        # Re-acknowledge everything still pending in the new view.
+        for pending in list(self._pending.values()):
+            self._ack(pending.msg_id)
+
+    def on_eview(self, eview: EView) -> None:
+        self.inner.on_eview(eview)
+
+    def on_message(self, sender: ProcessId, payload: Any, msg_id: MessageId) -> None:
+        if isinstance(payload, _UAck):
+            self._count(payload.msg_id, sender)
+            return
+        if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == "udata":
+            self._pending[msg_id] = _Pending(sender, payload[1], msg_id)
+            self._ack(msg_id)
+            return
+        self.inner.on_message(sender, payload, msg_id)
+
+    def _ack(self, msg_id: MessageId) -> None:
+        assert self.stack is not None
+        if self.stack.is_flushing:
+            return  # the next view's on_view re-acknowledges
+        self.stack.multicast(_UAck(msg_id))
+
+    def _count(self, msg_id: MessageId, acker: ProcessId) -> None:
+        pending = self._pending.get(msg_id)
+        if pending is None:
+            return
+        pending.ackers.add(acker)
+        view = self.stack.view if self.stack is not None else None
+        if view is None:
+            return
+        if 2 * len(pending.ackers) > len(view.members):
+            del self._pending[msg_id]
+            self.u_delivered += 1
+            self.inner.on_message(pending.sender, pending.payload, pending.msg_id)
+
+    def on_direct(self, sender: ProcessId, payload: Any) -> None:
+        self.inner.on_direct(sender, payload)
+
+    def on_stop(self) -> None:
+        self.inner.on_stop()
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

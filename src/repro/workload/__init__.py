@@ -1,0 +1,33 @@
+"""Workloads: canned fault scenarios and randomized schedule generation."""
+
+from repro.workload.scenarios import (
+    cascade_scenario,
+    clean_scenario,
+    figure2_scenario,
+    join_wave_scenario,
+    partition_heal_scenario,
+    total_failure_scenario,
+)
+from repro.workload.generator import RandomFaultGenerator
+from repro.workload.clients import (
+    ClientStats,
+    FileClient,
+    LockClient,
+    MulticastClient,
+    QueryClient,
+)
+
+__all__ = [
+    "clean_scenario",
+    "partition_heal_scenario",
+    "cascade_scenario",
+    "total_failure_scenario",
+    "join_wave_scenario",
+    "figure2_scenario",
+    "RandomFaultGenerator",
+    "ClientStats",
+    "MulticastClient",
+    "FileClient",
+    "LockClient",
+    "QueryClient",
+]

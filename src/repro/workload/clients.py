@@ -1,0 +1,173 @@
+"""Client workload drivers.
+
+Experiments keep needing the same traffic shapes: periodic multicasts,
+read/write streams against the replicated file, lock churn, query
+streams.  These drivers attach to a cluster's scheduler, respect modes
+(they only submit what the current mode admits), and keep score, so
+benchmarks and tests can reuse them instead of hand-rolling loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.modes import Mode
+from repro.runtime.cluster import Cluster
+
+
+@dataclass
+class ClientStats:
+    """What a driver managed to do."""
+
+    attempted: int = 0
+    succeeded: int = 0
+    rejected: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+
+class _Driver:
+    """Base: a periodic callback over the cluster's scheduler."""
+
+    def __init__(self, cluster: Cluster, interval: float) -> None:
+        self.cluster = cluster
+        self.interval = interval
+        self.stats = ClientStats()
+        self._running = False
+
+    def start(self) -> "_Driver":
+        if not self._running:
+            self._running = True
+            self._arm()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _arm(self) -> None:
+        self.cluster.scheduler.after(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.tick()
+        self._arm()
+
+    def tick(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class MulticastClient(_Driver):
+    """Every ``interval``, each live non-flushing member multicasts."""
+
+    def __init__(self, cluster: Cluster, interval: float = 10.0) -> None:
+        super().__init__(cluster, interval)
+        self._counter = 0
+
+    def tick(self) -> None:
+        self._counter += 1
+        for site, stack in self.cluster.stacks.items():
+            if not stack.alive:
+                continue
+            self.stats.attempted += 1
+            if stack.is_flushing:
+                self.stats.rejected += 1
+                continue
+            stack.multicast(("client", site, self._counter))
+            self.stats.succeeded += 1
+
+
+class FileClient(_Driver):
+    """Rotating writes + reads against :class:`ReplicatedFile` apps."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        interval: float = 15.0,
+        names: tuple[str, ...] = ("a", "b", "c"),
+    ) -> None:
+        super().__init__(cluster, interval)
+        self.names = names
+        self._counter = 0
+        self.commits: list[Any] = []
+
+    def tick(self) -> None:
+        self._counter += 1
+        for site, stack in self.cluster.stacks.items():
+            if not stack.alive:
+                continue
+            app = self.cluster.apps[site]
+            name = self.names[(site + self._counter) % len(self.names)]
+            self.stats.attempted += 1
+            handle = app.write(name, f"{site}:{self._counter}")
+            if handle.msg_id is None:
+                self.stats.rejected += 1
+            else:
+                self.stats.succeeded += 1
+                self.commits.append(handle)
+
+    def committed_handles(self) -> list[Any]:
+        return [h for h in self.commits if h.status == "committed"]
+
+
+class LockClient(_Driver):
+    """Each member alternately acquires and releases the lock."""
+
+    def tick(self) -> None:
+        for site, stack in self.cluster.stacks.items():
+            if not stack.alive:
+                continue
+            app = self.cluster.apps[site]
+            if getattr(app, "mode", None) is not Mode.NORMAL:
+                continue
+            self.stats.attempted += 1
+            if app.i_hold_lock():
+                app.release()
+                self.stats.succeeded += 1
+            else:
+                handle = app.acquire()
+                if handle.status == "aborted":
+                    self.stats.rejected += 1
+                else:
+                    self.stats.succeeded += 1
+
+
+class QueryClient(_Driver):
+    """Inserts and parallel look-ups against the replicated database."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        interval: float = 15.0,
+        predicate_name: str = "all",
+    ) -> None:
+        super().__init__(cluster, interval)
+        self.predicate_name = predicate_name
+        self._counter = 0
+        self.completed_lookups = 0
+
+    def tick(self) -> None:
+        self._counter += 1
+        live = [
+            site for site, stack in self.cluster.stacks.items() if stack.alive
+        ]
+        if not live:
+            return
+        writer = live[self._counter % len(live)]
+        app = self.cluster.apps[writer]
+        self.stats.attempted += 1
+        if app.can_submit(("insert", None, None)):
+            app.insert(f"k{self._counter}", writer)
+            self.stats.succeeded += 1
+        else:
+            self.stats.rejected += 1
+        reader = live[(self._counter + 1) % len(live)]
+        handle = self.cluster.apps[reader].lookup(self.predicate_name)
+        if handle.status != "aborted":
+            def finish(h=handle):
+                if h.status == "complete":
+                    self.completed_lookups += 1
+            self.cluster.scheduler.after(self.interval * 0.9, finish)

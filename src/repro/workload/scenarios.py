@@ -1,0 +1,93 @@
+"""Canned fault scenarios used across tests and experiments.
+
+Each builder returns a :class:`~repro.net.faults.FaultSchedule`;
+``schedule.horizon`` tells callers how long to run before settling.
+"""
+
+from __future__ import annotations
+
+from repro.net.faults import Crash, FaultSchedule, Heal, Join, Partition, Recover
+
+
+def clean_scenario() -> FaultSchedule:
+    """No faults at all: bootstrap and quiesce."""
+    return FaultSchedule()
+
+
+def partition_heal_scenario(
+    n_sites: int,
+    split_at: float = 150.0,
+    heal_at: float = 400.0,
+    minority: int | None = None,
+) -> FaultSchedule:
+    """One partition into majority + minority, later repaired."""
+    minority = minority if minority is not None else max(1, n_sites // 3)
+    left = tuple(range(n_sites - minority))
+    right = tuple(range(n_sites - minority, n_sites))
+    schedule = FaultSchedule()
+    schedule.add(Partition(split_at, (left, right)))
+    schedule.add(Heal(heal_at))
+    return schedule
+
+
+def cascade_scenario(
+    n_sites: int,
+    first_crash: float = 150.0,
+    gap: float = 60.0,
+    crashes: int = 2,
+    recover_after: float = 200.0,
+) -> FaultSchedule:
+    """Successive crashes followed by staggered recoveries."""
+    crashes = min(crashes, n_sites - 1)
+    schedule = FaultSchedule()
+    for i in range(crashes):
+        t_crash = first_crash + i * gap
+        schedule.add(Crash(t_crash, i))
+        schedule.add(Recover(t_crash + recover_after, i))
+    return schedule
+
+
+def total_failure_scenario(
+    n_sites: int,
+    first_crash: float = 150.0,
+    gap: float = 25.0,
+    recover_gap: float = 30.0,
+) -> FaultSchedule:
+    """Everybody crashes (staggered, so there is a meaningful last
+    process to fail), then everybody recovers — the state creation
+    scenario of Section 4."""
+    schedule = FaultSchedule()
+    last = first_crash
+    for i in range(n_sites):
+        last = first_crash + i * gap
+        schedule.add(Crash(last, i))
+    for i in range(n_sites):
+        schedule.add(Recover(last + 100.0 + i * recover_gap, i))
+    return schedule
+
+
+def join_wave_scenario(
+    initial_sites: int,
+    joiners: int,
+    first_join: float = 150.0,
+    gap: float = 5.0,
+) -> FaultSchedule:
+    """``joiners`` new sites join an established group near-simultaneously
+    — the workload of the Section 5 merge-cost analysis (E5)."""
+    schedule = FaultSchedule()
+    for i in range(joiners):
+        schedule.add(Join(first_join + i * gap, initial_sites + i))
+    return schedule
+
+
+def figure2_scenario(
+    split_at: float = 150.0,
+    heal_at: float = 400.0,
+) -> FaultSchedule:
+    """The structure of Figure 2 on six sites: a partition separates
+    {0,1,2,3} from {4,5}; both sides operate; the repair merges them,
+    and the e-view of the merged view preserves who-was-with-whom."""
+    schedule = FaultSchedule()
+    schedule.add(Partition(split_at, ((0, 1, 2, 3), (4, 5))))
+    schedule.add(Heal(heal_at))
+    return schedule

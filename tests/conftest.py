@@ -1,0 +1,39 @@
+"""Shared fixtures and assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.trace.checks import check_enriched_views, check_view_synchrony
+from repro.trace.recorder import TraceRecorder
+
+
+def assert_all_properties(recorder: TraceRecorder) -> None:
+    """Assert Properties 2.1-2.3 and 6.1-6.3 hold on a recorded trace."""
+    for report in check_view_synchrony(recorder) + check_enriched_views(recorder):
+        assert report.ok, f"{report.name}: {report.violations[:5]}"
+
+
+def settled_cluster(
+    n_sites: int,
+    app_factory=None,
+    seed: int = 0,
+    timeout: float = 500.0,
+) -> Cluster:
+    """A cluster that has bootstrapped into one agreed view."""
+    cluster = Cluster(
+        n_sites, app_factory=app_factory, config=ClusterConfig(seed=seed)
+    )
+    assert cluster.settle(timeout=timeout), cluster.views()
+    return cluster
+
+
+@pytest.fixture
+def cluster3() -> Cluster:
+    return settled_cluster(3)
+
+
+@pytest.fixture
+def cluster5() -> Cluster:
+    return settled_cluster(5)

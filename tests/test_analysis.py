@@ -1,0 +1,78 @@
+"""Tests for the shared-state problem log analysis."""
+
+from __future__ import annotations
+
+from repro.analysis import classification_score, diagnose_run
+from repro.apps.lock_manager import MajorityLockManager
+from repro.core.shared_state import Problem
+from repro.runtime.cluster import Cluster, ClusterConfig
+
+
+def lock_cluster(seed: int = 0) -> Cluster:
+    cluster = Cluster(
+        5,
+        app_factory=lambda pid: MajorityLockManager(range(5)),
+        config=ClusterConfig(seed=seed),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    return cluster
+
+
+def majority(members) -> bool:
+    return 2 * len(members) > 5
+
+
+def test_partition_heal_produces_transfer_diagnoses():
+    cluster = lock_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    cluster.heal()
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    entries = diagnose_run(cluster.recorder, majority)
+    assert entries
+    transfer_entries = [
+        e for e in entries if Problem.STATE_TRANSFER in e.truth.problems
+    ]
+    assert transfer_entries
+    # The enriched verdict nails them; flat never does.
+    for entry in transfer_entries:
+        assert entry.enriched_exact
+        assert not entry.flat_exact
+        assert len(entry.flat_candidates) >= 2
+
+
+def test_every_entry_has_all_three_classifications():
+    cluster = lock_cluster(seed=1)
+    cluster.crash(4)
+    assert cluster.settle(timeout=500)
+    cluster.recover(4)
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    for entry in diagnose_run(cluster.recorder, majority):
+        assert entry.truth.label
+        assert entry.flat_candidates
+        assert entry.enriched.label
+        assert entry.transition in ("Repair", "Reconfigure")
+
+
+def test_classification_score_shape():
+    cluster = lock_cluster(seed=2)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.heal()
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    entries = diagnose_run(cluster.recorder, majority)
+    score = classification_score(entries)
+    assert score["events"] == len(entries)
+    assert 0.0 <= score["flat_exact"] <= score["enriched_exact"] <= 1.0
+    assert score["avg_flat_candidates"] >= 1.0
+
+
+def test_empty_log_scores_cleanly():
+    score = classification_score([])
+    assert score["events"] == 0
+    assert score["enriched_exact"] == 0.0

@@ -1,0 +1,323 @@
+"""Tests for the three example applications and their paper invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lock_manager import MajorityLockManager
+from repro.apps.replicated_db import ParallelLookupDatabase
+from repro.apps.replicated_file import ReplicatedFile
+from repro.core.modes import Mode
+from repro.errors import ApplicationError
+from repro.runtime.cluster import Cluster, ClusterConfig
+
+from tests.conftest import assert_all_properties
+
+PREDICATES = {
+    "all": lambda k, v: True,
+    "big": lambda k, v: isinstance(k, int) and k >= 5,
+}
+
+
+def file_cluster(n: int = 5, seed: int = 0) -> Cluster:
+    votes = {s: 1 for s in range(n)}
+    cluster = Cluster(
+        n,
+        app_factory=lambda pid: ReplicatedFile(votes),
+        config=ClusterConfig(seed=seed),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    return cluster
+
+
+def db_cluster(n: int = 4, seed: int = 0) -> Cluster:
+    cluster = Cluster(
+        n,
+        app_factory=lambda pid: ParallelLookupDatabase(PREDICATES),
+        config=ClusterConfig(seed=seed),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    return cluster
+
+
+def lock_cluster(n: int = 5, seed: int = 0) -> Cluster:
+    cluster = Cluster(
+        n,
+        app_factory=lambda pid: MajorityLockManager(range(n)),
+        config=ClusterConfig(seed=seed),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Replicated file
+# ---------------------------------------------------------------------------
+
+
+def test_write_commits_with_quorum_acks():
+    cluster = file_cluster()
+    handle = cluster.apps[0].write("f", "v1")
+    cluster.run_for(30)
+    assert handle.status == "committed"
+    assert handle.acked_votes >= 3
+
+
+def test_committed_write_visible_everywhere():
+    cluster = file_cluster()
+    cluster.apps[2].write("f", "content")
+    cluster.run_for(30)
+    for site in range(5):
+        assert cluster.apps[site].read("f") == "content"
+
+
+def test_single_copy_equivalence_for_writes():
+    """Concurrent writes to the same file converge to one value chosen
+    identically at every replica."""
+    cluster = file_cluster()
+    cluster.apps[0].write("f", "from-0")
+    cluster.apps[4].write("f", "from-4")
+    cluster.run_for(40)
+    values = {cluster.apps[s].read("f") for s in range(5)}
+    assert len(values) == 1
+
+
+def test_minority_serves_stale_reads_but_no_writes():
+    cluster = file_cluster()
+    cluster.apps[0].write("f", "old")
+    cluster.run_for(30)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    assert cluster.apps[3].mode is Mode.REDUCED
+    assert cluster.apps[3].read("f") == "old"  # stale-allowed read
+    assert cluster.apps[3].write("f", "nope").status == "aborted"
+    assert cluster.apps[3].stale_reads_possible >= 1
+
+
+def test_quorum_side_keeps_writing_and_heals():
+    cluster = file_cluster()
+    cluster.apps[0].write("f", "v1")
+    cluster.run_for(30)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    handle = cluster.apps[1].write("f", "v2")
+    cluster.run_for(30)
+    assert handle.status == "committed"
+    cluster.heal()
+    assert cluster.settle(timeout=500)
+    cluster.run_for(300)
+    for site in range(5):
+        assert cluster.apps[site].read("f") == "v2"
+        assert cluster.apps[site].mode is Mode.NORMAL
+    assert_all_properties(cluster.recorder)
+
+
+def test_file_survives_total_failure_via_stable_storage():
+    cluster = file_cluster()
+    cluster.apps[0].write("precious", "bits")
+    cluster.run_for(30)
+    for site in range(5):
+        cluster.crash(site)
+    cluster.run_for(80)
+    for site in range(5):
+        cluster.recover(site)
+    assert cluster.settle(timeout=600)
+    cluster.run_for(350)
+    for site in range(5):
+        assert cluster.apps[site].read("precious") == "bits"
+
+
+def test_read_rejected_while_settling():
+    cluster = file_cluster()
+    app = cluster.apps[0]
+    app.automaton.mode = Mode.SETTLING
+    with pytest.raises(ApplicationError):
+        app.read("f")
+    app.automaton.mode = Mode.NORMAL
+
+
+def test_view_change_aborts_pending_writes():
+    cluster = file_cluster()
+    handle = cluster.apps[0].write("f", "doomed")
+    cluster.crash(4)  # view change before quorum can ack... maybe
+    assert cluster.settle(timeout=500)
+    cluster.run_for(100)
+    assert handle.status in ("committed", "aborted")  # never stuck pending
+
+
+def test_listing_matches_reads():
+    cluster = file_cluster()
+    cluster.apps[0].write("a", 1)
+    cluster.apps[0].write("b", 2)
+    cluster.run_for(30)
+    assert cluster.apps[3].listing() == {"a": 1, "b": 2}
+
+
+# ---------------------------------------------------------------------------
+# Parallel-lookup database
+# ---------------------------------------------------------------------------
+
+
+def test_lookup_returns_exactly_matching_records():
+    cluster = db_cluster()
+    for i in range(10):
+        cluster.apps[0].insert(i, f"r{i}")
+    cluster.run_for(30)
+    handle = cluster.apps[1].lookup("big")
+    cluster.run_for(30)
+    assert handle.status == "complete"
+    assert handle.results == {(i, f"r{i}") for i in range(5, 10)}
+
+
+def test_responsibility_partition_has_no_gap_or_overlap():
+    """The paper's S-mode motivation: a wrong division of responsibility
+    would search some buckets twice or not at all."""
+    cluster = db_cluster()
+    slices = [cluster.apps[s].responsibility() for s in range(4)]
+    union = set().union(*slices)
+    assert union == set(range(64))  # no gap
+    assert sum(len(s) for s in slices) == 64  # no overlap
+
+
+def test_responsibility_rebalances_after_crash():
+    cluster = db_cluster()
+    cluster.crash(3)
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    live = [s for s in range(3)]
+    slices = [cluster.apps[s].responsibility() for s in live]
+    assert set().union(*slices) == set(range(64))
+    assert sum(len(s) for s in slices) == 64
+
+
+def test_lookup_aborted_while_settling():
+    cluster = db_cluster()
+    app = cluster.apps[0]
+    app.automaton.mode = Mode.SETTLING
+    handle = app.lookup("all")
+    assert handle.status == "aborted"
+    app.automaton.mode = Mode.NORMAL
+
+
+def test_unknown_predicate_aborts():
+    cluster = db_cluster()
+    assert cluster.apps[0].lookup("no-such").status == "aborted"
+
+
+def test_partitions_make_progress_and_merge_by_union():
+    cluster = db_cluster()
+    cluster.partition([[0, 1], [2, 3]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    cluster.apps[0].insert("L", 1)
+    cluster.apps[2].insert("R", 2)
+    cluster.run_for(30)
+    cluster.heal()
+    assert cluster.settle(timeout=500)
+    cluster.run_for(300)
+    handle = cluster.apps[1].lookup("all")
+    cluster.run_for(40)
+    assert handle.status == "complete"
+    keys = {k for k, _ in handle.results}
+    assert {"L", "R"} <= keys
+
+
+# ---------------------------------------------------------------------------
+# Lock manager
+# ---------------------------------------------------------------------------
+
+
+def test_acquire_grant_release_cycle():
+    cluster = lock_cluster()
+    handle = cluster.apps[1].acquire()
+    cluster.run_for(30)
+    assert handle.status == "granted"
+    assert cluster.apps[1].i_hold_lock()
+    cluster.apps[1].release()
+    cluster.run_for(30)
+    assert all(cluster.apps[s].holder is None for s in range(5))
+
+
+def test_mutual_exclusion_within_view():
+    cluster = lock_cluster()
+    first = cluster.apps[1].acquire()
+    cluster.run_for(30)
+    second = cluster.apps[2].acquire()
+    cluster.run_for(30)
+    assert first.status == "granted"
+    assert second.status == "denied"
+
+
+def test_lock_state_replicated_to_all():
+    cluster = lock_cluster()
+    cluster.apps[4].acquire()
+    cluster.run_for(30)
+    holder = cluster.stack_at(4).pid
+    assert all(cluster.apps[s].holder == holder for s in range(5))
+
+
+def test_no_lock_service_in_minority():
+    cluster = lock_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    assert cluster.apps[3].mode is Mode.REDUCED
+    assert cluster.apps[3].manager is None
+    assert cluster.apps[3].acquire().status == "aborted"
+
+
+def test_at_most_one_holder_system_wide_across_partition():
+    """Global mutual exclusion: only the majority can grant."""
+    cluster = lock_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    majority_handle = cluster.apps[0].acquire()
+    minority_handle = cluster.apps[3].acquire()
+    cluster.run_for(50)
+    granted = [h for h in (majority_handle, minority_handle) if h.status == "granted"]
+    assert len(granted) == 1
+    assert majority_handle.status == "granted"
+
+
+def test_holder_crash_releases_lock_on_view_change():
+    cluster = lock_cluster()
+    cluster.apps[2].acquire()
+    cluster.run_for(30)
+    cluster.crash(2)
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    assert cluster.apps[0].holder is None
+    follow_up = cluster.apps[1].acquire()
+    cluster.run_for(30)
+    assert follow_up.status == "granted"
+
+
+def test_manager_is_least_member_and_changes_on_its_crash():
+    cluster = lock_cluster()
+    assert cluster.apps[1].manager == cluster.stack_at(0).pid
+    cluster.crash(0)
+    assert cluster.settle(timeout=500)
+    cluster.run_for(250)
+    assert cluster.apps[1].mode is Mode.NORMAL
+    assert cluster.apps[1].manager == cluster.stack_at(1).pid
+
+
+def test_lock_survives_heal_with_transfer():
+    cluster = lock_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    cluster.apps[1].acquire()
+    cluster.run_for(30)
+    holder = cluster.stack_at(1).pid
+    cluster.heal()
+    assert cluster.settle(timeout=500)
+    cluster.run_for(300)
+    assert all(cluster.apps[s].holder == holder for s in range(5))
+    assert all(cluster.apps[s].mode is Mode.NORMAL for s in range(5))

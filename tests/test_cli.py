@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_demo_command_runs_clean(capsys):
+    assert main(["demo", "--sites", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "group formed" in out
+    assert "partitioned" in out
+    assert "healed" in out
+    assert "OK" in out
+
+
+def test_run_command_with_file_app(capsys):
+    assert main(["run", "--sites", "4", "--seed", "2", "--app", "file",
+                 "--duration", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "run summary" in out
+    assert "settled" in out
+    assert "VIOLATIONS" not in out
+
+
+def test_run_command_with_loss(capsys):
+    assert main(["run", "--sites", "3", "--seed", "1", "--loss", "0.02",
+                 "--duration", "150"]) == 0
+
+
+def test_check_command(capsys):
+    assert main(["check", "--runs", "2", "--sites", "4",
+                 "--duration", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 seeds clean" in out
+
+
+def test_experiments_command_lists_all(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("E1", "E5", "E10", "A1-A3"):
+        assert exp_id in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["no-such-command"])
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--app", "nope"])
+
+
+def test_export_and_recheck_round_trip(tmp_path, capsys):
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(["run", "--sites", "3", "--seed", "4", "--duration", "150",
+                 "--export", str(trace_file)]) == 0
+    assert trace_file.exists()
+    capsys.readouterr()
+    assert main(["recheck", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "loaded" in out
+    assert "VIOLATIONS" not in out
+
+
+def test_recheck_timeline_option(tmp_path, capsys):
+    trace_file = tmp_path / "trace.jsonl"
+    assert main(["run", "--sites", "3", "--seed", "5", "--duration", "120",
+                 "--export", str(trace_file)]) == 0
+    capsys.readouterr()
+    assert main(["recheck", str(trace_file), "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "p0.0" in out  # the timeline lanes rendered

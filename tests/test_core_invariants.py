@@ -1,0 +1,157 @@
+"""Tests for the invariant monitor and its stock predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lock_manager import MajorityLockManager
+from repro.apps.replicated_db import ParallelLookupDatabase
+from repro.apps.replicated_file import ReplicatedFile
+from repro.core.invariants import (
+    InvariantMonitor,
+    at_most_one_lock_holder,
+    replicas_converged,
+    responsibility_exact,
+)
+from repro.errors import InvariantViolation
+from repro.runtime.cluster import Cluster, ClusterConfig
+
+
+def test_monitor_records_samples_and_stays_clean():
+    cluster = Cluster(3, config=ClusterConfig(seed=0))
+    monitor = (
+        InvariantMonitor(cluster, interval=10.0)
+        .declare("always-true", lambda c: True)
+        .start()
+    )
+    cluster.run_for(100)
+    assert monitor.samples("always-true") >= 9
+    monitor.assert_clean()
+
+
+def test_monitor_captures_violations_with_detail():
+    cluster = Cluster(2, config=ClusterConfig(seed=0))
+    flag = {"bad": False}
+    monitor = (
+        InvariantMonitor(cluster, interval=5.0)
+        .declare("flag-off", lambda c: not flag["bad"])
+        .start()
+    )
+    cluster.run_for(20)
+    flag["bad"] = True
+    cluster.run_for(20)
+    assert monitor.violations
+    assert monitor.violations[0].name == "flag-off"
+    with pytest.raises(InvariantViolation):
+        monitor.assert_clean()
+
+
+def test_monitor_assertion_error_counts_as_violation():
+    cluster = Cluster(2, config=ClusterConfig(seed=0))
+
+    def angry(c):
+        assert False, "boom"
+
+    monitor = InvariantMonitor(cluster, interval=5.0).declare("angry", angry).start()
+    cluster.run_for(10)
+    assert monitor.violations
+    assert "boom" in str(monitor.violations[0])
+
+
+def test_settled_only_predicates_skip_turbulence():
+    cluster = Cluster(4, config=ClusterConfig(seed=0))
+    monitor = (
+        InvariantMonitor(cluster, interval=5.0)
+        .declare("settled-ok", lambda c: c.is_settled(), settled_only=True)
+        .start()
+    )
+    cluster.run_for(50)
+    cluster.partition([[0, 1], [2, 3]])
+    cluster.run_for(60)
+    cluster.heal()
+    cluster.run_for(100)
+    monitor.assert_clean()  # never sampled while unsettled
+
+
+def test_lock_mutual_exclusion_predicate_live():
+    cluster = Cluster(
+        5,
+        app_factory=lambda pid: MajorityLockManager(range(5)),
+        config=ClusterConfig(seed=1),
+    )
+    monitor = (
+        InvariantMonitor(cluster, interval=7.0)
+        .declare("mutex", at_most_one_lock_holder)
+        .start()
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    cluster.apps[1].acquire()
+    cluster.run_for(50)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    cluster.settle(timeout=500)
+    cluster.run_for(100)
+    cluster.heal()
+    cluster.settle(timeout=500)
+    cluster.run_for(150)
+    monitor.assert_clean()
+    assert monitor.samples("mutex") > 10
+
+
+def test_replica_convergence_predicate_live():
+    votes = {s: 1 for s in range(4)}
+    cluster = Cluster(
+        4,
+        app_factory=lambda pid: ReplicatedFile(votes),
+        config=ClusterConfig(seed=2),
+    )
+    monitor = (
+        InvariantMonitor(cluster, interval=9.0)
+        .declare(
+            "convergence",
+            replicas_converged(lambda app: app.listing()),
+            settled_only=True,
+        )
+        .start()
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    cluster.apps[0].write("f", "v1")
+    cluster.run_for(100)
+    monitor.assert_clean()
+
+
+def test_responsibility_predicate_live():
+    cluster = Cluster(
+        4,
+        app_factory=lambda pid: ParallelLookupDatabase({"all": lambda k, v: True}),
+        config=ClusterConfig(seed=3),
+    )
+    monitor = (
+        InvariantMonitor(cluster, interval=9.0)
+        .declare("slices", responsibility_exact, settled_only=True)
+        .start()
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    cluster.crash(3)
+    cluster.settle(timeout=500)
+    cluster.run_for(200)
+    monitor.assert_clean()
+    assert monitor.samples("slices") > 5
+
+
+def test_assert_eventually():
+    cluster = Cluster(2, config=ClusterConfig(seed=0))
+    monitor = InvariantMonitor(cluster)
+    cluster.settle(timeout=400)
+    monitor.assert_eventually("settled", lambda c: c.is_settled())
+    with pytest.raises(InvariantViolation):
+        monitor.assert_eventually("impossible", lambda c: False)
+
+
+def test_unknown_invariant_name_raises():
+    cluster = Cluster(2, config=ClusterConfig(seed=0))
+    monitor = InvariantMonitor(cluster)
+    with pytest.raises(KeyError):
+        monitor.samples("nope")

@@ -1,0 +1,219 @@
+"""Tests for the shared-state taxonomy and the three classifiers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import classify_enriched, classify_flat, ground_truth
+from repro.core.shared_state import (
+    Diagnosis,
+    DiagnosisStats,
+    Problem,
+    diagnose,
+    problems_from_sets,
+)
+from repro.errors import ClassificationError
+from repro.evs.eview import EView, EViewStructure, Subview, SvSet
+from repro.gms.view import View
+from repro.types import ProcessId, SubviewId, SvSetId, ViewId
+
+
+def pid(site: int) -> ProcessId:
+    return ProcessId(site)
+
+
+VID = ViewId(10, pid(0))
+
+
+# ---------------------------------------------------------------------------
+# Necessary conditions (Section 4)
+# ---------------------------------------------------------------------------
+
+
+def test_transfer_needs_both_sets_nonempty():
+    assert problems_from_sets(True, True, 1) == {Problem.STATE_TRANSFER}
+
+
+def test_creation_needs_empty_s_n():
+    assert problems_from_sets(False, True, 0) == {Problem.STATE_CREATION}
+
+
+def test_merging_needs_two_clusters():
+    assert problems_from_sets(True, False, 2) == {Problem.STATE_MERGING}
+
+
+def test_merging_and_transfer_can_cooccur():
+    """Section 4: 'the state merging and state transfer problems present
+    themselves together'."""
+    assert problems_from_sets(True, True, 2) == {
+        Problem.STATE_MERGING,
+        Problem.STATE_TRANSFER,
+    }
+
+
+def test_no_problem_when_single_cluster_and_no_stragglers():
+    assert problems_from_sets(True, False, 1) == frozenset()
+
+
+def test_diagnose_builds_clusters_by_previous_view():
+    v_a = ViewId(5, pid(0))
+    v_b = ViewId(6, pid(3))
+    prev_modes = {pid(0): "N", pid(1): "N", pid(3): "N", pid(4): "R"}
+    prev_views = {pid(0): v_a, pid(1): v_a, pid(3): v_b, pid(4): v_b}
+    diagnosis = diagnose(VID, prev_modes, prev_views)
+    assert diagnosis.s_n == {pid(0), pid(1), pid(3)}
+    assert diagnosis.s_r == {pid(4)}
+    assert len(diagnosis.clusters) == 2
+    assert diagnosis.label == "merging+transfer"
+
+
+def test_diagnose_settling_processes_count_as_s_r():
+    prev_modes = {pid(0): "S", pid(1): "N"}
+    prev_views = {pid(0): VID, pid(1): VID}
+    diagnosis = diagnose(ViewId(11, pid(0)), prev_modes, prev_views)
+    assert pid(0) in diagnosis.s_r
+    assert diagnosis.label == "transfer"
+
+
+def test_diagnosis_label_none():
+    prev_modes = {pid(0): "N", pid(1): "N"}
+    prev_views = {pid(0): VID, pid(1): VID}
+    assert diagnose(ViewId(11, pid(0)), prev_modes, prev_views).label == "none"
+
+
+def test_stats_aggregation():
+    stats = DiagnosisStats()
+    stats.add(diagnose(VID, {pid(0): "R"}, {pid(0): VID}))
+    stats.add(diagnose(VID, {pid(0): "R"}, {pid(0): VID}))
+    assert stats.total == 2
+    assert stats.by_label == {"creation": 2}
+
+
+# ---------------------------------------------------------------------------
+# Flat-view classification (ambiguity sets)
+# ---------------------------------------------------------------------------
+
+
+def test_flat_singleton_view_is_decidable():
+    assert classify_flat("N", 1) == frozenset({"none"})
+    assert classify_flat("R", 1) == frozenset({"creation"})
+
+
+def test_flat_from_r_cannot_distinguish_transfer_from_creation():
+    """The paper's Section 4 example: after R -> S the process knows S_R
+    is non-empty but cannot tell whether S_N is."""
+    labels = classify_flat("R", 3, exclusive_full=True)
+    assert "transfer" in labels
+    assert "creation" in labels
+    assert len(labels) >= 2
+
+
+def test_flat_from_n_with_exclusive_quorum_excludes_merging():
+    labels = classify_flat("N", 4, exclusive_full=True)
+    assert not any("merging" in label for label in labels)
+    assert "none" in labels  # everyone might have been N with me
+    assert "transfer" in labels
+
+
+def test_flat_without_exclusive_full_admits_merging():
+    labels = classify_flat("N", 4, exclusive_full=False)
+    assert any("merging" in label for label in labels)
+
+
+def test_flat_rejects_garbage():
+    with pytest.raises(ClassificationError):
+        classify_flat("X", 3)
+    with pytest.raises(ClassificationError):
+        classify_flat("N", 0)
+
+
+# ---------------------------------------------------------------------------
+# Enriched-view classification (Section 6.2)
+# ---------------------------------------------------------------------------
+
+
+def _eview(subview_groups, svset_grouping=None) -> EView:
+    """Build an e-view from site groups, e.g. [(0,1,2), (3,)]."""
+    epoch = 10
+    subviews = []
+    for index, group in enumerate(subview_groups):
+        subviews.append(
+            Subview(
+                SubviewId(epoch, pid(group[0]), index),
+                frozenset(pid(s) for s in group),
+            )
+        )
+    if svset_grouping is None:
+        svset_grouping = [[i] for i in range(len(subviews))]
+    svsets = []
+    for index, indices in enumerate(svset_grouping):
+        svsets.append(
+            SvSet(
+                SvSetId(epoch, pid(subview_groups[indices[0]][0]), index),
+                frozenset(subviews[i].sid for i in indices),
+            )
+        )
+    members = frozenset(p for sv in subviews for p in sv.members)
+    view = View(ViewId(epoch, min(members)), members)
+    return EView(view, EViewStructure(tuple(subviews), tuple(svsets)))
+
+
+def majority_of_five(members) -> bool:
+    return 2 * len(members) > 5
+
+
+def test_enriched_scenario_i_state_transfer():
+    """Case (i): a majority subview exists -> S_N identified exactly."""
+    eview = _eview([(0, 1, 2), (3,)])
+    verdict = classify_enriched(eview, majority_of_five)
+    assert verdict.label == "transfer"
+    assert verdict.s_n == {pid(0), pid(1), pid(2)}
+    assert verdict.s_r == {pid(3)}
+    assert len(verdict.donor_subviews) == 1
+
+
+def test_enriched_scenario_ii_creation_in_progress():
+    """Case (ii): no majority subview, but a majority sv-set -> a state
+    creation was running; wait for it rather than disturb it."""
+    eview = _eview([(0,), (1,), (2,)], svset_grouping=[[0, 1, 2]])
+    verdict = classify_enriched(eview, majority_of_five)
+    assert verdict.label == "creation"
+    assert verdict.in_progress_svset is not None
+
+
+def test_enriched_scenario_iii_creation_from_scratch():
+    """Case (iii): neither subview nor sv-set qualifies -> fresh start."""
+    eview = _eview([(0,), (1,), (2,)])
+    verdict = classify_enriched(eview, majority_of_five)
+    assert verdict.label == "creation"
+    assert verdict.in_progress_svset is None
+
+
+def test_enriched_detects_merging_clusters():
+    always = lambda members: bool(members)
+    eview = _eview([(0, 1), (2, 3)])
+    verdict = classify_enriched(eview, always)
+    assert verdict.label == "merging"
+    assert len(verdict.donor_subviews) == 2
+
+
+def test_enriched_merging_plus_transfer():
+    always = lambda members: len(members) >= 2
+    eview = _eview([(0, 1), (2, 3), (4,)])
+    verdict = classify_enriched(eview, always)
+    assert verdict.label == "merging+transfer"
+    assert verdict.s_r == {pid(4)}
+
+
+def test_enriched_no_problem_single_full_subview():
+    eview = _eview([(0, 1, 2)])
+    verdict = classify_enriched(eview, majority_of_five)
+    assert verdict.label == "none"
+    assert verdict.problems == frozenset()
+
+
+def test_ground_truth_requires_installers():
+    from repro.trace.recorder import TraceRecorder
+
+    with pytest.raises(ClassificationError):
+        ground_truth(TraceRecorder(), VID)

@@ -1,0 +1,263 @@
+"""Tests for state transfer chunks, merge policies and creation choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.group_object import AppStateOffer
+from repro.core.settlement import StateOffer
+from repro.core.state_creation import (
+    choose_by_last_to_fail,
+    creation_is_safe,
+    last_to_fail_order,
+)
+from repro.core.state_merge import (
+    LastWriterWins,
+    SetUnionMerge,
+    Versioned,
+    VersionVectorMerge,
+    divergence,
+)
+from repro.core.state_transfer import (
+    ChunkReceiver,
+    ChunkSender,
+    TAck,
+    TChunk,
+    TwoPieceTransfer,
+    split_state,
+)
+from repro.errors import ApplicationError
+from repro.types import ProcessId
+
+from tests.conftest import settled_cluster
+
+
+def offer(site: int, state, version: int = 0, last_epoch: int = 0) -> AppStateOffer:
+    return AppStateOffer(ProcessId(site), state, version, last_epoch)
+
+
+def raw_offer(site: int, version: int, last_epoch: int) -> StateOffer:
+    return StateOffer(
+        session=(ProcessId(0), 1),
+        sender=ProcessId(site),
+        snapshot=f"state-{site}",
+        version=version,
+        last_epoch=last_epoch,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Merge policies
+# ---------------------------------------------------------------------------
+
+
+def test_lww_highest_version_wins():
+    merged = LastWriterWins().merge(
+        [offer(0, {"k": "old"}, version=1), offer(1, {"k": "new"}, version=5)]
+    )
+    assert merged == {"k": "new"}
+
+
+def test_lww_keeps_disjoint_keys():
+    merged = LastWriterWins().merge(
+        [offer(0, {"a": 1}, 1), offer(1, {"b": 2}, 2)]
+    )
+    assert merged == {"a": 1, "b": 2}
+
+
+def test_lww_requires_offers():
+    with pytest.raises(ApplicationError):
+        LastWriterWins().merge([])
+
+
+def test_lww_deterministic_on_ties():
+    a = LastWriterWins().merge([offer(0, {"k": "x"}, 1), offer(1, {"k": "y"}, 1)])
+    b = LastWriterWins().merge([offer(1, {"k": "y"}, 1), offer(0, {"k": "x"}, 1)])
+    assert a == b
+
+
+def test_set_union_merge():
+    merged = SetUnionMerge().merge(
+        [offer(0, {"s": {1, 2}}), offer(1, {"s": {2, 3}, "t": {9}})]
+    )
+    assert merged == {"s": {1, 2, 3}, "t": {9}}
+
+
+def test_versioned_dominance():
+    a = Versioned("a").bump(0).bump(0)
+    b = Versioned("b").bump(0)
+    assert a.dominates(b)
+    assert not b.dominates(a)
+    assert not a.concurrent_with(b)
+
+
+def test_versioned_concurrency():
+    a = Versioned("a").bump(0)
+    b = Versioned("b").bump(1)
+    assert a.concurrent_with(b)
+
+
+def test_version_vector_merge_dominant_wins():
+    base = Versioned("v0").bump(0)
+    newer = base.with_value("v1").bump(0)
+    policy = VersionVectorMerge()
+    merged = policy.merge([offer(0, {"k": newer}), offer(1, {"k": base})])
+    assert merged["k"].value == "v1"
+    assert policy.conflicts == []
+
+
+def test_version_vector_merge_detects_conflicts():
+    left = Versioned("L").bump(0)
+    right = Versioned("R").bump(1)
+    policy = VersionVectorMerge()
+    merged = policy.merge([offer(0, {"k": left}), offer(1, {"k": right})])
+    assert policy.conflicts == ["k"]
+    # Resolution joins the clocks so the result dominates both inputs.
+    assert merged["k"].dominates(left) and merged["k"].dominates(right)
+
+
+def test_version_vector_custom_resolver():
+    left = Versioned("L").bump(0)
+    right = Versioned("R").bump(1)
+    policy = VersionVectorMerge(resolver=lambda key, a, b: a)
+    merged = policy.merge([offer(0, {"k": left}), offer(1, {"k": right})])
+    assert merged["k"].value == "L"
+
+
+def test_divergence_report():
+    report = divergence(
+        [offer(0, {"a": 1, "b": 2}), offer(1, {"a": 1, "b": 3, "c": 4})]
+    )
+    assert report == {"agree": 1, "conflict": 1, "partial": 1}
+
+
+def test_divergence_empty():
+    assert divergence([]) == {"agree": 0, "conflict": 0, "partial": 0}
+
+
+# ---------------------------------------------------------------------------
+# State creation (last process to fail)
+# ---------------------------------------------------------------------------
+
+
+def test_last_to_fail_prefers_highest_epoch():
+    offers = [raw_offer(0, version=9, last_epoch=3), raw_offer(1, 1, 7)]
+    assert choose_by_last_to_fail(offers).sender.site == 1
+
+
+def test_last_to_fail_ties_break_on_version_then_pid():
+    offers = [raw_offer(0, 1, 5), raw_offer(1, 2, 5)]
+    assert choose_by_last_to_fail(offers).sender.site == 1
+    offers = [raw_offer(0, 2, 5), raw_offer(1, 2, 5)]
+    assert choose_by_last_to_fail(offers).sender.site == 1  # larger pid
+
+
+def test_last_to_fail_order_is_best_first():
+    offers = [raw_offer(0, 1, 1), raw_offer(1, 1, 9), raw_offer(2, 5, 4)]
+    ordered = last_to_fail_order(offers)
+    assert [o.sender.site for o in ordered] == [1, 2, 0]
+
+
+def test_creation_requires_candidates():
+    with pytest.raises(ApplicationError):
+        choose_by_last_to_fail([])
+
+
+def test_creation_is_safe_wants_every_site():
+    offers = [raw_offer(0, 1, 1), raw_offer(1, 1, 1)]
+    assert creation_is_safe(offers, expected_sites=2)
+    assert not creation_is_safe(offers, expected_sites=3)
+
+
+# ---------------------------------------------------------------------------
+# Chunked transfers (over a live cluster's direct messages)
+# ---------------------------------------------------------------------------
+
+
+def test_chunked_transfer_moves_all_chunks_in_order():
+    cluster = settled_cluster(2)
+    donor, joiner = cluster.stack_at(0), cluster.stack_at(1)
+    received: list = []
+    receiver = ChunkReceiver(joiner, on_complete=received.extend)
+    done = []
+    sender = ChunkSender(donor, joiner.pid, ["a", "b", "c"], lambda: done.append(1))
+
+    donor.app.on_direct = lambda src, p: (
+        sender.on_ack(p) if isinstance(p, TAck) else None
+    )
+    joiner.app.on_direct = lambda src, p: (
+        receiver.on_chunk(src, p) if isinstance(p, TChunk) else None
+    )
+    sender.start()
+    cluster.run_for(30)
+    assert received == ["a", "b", "c"]
+    assert done == [1]
+    assert sender.done
+
+
+def test_transfer_time_grows_linearly_with_chunks():
+    durations = {}
+    for n_chunks in (2, 8):
+        cluster = settled_cluster(2)
+        donor, joiner = cluster.stack_at(0), cluster.stack_at(1)
+        finished = []
+        receiver = ChunkReceiver(joiner, on_complete=lambda _: None)
+        sender = ChunkSender(
+            donor, joiner.pid, list(range(n_chunks)),
+            lambda: finished.append(cluster.now),
+        )
+        donor.app.on_direct = lambda src, p: (
+            sender.on_ack(p) if isinstance(p, TAck) else None
+        )
+        joiner.app.on_direct = lambda src, p: (
+            receiver.on_chunk(src, p) if isinstance(p, TChunk) else None
+        )
+        start = cluster.now
+        sender.start()
+        cluster.run_for(100)
+        durations[n_chunks] = finished[0] - start
+    assert durations[8] > 3 * durations[2] * 0.9  # ~linear in chunk count
+
+
+def test_two_piece_transfer_small_arrives_first():
+    from repro.core.state_transfer import TSmallPiece
+
+    cluster = settled_cluster(2)
+    donor, joiner = cluster.stack_at(0), cluster.stack_at(1)
+    events = []
+    receiver = ChunkReceiver(joiner, on_complete=lambda _: events.append("large"))
+
+    def joiner_direct(src, p):
+        if isinstance(p, TSmallPiece):
+            events.append("small")
+        elif isinstance(p, TChunk):
+            receiver.on_chunk(src, p)
+
+    transfer = TwoPieceTransfer(donor, joiner.pid, {"meta": 1}, [1, 2, 3, 4])
+    donor.app.on_direct = lambda src, p: (
+        transfer.sender.on_ack(p) if isinstance(p, TAck) else None
+    )
+    joiner.app.on_direct = joiner_direct
+    transfer.start()
+    cluster.run_for(60)
+    assert events[0] == "small"
+    assert events[-1] == "large"
+
+
+def test_split_state():
+    state = {"meta": 0, **{f"k{i}": i for i in range(10)}}
+    small, chunks = split_state(state, {"meta"}, chunk_size=3)
+    assert small == {"meta": 0}
+    assert sum(len(c) for c in chunks) == 10
+    assert all(len(c) <= 3 for c in chunks)
+
+
+def test_split_state_empty_large_part():
+    small, chunks = split_state({"meta": 1}, {"meta"}, chunk_size=4)
+    assert chunks == [{}]
+
+
+def test_chunk_sender_rejects_empty():
+    cluster = settled_cluster(2)
+    with pytest.raises(ApplicationError):
+        ChunkSender(cluster.stack_at(0), cluster.stack_at(1).pid, [])

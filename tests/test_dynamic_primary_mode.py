@@ -1,0 +1,85 @@
+"""Tests for the reachability-aware mode function of the Isis baseline
+and the periodic mode re-evaluation hook that drives it."""
+
+from __future__ import annotations
+
+from repro.core.group_object import GroupObject
+from repro.core.mode_functions import Capability, DynamicPrimaryModeFunction
+from repro.core.modes import Mode
+from repro.isis import isis_stack_config
+from repro.runtime.cluster import Cluster, ClusterConfig
+
+
+class Obj(GroupObject):
+    def __init__(self):
+        super().__init__(DynamicPrimaryModeFunction(range(5)))
+        self.data = {}
+
+    def snapshot_state(self):
+        return dict(self.data)
+
+    def adopt_state(self, state):
+        self.data = dict(state)
+
+    def apply_op(self, sender, op, msg_id):
+        self.data[op[0]] = op[1]
+
+
+def isis_cluster() -> Cluster:
+    config = ClusterConfig(seed=0, stack=isis_stack_config())
+    cluster = Cluster(5, app_factory=lambda pid: Obj(), config=config)
+    cluster.run_for(600)
+    return cluster
+
+
+def test_primary_members_reach_normal():
+    cluster = isis_cluster()
+    for site in range(5):
+        assert cluster.apps[site].mode is Mode.NORMAL, site
+
+
+def test_stranded_member_demotes_itself_without_a_view():
+    """A process frozen in a stale majority view (linear membership
+    gives it no further views) must still drop out of N-mode once its
+    detector shows it cannot assemble a majority."""
+    cluster = isis_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    cluster.run_for(100)
+    # Sites 3,4 never install a new view (minority blocks) ...
+    assert len(cluster.stack_at(3).view.members) == 5
+    # ... yet their apps noticed and dropped to REDUCED.
+    assert cluster.apps[3].mode is Mode.REDUCED
+    assert cluster.apps[4].mode is Mode.REDUCED
+    assert not cluster.apps[3].can_submit(("k", 1))
+    # The majority side keeps serving.
+    assert cluster.apps[0].mode is Mode.NORMAL
+
+
+def test_stranded_member_recovers_capability_after_heal():
+    cluster = isis_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    cluster.run_for(150)
+    cluster.heal()
+    cluster.run_for(600)
+    for site in range(5):
+        assert cluster.apps[site].mode is Mode.NORMAL, site
+
+
+def test_capability_without_stack_falls_back_to_view_majority():
+    from repro.evs.eview import EView, EViewStructure
+    from repro.gms.view import View
+    from repro.types import ProcessId, ViewId
+
+    fn = DynamicPrimaryModeFunction(range(5))
+    members = frozenset(ProcessId(s) for s in range(3))
+    eview = EView(
+        View(ViewId(1, ProcessId(0)), members),
+        EViewStructure.singletons(1, members),
+    )
+    assert fn.capability(eview) is Capability.FULL  # no stack bound yet
+    minority = frozenset(ProcessId(s) for s in range(2))
+    eview2 = EView(
+        View(ViewId(1, ProcessId(0)), minority),
+        EViewStructure.singletons(1, minority),
+    )
+    assert fn.capability(eview2) is Capability.REDUCED

@@ -1,0 +1,136 @@
+"""Direct tests of the e-view manager's state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EnrichedViewError
+from repro.evs.eview import EvDelta
+from repro.evs.messages import EvChange, EvReq
+from repro.types import SubviewId, SvSetId, ViewId, ProcessId
+
+from tests.conftest import settled_cluster
+
+
+def test_out_of_order_changes_are_buffered_until_contiguous():
+    cluster = settled_cluster(3)
+    stack = cluster.stack_at(1)  # a non-coordinator
+    manager = stack.evs
+    view_id = stack.current_view_id()
+    epoch = view_id.epoch
+    ssids = sorted((ss.ssid for ss in manager.structure.svsets), key=str)
+    delta2 = EvDelta(2, "svset", frozenset(ssids[:2]),
+                     new_svset=SvSetId(epoch, stack.pid, 2))
+    delta1 = EvDelta(1, "svset", frozenset(ssids[1:3]),
+                     new_svset=SvSetId(epoch, stack.pid, 1))
+    manager.on_change(stack.pid, EvChange(view_id, delta2))
+    assert manager.applied_seq == 0  # seq 2 waits for seq 1
+    manager.on_change(stack.pid, EvChange(view_id, delta1))
+    assert manager.applied_seq == 2  # both applied, in order
+
+
+def test_changes_from_other_views_are_ignored():
+    cluster = settled_cluster(3)
+    stack = cluster.stack_at(0)
+    manager = stack.evs
+    foreign = ViewId(999, stack.pid)
+    delta = EvDelta(1, "svset", frozenset(),
+                    new_svset=SvSetId(999, stack.pid, 1))
+    manager.on_change(stack.pid, EvChange(foreign, delta))
+    assert manager.applied_seq == 0
+
+
+def test_suspension_blocks_application_until_replay():
+    cluster = settled_cluster(3)
+    stack = cluster.stack_at(0)
+    manager = stack.evs
+    view_id = stack.current_view_id()
+    ssids = sorted((ss.ssid for ss in manager.structure.svsets), key=str)
+    delta = EvDelta(1, "svset", frozenset(ssids[:2]),
+                    new_svset=SvSetId(view_id.epoch, stack.pid, 1))
+    manager.suspend()
+    manager.on_change(stack.pid, EvChange(view_id, delta))
+    assert manager.applied_seq == 0  # suspended: buffered only
+    manager.replay((delta,), upto=1)
+    assert manager.applied_seq == 1  # the replay applied the tail
+
+
+def test_replay_is_idempotent_and_bounded():
+    cluster = settled_cluster(3)
+    stack = cluster.stack_at(0)
+    manager = stack.evs
+    view_id = stack.current_view_id()
+    ssids = sorted((ss.ssid for ss in manager.structure.svsets), key=str)
+    d1 = EvDelta(1, "svset", frozenset(ssids[:2]),
+                 new_svset=SvSetId(view_id.epoch, stack.pid, 1))
+    d2 = EvDelta(2, "subview", frozenset(),
+                 new_subview=SubviewId(view_id.epoch, stack.pid, 2))
+    manager.suspend()
+    manager.replay((d1, d2), upto=1)
+    assert manager.applied_seq == 1  # upto bound respected
+    manager.replay((d1, d2), upto=1)
+    assert manager.applied_seq == 1  # idempotent
+
+
+def test_requests_are_dropped_by_non_coordinators():
+    cluster = settled_cluster(3)
+    follower = cluster.stack_at(2)
+    assert follower.view.coordinator != follower.pid
+    request = EvReq(
+        follower.pid,
+        follower.current_view_id(),
+        "svset",
+        frozenset(ss.ssid for ss in follower.eview.structure.svsets),
+    )
+    before = follower.evs.applied_seq
+    follower.evs.on_request(follower.pid, request)  # wrong process: no-op
+    cluster.run_for(10)
+    assert follower.evs.applied_seq == before
+
+
+def test_requests_from_stale_views_are_dropped_by_coordinator():
+    cluster = settled_cluster(3)
+    lead = cluster.stack_at(0)
+    stale = EvReq(lead.pid, ViewId(0, lead.pid), "svset", frozenset())
+    lead.evs.on_request(lead.pid, stale)
+    cluster.run_for(10)
+    assert lead.evs.applied_seq == 0
+
+
+def test_requests_during_flush_are_dropped():
+    cluster = settled_cluster(3)
+    lead = cluster.stack_at(0)
+    lead.evs.suspend()
+    request = EvReq(
+        lead.pid,
+        lead.current_view_id(),
+        "svset",
+        frozenset(ss.ssid for ss in lead.eview.structure.svsets),
+    )
+    lead.evs.on_request(lead.pid, request)
+    assert lead.evs.applied_seq == 0
+    lead.evs.suspended = False  # restore for teardown sanity
+
+
+def test_flush_snapshot_shape():
+    cluster = settled_cluster(3)
+    manager = cluster.stack_at(0).evs
+    seq, structure, log = manager.flush_snapshot()
+    assert seq == 0
+    assert log == ()
+    structure.validate(cluster.stack_at(0).view.members)
+
+
+def test_merge_before_first_view_raises():
+    from repro.evs.manager import EViewManager
+
+    class FakeStack:
+        pid = ProcessId(0)
+
+    manager = EViewManager(FakeStack())  # type: ignore[arg-type]
+    with pytest.raises(EnrichedViewError):
+        manager.subview_merge([])
+    with pytest.raises(EnrichedViewError):
+        manager.flush_snapshot()
+    with pytest.raises(EnrichedViewError):
+        _ = manager.structure

@@ -1,0 +1,189 @@
+"""Tests for view agreement: bootstrap, merges, partitions, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.trace.events import ViewInstallEvent
+from repro.types import ProcessId, ViewId
+
+from tests.conftest import assert_all_properties, settled_cluster
+
+
+def test_bootstrap_singleton_view_first():
+    cluster = Cluster(3, auto_start=True)
+    for site in range(3):
+        view = cluster.stack_at(site).view
+        assert view is not None
+        assert view.members == frozenset({cluster.stack_at(site).pid})
+
+
+def test_group_converges_to_single_full_view():
+    cluster = settled_cluster(4)
+    views = {s.current_view_id() for s in cluster.live_stacks()}
+    assert len(views) == 1
+    assert cluster.stack_at(0).view.members == cluster.live_pids()
+
+
+def test_merge_happens_in_one_view_change_per_side():
+    """The partitionable model's selling point (Section 5): a merger of
+    many singletons needs one install per process, not one per joiner."""
+    cluster = settled_cluster(6)
+    installs = cluster.recorder.view_sequence(cluster.stack_at(0).pid)
+    # Bootstrap singleton + (a small constant number of) merge installs;
+    # crucially NOT one install per absorbed member.
+    assert len(installs) <= 3
+    assert installs[-1].members == cluster.live_pids()
+
+
+def test_concurrent_views_in_concurrent_partitions():
+    cluster = settled_cluster(5)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    left = cluster.stack_at(0).view
+    right = cluster.stack_at(3).view
+    assert left.view_id != right.view_id
+    assert {p.site for p in left.members} == {0, 1, 2}
+    assert {p.site for p in right.members} == {3, 4}
+
+
+def test_heal_merges_concurrent_views():
+    cluster = settled_cluster(5)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.heal()
+    assert cluster.settle(timeout=500)
+    views = {s.current_view_id() for s in cluster.live_stacks()}
+    assert len(views) == 1
+    assert_all_properties(cluster.recorder)
+
+
+def test_crash_shrinks_view():
+    cluster = settled_cluster(4)
+    cluster.crash(3)
+    assert cluster.settle(timeout=500)
+    assert {p.site for p in cluster.stack_at(0).view.members} == {0, 1, 2}
+
+
+def test_recovered_process_rejoins_with_new_incarnation():
+    cluster = settled_cluster(3)
+    cluster.crash(1)
+    assert cluster.settle(timeout=500)
+    cluster.recover(1)
+    assert cluster.settle(timeout=500)
+    members = cluster.stack_at(0).view.members
+    assert ProcessId(1, 1) in members
+    assert ProcessId(1, 0) not in members
+
+
+def test_coordinator_crash_during_view_change_recovers():
+    """Crash the (min-pid) coordinator exactly when a change starts; the
+    remaining processes must still converge under a new coordinator."""
+    cluster = settled_cluster(4)
+    cluster.crash(3)  # trigger a view change round ...
+    cluster.run_for(8.0)
+    cluster.crash(0)  # ... and kill the coordinator mid-round
+    assert cluster.settle(timeout=600)
+    members = {p.site for p in cluster.stack_at(1).view.members}
+    assert members == {1, 2}
+    assert cluster.stack_at(1).view.coordinator.site == 1
+
+
+def test_view_epochs_strictly_increase_per_process():
+    cluster = settled_cluster(4)
+    cluster.partition([[0, 1], [2, 3]])
+    cluster.settle(timeout=500)
+    cluster.heal()
+    cluster.settle(timeout=500)
+    for stack in cluster.live_stacks():
+        seq = cluster.recorder.view_sequence(stack.pid)
+        epochs = [ev.view_id.epoch for ev in seq]
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == len(epochs)
+
+
+def test_max_epoch_persisted_across_recovery():
+    cluster = settled_cluster(3)
+    epoch_before = cluster.stack_at(1).view.epoch
+    cluster.crash(1)
+    cluster.settle(timeout=500)
+    stack = cluster.recover(1)
+    # The fresh incarnation's bootstrap view must not reuse old epochs.
+    assert stack.view.epoch > epoch_before
+
+
+def test_leave_triggers_prompt_view_change():
+    cluster = settled_cluster(4)
+    leaver = cluster.stack_at(2)
+    leaver.leave()
+    assert not leaver.alive
+    assert cluster.settle(timeout=500)
+    assert {p.site for p in cluster.stack_at(0).view.members} == {0, 1, 3}
+
+
+def test_total_failure_and_full_recovery():
+    cluster = settled_cluster(3)
+    for site in range(3):
+        cluster.crash(site)
+    cluster.run_for(50.0)
+    for site in range(3):
+        cluster.recover(site)
+    assert cluster.settle(timeout=600)
+    members = cluster.stack_at(0).view.members
+    assert members == {ProcessId(s, 1) for s in range(3)}
+    assert_all_properties(cluster.recorder)
+
+
+def test_join_of_new_site_absorbed():
+    cluster = settled_cluster(3)
+    cluster.join(3)
+    assert cluster.settle(timeout=500)
+    assert {p.site for p in cluster.stack_at(0).view.members} == {0, 1, 2, 3}
+
+
+def test_message_loss_does_not_block_agreement():
+    config = ClusterConfig(seed=11, loss_prob=0.05)
+    cluster = Cluster(4, config=config)
+    assert cluster.settle(timeout=900), cluster.views()
+    cluster.partition([[0, 1], [2, 3]])
+    assert cluster.settle(timeout=900)
+    cluster.heal()
+    assert cluster.settle(timeout=900)
+    assert_all_properties(cluster.recorder)
+
+
+def test_view_coordinator_is_least_member():
+    cluster = settled_cluster(5)
+    view = cluster.stack_at(0).view
+    assert view.coordinator == min(view.members)
+
+
+def test_installers_subset_of_membership():
+    cluster = settled_cluster(5)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    cluster.settle(timeout=500)
+    cluster.heal()
+    cluster.settle(timeout=500)
+    for view_id, members in cluster.recorder.installed_views().items():
+        installers = cluster.recorder.installers_of(view_id)
+        assert installers <= {p for p in members}
+
+
+def test_view_id_ordering():
+    a = ViewId(1, ProcessId(0))
+    b = ViewId(2, ProcessId(0))
+    c = ViewId(2, ProcessId(1))
+    assert a < b < c
+    assert str(a) == "v1@p0.0"
+
+
+def test_settle_reports_failure_on_impossible_deadline():
+    cluster = Cluster(5)
+    assert cluster.settle(timeout=0.0) in (False, True)  # just no crash
+
+
+def test_run_until_quiescence_returns_time():
+    cluster = settled_cluster(2)
+    now = cluster.now
+    assert cluster.run_for(10.0) == pytest.approx(now + 10.0)

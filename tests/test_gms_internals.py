@@ -1,0 +1,148 @@
+"""Targeted tests of view-agreement branches that only fire under
+specific races: nacks/abdication, round timeouts, stale installs,
+propose expansion, incarnation filtering."""
+
+from __future__ import annotations
+
+from repro.gms.messages import VcInstall, VcNack, VcPrepare, VcPropose
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.types import ProcessId
+
+from tests.conftest import assert_all_properties, settled_cluster
+
+
+def test_prepare_from_larger_coordinator_is_nacked():
+    """A prepare from a non-least candidate draws a VcNack pointing at
+    the better coordinator."""
+    cluster = settled_cluster(3)
+    p2 = cluster.stack_at(2)
+    member = cluster.stack_at(1)
+    sent: list = []
+    original_send = member.send
+    member.send = lambda dst, payload: (sent.append((dst, payload)), original_send(dst, payload))
+    prepare = VcPrepare((p2.pid, 99), frozenset(cluster.live_pids()))
+    member.membership.on_prepare(p2.pid, prepare)
+    nacks = [p for _, p in sent if isinstance(p, VcNack)]
+    assert nacks and nacks[0].better == cluster.stack_at(0).pid
+
+
+def test_nack_makes_coordinator_abdicate():
+    cluster = settled_cluster(3)
+    p1 = cluster.stack_at(1)
+    # Make p1 coordinate a round (bypassing the least-id rule by hand).
+    p1.membership._round_counter += 1
+    from repro.gms.membership import _Round
+
+    rid = (p1.pid, p1.membership._round_counter)
+    p1.membership._round = _Round(rid, frozenset(cluster.live_pids()))
+    sent: list = []
+    original_send = p1.send
+    p1.send = lambda dst, payload: (sent.append((dst, payload)), original_send(dst, payload))
+    p1.membership.on_nack(
+        cluster.stack_at(2).pid, VcNack(rid, cluster.stack_at(0).pid)
+    )
+    assert p1.membership._round is None  # abdicated
+    proposals = [p for _, p in sent if isinstance(p, VcPropose)]
+    assert proposals  # handed the membership estimate to the better one
+
+
+def test_stale_install_is_ignored():
+    cluster = settled_cluster(3)
+    member = cluster.stack_at(1)
+    current = member.view
+    from repro.evs.eview import EViewStructure
+    from repro.gms.view import View
+    from repro.types import ViewId
+
+    bogus_view = View(
+        ViewId(current.epoch + 5, member.pid), frozenset({member.pid})
+    )
+    structure = EViewStructure.singletons(bogus_view.epoch, bogus_view.members)
+    install = VcInstall((member.pid, 12345), bogus_view, structure, {})
+    member.membership.on_install(member.pid, install)
+    assert member.view == current  # round id never flushed: rejected
+
+
+def test_regressing_install_is_ignored_even_for_flushed_round():
+    cluster = settled_cluster(3)
+    member = cluster.stack_at(1)
+    current = member.view
+    from repro.evs.eview import EViewStructure
+    from repro.gms.view import View
+    from repro.types import ViewId
+
+    member.membership._flushed_round = (member.pid, 7)
+    old_view = View(ViewId(1, member.pid), frozenset({member.pid}))
+    structure = EViewStructure.singletons(1, old_view.members)
+    install = VcInstall((member.pid, 7), old_view, structure, {})
+    member.membership.on_install(member.pid, install)
+    assert member.view == current
+    member.membership._flushed_round = None
+
+
+def test_round_timeout_drops_silent_members():
+    """If a member never answers prepares, the coordinator re-runs the
+    round without it rather than blocking forever."""
+    config = ClusterConfig(seed=5)
+    cluster = Cluster(3, config=config)
+    assert cluster.settle(timeout=500)
+    # Mute site 2's membership handling but keep its heartbeats: the
+    # failure detector keeps believing in it, flush replies never come.
+    mute = cluster.stack_at(2)
+    mute.membership.on_prepare = lambda src, msg: None  # type: ignore[method-assign]
+    cluster.join(3)
+    # Convergence: the coordinator eventually gives up on site 2 for the
+    # round and installs something that includes the joiner.
+    deadline = cluster.now + 900
+    while cluster.now < deadline:
+        cluster.run_for(25)
+        members = {p.site for p in cluster.stack_at(0).view.members}
+        if 3 in members:
+            break
+    assert 3 in {p.site for p in cluster.stack_at(0).view.members}
+    assert_all_properties(cluster.recorder)
+
+
+def test_propose_forwarding_to_better_candidate():
+    cluster = settled_cluster(3)
+    p1 = cluster.stack_at(1)
+    sent: list = []
+    original_send = p1.send
+    p1.send = lambda dst, payload: (sent.append((dst, payload)), original_send(dst, payload))
+    proposal = VcPropose(cluster.stack_at(2).pid, frozenset(cluster.live_pids()))
+    p1.membership.on_propose(cluster.stack_at(2).pid, proposal)
+    forwarded = [
+        (dst, p) for dst, p in sent if isinstance(p, VcPropose)
+    ]
+    assert forwarded and forwarded[0][0] == cluster.stack_at(0).pid
+
+
+def test_stale_incarnation_heartbeats_ignored():
+    cluster = settled_cluster(3)
+    cluster.crash(2)
+    assert cluster.settle(timeout=500)
+    fresh = cluster.recover(2)
+    assert cluster.settle(timeout=500)
+    observer = cluster.stack_at(0)
+    # A late message from the dead incarnation must not resurrect it.
+    observer.fd.heard(ProcessId(2, 0))
+    assert ProcessId(2, 0) not in observer.fd.reachable()
+    assert fresh.pid in observer.fd.reachable()
+
+
+def test_min_initiate_gap_rate_limits_rounds():
+    cluster = settled_cluster(3)
+    membership = cluster.stack_at(0).membership
+    first = membership._last_initiate
+    membership._initiate()
+    membership._initiate()  # immediately again: suppressed
+    assert membership._last_initiate >= first
+
+
+def test_views_installed_counter():
+    cluster = settled_cluster(3)
+    count = cluster.stack_at(0).membership.views_installed
+    assert count >= 2  # singleton bootstrap + merge
+    cluster.crash(2)
+    assert cluster.settle(timeout=500)
+    assert cluster.stack_at(0).membership.views_installed > count

@@ -1,0 +1,96 @@
+"""In-view loss repair: messages and e-view changes lost inside a
+stable view must be retransmitted (heartbeat-driven NACKs), not wait
+for a view change that may never come."""
+
+from __future__ import annotations
+
+from repro.apps.replicated_file import ReplicatedFile
+from repro.bench.harness import run_with_schedule
+from repro.core.modes import Mode
+from repro.net.latency import UniformLatency
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.trace.checks import check_enriched_views, check_view_synchrony
+from repro.workload.generator import RandomFaultGenerator
+
+from tests.conftest import assert_all_properties, settled_cluster
+
+
+def test_lost_multicast_repaired_within_stable_view():
+    cluster = settled_cluster(3)
+    sender = cluster.stack_at(0)
+    victim = cluster.stack_at(2)
+    got = []
+    victim.app.on_message = lambda s, p, m: got.append(p)
+    # Simulate the loss: multicast, then surgically remove the copy the
+    # victim received before it could be delivered... easiest honest
+    # equivalent: cut the link one-way for the send instant.
+    cluster.topology.cut_oneway(0, 2)
+    sender.multicast("lost-copy")
+    cluster.run_for(3)
+    cluster.topology.heal_oneway(0, 2)
+    assert got == []  # the copy was lost; no view change is coming
+    cluster.run_for(30)  # a few heartbeat rounds
+    assert got == ["lost-copy"]  # repaired via retransmission
+    assert_all_properties(cluster.recorder)
+
+
+def test_lost_eview_change_repaired_within_stable_view():
+    cluster = settled_cluster(3)
+    lead = cluster.stack_at(0)
+    victim = cluster.stack_at(2)
+    cluster.topology.cut_oneway(0, 2)  # victim misses the EvChange
+    lead.sv_set_merge([ss.ssid for ss in lead.eview.structure.svsets])
+    cluster.run_for(3)
+    cluster.topology.heal_oneway(0, 2)
+    assert victim.eview.seq == 0  # it missed the change
+    cluster.run_for(30)
+    assert victim.eview.seq == 1  # repaired via EvRepairReq
+    assert len(victim.eview.structure.svsets) == 1
+    assert_all_properties(cluster.recorder)
+
+
+def test_lost_adopt_does_not_strand_a_member():
+    """Regression (found by a loss soak): the settlement's StateAdopt
+    copy to one member is lost in an otherwise stable view; the member
+    must still reconcile via retransmission."""
+    votes = {s: 1 for s in range(5)}
+    gen = RandomFaultGenerator(n_sites=5, seed=1704, duration=250)
+    cfg = ClusterConfig(
+        seed=4, loss_prob=0.05, latency=UniformLatency(0.3, 3.5)
+    )
+    cluster = run_with_schedule(
+        5,
+        gen.generate(),
+        app_factory=lambda pid: ReplicatedFile(votes),
+        config=cfg,
+        tail=gen.settle_tail + 400,
+        settle_timeout=1200,
+    )
+    cluster.run_for(400)
+    cluster.settle(timeout=900)
+    live = [cluster.apps[s] for s in cluster.apps if cluster.stacks[s].alive]
+    assert all(a.mode is Mode.NORMAL for a in live)
+    assert all(a.fresh for a in live)
+    for report in check_view_synchrony(cluster.recorder) + check_enriched_views(
+        cluster.recorder
+    ):
+        assert report.ok, report.violations[:3]
+
+
+def test_retransmission_respects_stability_pruning():
+    """A pruned (stable) message is never re-requested: the stable
+    prefix is excluded from gap detection."""
+    config = ClusterConfig(seed=0)
+    cluster = Cluster(3, config=config)
+    assert cluster.settle(timeout=500)
+    stack = cluster.stack_at(0)
+    for i in range(10):
+        stack.multicast(("m", i))
+    cluster.run_for(120)  # deliver + stabilise + prune
+    receiver = cluster.stack_at(1)
+    pruned_floor = receiver.channels._stable.get(stack.pid, 0)
+    assert pruned_floor > 0
+    before = cluster.network.stats.by_type.get("RetransmitRequest", 0)
+    cluster.run_for(60)
+    after = cluster.network.stats.by_type.get("RetransmitRequest", 0)
+    assert after == before  # nothing stable is ever re-requested

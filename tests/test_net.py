@@ -1,0 +1,293 @@
+"""Tests for the network substrate: topology, latency, delivery, faults."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError, SimulationError
+from repro.net.faults import Crash, FaultSchedule, Heal, Partition, Recover
+from repro.net.latency import ConstantLatency, SpikeLatency, UniformLatency
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+from repro.sim.stable_storage import SiteStorage
+from repro.types import ProcessId
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+
+def test_initially_fully_connected():
+    topo = Topology(range(4))
+    assert topo.connected(0, 3)
+    assert topo.components() == [frozenset({0, 1, 2, 3})]
+
+
+def test_partition_splits_connectivity():
+    topo = Topology(range(4))
+    topo.partition([(0, 1), (2, 3)])
+    assert topo.connected(0, 1)
+    assert not topo.connected(1, 2)
+    assert topo.components() == [frozenset({0, 1}), frozenset({2, 3})]
+
+
+def test_unmentioned_sites_become_singletons():
+    topo = Topology(range(4))
+    topo.partition([(0, 1)])
+    assert not topo.connected(2, 3)
+    assert topo.component_of(2) == frozenset({2})
+
+
+def test_heal_restores_full_connectivity():
+    topo = Topology(range(4))
+    topo.partition([(0,), (1, 2, 3)])
+    topo.heal()
+    assert topo.connected(0, 3)
+
+
+def test_isolate_cuts_one_site():
+    topo = Topology(range(4))
+    topo.isolate(2)
+    assert not topo.connected(2, 0)
+    assert topo.connected(0, 1)
+
+
+def test_partition_rejects_overlapping_groups():
+    topo = Topology(range(3))
+    with pytest.raises(NetworkError):
+        topo.partition([(0, 1), (1, 2)])
+
+
+def test_partition_rejects_unknown_sites():
+    topo = Topology(range(3))
+    with pytest.raises(NetworkError):
+        topo.partition([(0, 99)])
+
+
+def test_add_site_joins_main_component():
+    topo = Topology(range(2))
+    topo.add_site(5)
+    assert topo.connected(0, 5)
+    with pytest.raises(NetworkError):
+        topo.add_site(5)
+
+
+def test_connectivity_query_on_unknown_site_raises():
+    topo = Topology(range(2))
+    with pytest.raises(NetworkError):
+        topo.connected(0, 9)
+
+
+def test_changes_counter_increments():
+    topo = Topology(range(3))
+    before = topo.changes
+    topo.partition([(0,), (1, 2)])
+    topo.heal()
+    assert topo.changes == before + 2
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(NetworkError):
+        Topology([])
+
+
+# ---------------------------------------------------------------------------
+# Latency models
+# ---------------------------------------------------------------------------
+
+
+def test_constant_latency():
+    assert ConstantLatency(3.0).sample(random.Random(0)) == 3.0
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(1.0, 2.0)
+    rng = random.Random(0)
+    for _ in range(100):
+        assert 1.0 <= model.sample(rng) <= 2.0
+
+
+def test_spike_latency_produces_both_regimes():
+    model = SpikeLatency(base=1.0, spike=50.0, spike_prob=0.2)
+    rng = random.Random(0)
+    samples = {model.sample(rng) for _ in range(200)}
+    assert samples == {1.0, 50.0}
+
+
+# ---------------------------------------------------------------------------
+# Network delivery
+# ---------------------------------------------------------------------------
+
+
+class _Sink(Process):
+    def __init__(self, pid, scheduler, storage):
+        super().__init__(pid, scheduler, storage)
+        self.inbox = []
+
+    def on_network(self, src, payload):
+        self.inbox.append((src, payload, self.now))
+
+
+def _net(n: int = 2, **kwargs) -> tuple[Scheduler, Network, list[_Sink]]:
+    sched = Scheduler()
+    topo = Topology(range(n))
+    net = Network(sched, topo, RngStreams(0), **kwargs)
+    procs = []
+    for site in range(n):
+        proc = _Sink(ProcessId(site), sched, SiteStorage(site))
+        net.register(proc)
+        procs.append(proc)
+    return sched, net, procs
+
+
+def test_basic_delivery_with_latency():
+    sched, net, procs = _net(latency=ConstantLatency(2.0))
+    procs[0].send(procs[1].pid, "hello")
+    sched.run()
+    assert procs[1].inbox == [(procs[0].pid, "hello", 2.0)]
+
+
+def test_partitioned_send_is_dropped():
+    sched, net, procs = _net()
+    net.topology.partition([(0,), (1,)])
+    procs[0].send(procs[1].pid, "lost")
+    sched.run()
+    assert procs[1].inbox == []
+    assert net.stats.dropped_partition == 1
+
+
+def test_partition_while_in_flight_drops_message():
+    sched, net, procs = _net(latency=ConstantLatency(10.0))
+    procs[0].send(procs[1].pid, "doomed")
+    sched.at(5.0, net.topology.partition, [(0,), (1,)])
+    sched.run()
+    assert procs[1].inbox == []
+    assert net.stats.dropped_partition == 1
+
+
+def test_delivery_to_crashed_process_dropped():
+    sched, net, procs = _net()
+    procs[1].crash()
+    procs[0].send(procs[1].pid, "x")
+    sched.run()
+    assert net.stats.dropped_dead == 1
+
+
+def test_loss_probability_drops_messages():
+    sched, net, procs = _net(loss_prob=1.0)
+    procs[0].send(procs[1].pid, "x")
+    sched.run()
+    assert procs[1].inbox == []
+    assert net.stats.dropped_loss == 1
+
+
+def test_fifo_links_preserve_order_despite_jitter():
+    sched, net, procs = _net(latency=UniformLatency(0.1, 5.0), fifo_links=True)
+    for i in range(20):
+        procs[0].send(procs[1].pid, i)
+    sched.run()
+    payloads = [p for _, p, _ in procs[1].inbox]
+    assert payloads == list(range(20))
+
+
+def test_non_fifo_links_may_reorder():
+    sched, net, procs = _net(latency=UniformLatency(0.1, 5.0), fifo_links=False)
+    for i in range(20):
+        procs[0].send(procs[1].pid, i)
+    sched.run()
+    payloads = [p for _, p, _ in procs[1].inbox]
+    assert sorted(payloads) == list(range(20))
+    assert payloads != list(range(20))  # jitter reorders at least one pair
+
+
+def test_send_to_site_reaches_latest_incarnation():
+    sched, net, procs = _net()
+    procs[1].crash()
+    fresh = _Sink(ProcessId(1, 1), sched, SiteStorage(1))
+    net.register(fresh)
+    net.send_to_site(procs[0].pid, 1, "knock")
+    sched.run()
+    assert fresh.inbox and fresh.inbox[0][1] == "knock"
+    assert procs[1].inbox == []
+
+
+def test_duplicate_registration_rejected():
+    sched, net, procs = _net()
+    with pytest.raises(NetworkError):
+        net.register(procs[0])
+
+
+def test_stats_record_message_types():
+    sched, net, procs = _net()
+    procs[0].send(procs[1].pid, "text")
+    sched.run()
+    assert net.stats.by_type.get("str") == 1
+    assert net.stats.sent == 1
+    assert net.stats.delivered == 1
+
+
+# ---------------------------------------------------------------------------
+# Fault schedules
+# ---------------------------------------------------------------------------
+
+
+class _FakeTarget:
+    def __init__(self):
+        self.log = []
+
+    def crash(self, site):
+        self.log.append(("crash", site))
+
+    def recover(self, site):
+        self.log.append(("recover", site))
+
+    def partition(self, groups):
+        self.log.append(("partition", tuple(map(tuple, groups))))
+
+    def heal(self):
+        self.log.append(("heal",))
+
+    def join(self, site):
+        self.log.append(("join", site))
+
+
+def test_schedule_applies_in_time_order():
+    sched = Scheduler()
+    target = _FakeTarget()
+    schedule = FaultSchedule()
+    schedule.add(Heal(30.0))
+    schedule.add(Crash(10.0, 1))
+    schedule.add(Partition(20.0, ((0,), (1, 2))))
+    schedule.add(Recover(25.0, 1))
+    schedule.arm(sched, target)
+    sched.run()
+    assert [entry[0] for entry in target.log] == [
+        "crash",
+        "partition",
+        "recover",
+        "heal",
+    ]
+
+
+def test_schedule_validation_rejects_double_crash():
+    schedule = FaultSchedule([Crash(1.0, 0), Crash(2.0, 0)])
+    with pytest.raises(SimulationError):
+        schedule.validate()
+
+
+def test_schedule_validation_rejects_recover_while_up():
+    schedule = FaultSchedule([Recover(1.0, 0)])
+    with pytest.raises(SimulationError):
+        schedule.validate()
+
+
+def test_schedule_horizon():
+    schedule = FaultSchedule([Crash(5.0, 0), Recover(40.0, 0)])
+    assert schedule.horizon == 40.0
+    assert FaultSchedule().horizon == 0.0

@@ -1,0 +1,221 @@
+"""Second property-based suite: projections, export codec, schedules,
+topology algebra, classifier monotonicity."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.classify import classify_flat
+from repro.evs.eview import EvDelta, EViewStructure
+from repro.gms.membership import ViewAgreement
+from repro.net.faults import Crash, FaultSchedule, Heal, Partition, Recover
+from repro.net.topology import Topology
+from repro.trace.events import DeliveryEvent, MulticastEvent, ViewInstallEvent
+from repro.trace.export import event_from_json, event_to_json
+from repro.types import MessageId, ProcessId, SubviewId, SvSetId, ViewId
+
+sites = st.integers(min_value=0, max_value=9)
+pids = st.builds(ProcessId, sites, st.integers(min_value=0, max_value=3))
+view_ids = st.builds(ViewId, st.integers(min_value=1, max_value=50), pids)
+
+
+# ---------------------------------------------------------------------------
+# Structure projection (the coordinator's 6.3 mechanism)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def structure_and_survivors(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    members = frozenset(ProcessId(s) for s in range(n))
+    structure = EViewStructure.singletons(1, members)
+    # Random merges to make the structure interesting.
+    seq = 0
+    for _ in range(draw(st.integers(0, 4))):
+        seq += 1
+        ssids = [ss.ssid for ss in structure.svsets]
+        i = draw(st.integers(0, len(ssids) - 1))
+        j = draw(st.integers(0, len(ssids) - 1))
+        structure = structure.apply(
+            EvDelta(seq, "svset", frozenset({ssids[i], ssids[j]}),
+                    new_svset=SvSetId(1, ProcessId(0), seq))
+        )
+        seq += 1
+        sids = [sv.sid for sv in structure.subviews]
+        i = draw(st.integers(0, len(sids) - 1))
+        j = draw(st.integers(0, len(sids) - 1))
+        structure = structure.apply(
+            EvDelta(seq, "subview", frozenset({sids[i], sids[j]}),
+                    new_subview=SubviewId(1, ProcessId(0), seq))
+        )
+    survivor_mask = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n)
+    )
+    survivors = frozenset(
+        ProcessId(s) for s in range(n) if survivor_mask[s]
+    )
+    return structure, members, survivors
+
+
+@given(structure_and_survivors())
+@settings(max_examples=150, deadline=None)
+def test_projection_yields_valid_partition_of_survivors(data):
+    structure, members, survivors = data
+    subviews: list = []
+    svsets: list = []
+    ViewAgreement._project_structure(structure, survivors, 9, subviews, svsets)
+    projected = EViewStructure(tuple(subviews), tuple(svsets))
+    projected.validate(survivors) if survivors else None
+    # Mates stay mates.
+    for pid in survivors:
+        old_mates = structure.subview_of(pid).members & survivors
+        new_mates = projected.subview_of(pid).members
+        assert old_mates <= new_mates
+
+
+@given(structure_and_survivors())
+@settings(max_examples=150, deadline=None)
+def test_projection_never_merges_strangers(data):
+    structure, members, survivors = data
+    subviews: list = []
+    svsets: list = []
+    ViewAgreement._project_structure(structure, survivors, 9, subviews, svsets)
+    projected = EViewStructure(tuple(subviews), tuple(svsets))
+    for pid in survivors:
+        new_mates = projected.subview_of(pid).members
+        old_mates = structure.subview_of(pid).members
+        assert new_mates <= old_mates  # projection only removes
+
+
+# ---------------------------------------------------------------------------
+# Export codec totality
+# ---------------------------------------------------------------------------
+
+
+message_ids = st.builds(
+    MessageId, pids, view_ids, st.integers(min_value=1, max_value=99)
+)
+
+
+@given(st.floats(min_value=0, max_value=1e6), pids, message_ids)
+def test_multicast_event_round_trip(time, pid, msg_id):
+    event = MulticastEvent(time=time, pid=pid, msg_id=msg_id)
+    assert event_from_json(event_to_json(event)) == event
+
+
+@given(st.floats(min_value=0, max_value=1e6), pids, message_ids, view_ids,
+       st.integers(min_value=0, max_value=20))
+def test_delivery_event_round_trip(time, pid, msg_id, vid, seq):
+    event = DeliveryEvent(
+        time=time, pid=pid, msg_id=msg_id, view_id=vid, sender_eview_seq=seq
+    )
+    assert event_from_json(event_to_json(event)) == event
+
+
+@given(st.floats(min_value=0, max_value=1e6), pids, view_ids,
+       st.frozensets(pids, min_size=1, max_size=6))
+def test_install_event_round_trip(time, pid, vid, members):
+    event = ViewInstallEvent(
+        time=time, pid=pid, view_id=vid, members=members, prev_view_id=None
+    )
+    assert event_from_json(event_to_json(event)) == event
+
+
+# ---------------------------------------------------------------------------
+# Fault-schedule validity under arbitrary well-formed action sequences
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def well_formed_actions(draw):
+    n_sites = draw(st.integers(min_value=2, max_value=5))
+    down: set[int] = set()
+    actions = []
+    time = 10.0
+    for _ in range(draw(st.integers(0, 12))):
+        time += draw(st.floats(min_value=1.0, max_value=50.0))
+        choice = draw(st.integers(0, 3))
+        if choice == 0 and len(down) < n_sites - 1:
+            site = draw(st.sampled_from(sorted(set(range(n_sites)) - down)))
+            down.add(site)
+            actions.append(Crash(time, site))
+        elif choice == 1 and down:
+            site = draw(st.sampled_from(sorted(down)))
+            down.discard(site)
+            actions.append(Recover(time, site))
+        elif choice == 2:
+            actions.append(Partition(time, ((0,), tuple(range(1, n_sites)))))
+        else:
+            actions.append(Heal(time))
+    return FaultSchedule(actions)
+
+
+@given(well_formed_actions())
+@settings(max_examples=100, deadline=None)
+def test_well_formed_schedules_validate(schedule):
+    schedule.validate()  # must not raise
+    assert schedule.horizon >= 0
+
+
+# ---------------------------------------------------------------------------
+# Topology algebra
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_partition_spec(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    assignment = draw(
+        st.lists(st.integers(0, 2), min_size=n, max_size=n)
+    )
+    groups: dict[int, list[int]] = {}
+    for site, group in enumerate(assignment):
+        groups.setdefault(group, []).append(site)
+    return n, tuple(tuple(g) for g in groups.values())
+
+
+@given(random_partition_spec())
+@settings(max_examples=150, deadline=None)
+def test_components_form_a_partition(spec):
+    n, groups = spec
+    topo = Topology(range(n))
+    topo.partition(groups)
+    components = topo.components()
+    union = set().union(*components)
+    assert union == set(range(n))
+    assert sum(len(c) for c in components) == n
+    # connected() is the equivalence relation induced by components.
+    for component in components:
+        for a in component:
+            for b in component:
+                assert topo.connected(a, b)
+
+
+@given(random_partition_spec())
+@settings(max_examples=100, deadline=None)
+def test_heal_is_idempotent_top(spec):
+    n, groups = spec
+    topo = Topology(range(n))
+    topo.partition(groups)
+    topo.heal()
+    topo.heal()
+    assert topo.components() == [frozenset(range(n))]
+
+
+# ---------------------------------------------------------------------------
+# Flat classifier monotonicity
+# ---------------------------------------------------------------------------
+
+
+@given(st.sampled_from(["N", "R", "S"]), st.integers(1, 8), st.booleans())
+def test_flat_candidates_grow_with_view_size(mode, n, exclusive):
+    smaller = classify_flat(mode, n, exclusive_full=exclusive)
+    larger = classify_flat(mode, n + 1, exclusive_full=exclusive)
+    assert smaller <= larger  # more members, more possible worlds
+
+
+@given(st.sampled_from(["N", "R", "S"]), st.integers(1, 8))
+def test_exclusive_full_only_removes_candidates(mode, n):
+    restricted = classify_flat(mode, n, exclusive_full=True)
+    free = classify_flat(mode, n, exclusive_full=False)
+    assert restricted <= free

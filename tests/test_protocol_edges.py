@@ -1,0 +1,116 @@
+"""Protocol edge cases: leaves during settlement, joins into
+partitioned components, repartitions without heal, in-flight messages to
+departed members."""
+
+from __future__ import annotations
+
+from repro.apps.replicated_file import ReplicatedFile
+from repro.core.modes import Mode
+from repro.runtime.cluster import Cluster, ClusterConfig
+
+from tests.conftest import assert_all_properties, settled_cluster
+
+
+def file_cluster(n: int = 5, seed: int = 0) -> Cluster:
+    votes = {s: 1 for s in range(n)}
+    cluster = Cluster(
+        n,
+        app_factory=lambda pid: ReplicatedFile(votes),
+        config=ClusterConfig(seed=seed),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    return cluster
+
+
+def test_leave_during_settlement():
+    """A member leaves gracefully while the post-heal settlement runs;
+    the remaining members must still reconcile."""
+    cluster = file_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(120)
+    cluster.heal()
+    cluster.run_for(8)  # settlement in flight
+    cluster.stack_at(4).leave()
+    assert cluster.settle(timeout=900), cluster.views()
+    cluster.run_for(300)
+    for site in range(4):
+        assert cluster.apps[site].mode is Mode.NORMAL, site
+    assert_all_properties(cluster.recorder)
+
+
+def test_join_lands_in_minority_component():
+    """A brand-new site joins while the network is partitioned and it
+    can only reach the minority; it must merge into the minority view,
+    then into everyone at heal."""
+    cluster = file_cluster()
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    # The joiner can only talk to the minority side.
+    cluster.topology.add_site(5)
+    cluster.topology.partition([(0, 1, 2), (3, 4, 5)])
+    cluster.start_site(5)
+    assert cluster.settle(timeout=600), cluster.views()
+    minority_members = {p.site for p in cluster.stack_at(3).view.members}
+    assert minority_members == {3, 4, 5}
+    assert cluster.apps[5].mode is Mode.REDUCED  # 3 of 6 votes: no quorum
+    cluster.heal()
+    assert cluster.settle(timeout=600)
+    cluster.run_for(300)
+    assert {p.site for p in cluster.stack_at(0).view.members} == set(range(6))
+    assert_all_properties(cluster.recorder)
+
+
+def test_repartition_without_heal():
+    """The cut moves: {0,1,2}|{3,4} becomes {0,1}|{2,3,4} directly.
+    Process 2 migrates between components without any full-connectivity
+    interlude."""
+    cluster = file_cluster()
+    cluster.apps[0].write("f", "v1")
+    cluster.run_for(30)
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(120)
+    cluster.apps[0].write("f", "v2")  # quorum side {0,1,2}
+    cluster.run_for(30)
+    cluster.partition([[0, 1], [2, 3, 4]])
+    assert cluster.settle(timeout=600), cluster.views()
+    cluster.run_for(300)
+    # Now {2,3,4} is the quorum; 2 brings the freshest state with it.
+    assert cluster.apps[2].mode is Mode.NORMAL
+    assert cluster.apps[3].mode is Mode.NORMAL
+    assert cluster.apps[3].read("f") == "v2"
+    assert cluster.apps[0].mode is Mode.REDUCED
+    cluster.heal()
+    assert cluster.settle(timeout=600)
+    cluster.run_for(300)
+    assert all(cluster.apps[s].read("f") == "v2" for s in range(5))
+    assert_all_properties(cluster.recorder)
+
+
+def test_in_flight_messages_to_leaver_are_harmless():
+    cluster = settled_cluster(3)
+    target = cluster.stack_at(2)
+    cluster.stack_at(0).multicast("wave-1")
+    target.leave()  # in-flight copies to p2 now land on a dead process
+    cluster.run_for(20)
+    assert cluster.settle(timeout=500)
+    cluster.stack_at(0).multicast("wave-2")
+    cluster.run_for(20)
+    assert_all_properties(cluster.recorder)
+
+
+def test_three_way_partition_and_full_merge():
+    cluster = file_cluster(n=6, seed=3)
+    cluster.partition([[0, 1], [2, 3], [4, 5]])
+    assert cluster.settle(timeout=600), cluster.views()
+    views = {cluster.stack_at(s).current_view_id() for s in range(6)}
+    assert len(views) == 3  # three concurrent views
+    for site in range(6):
+        assert cluster.apps[site].mode is Mode.REDUCED  # nobody has 4/6
+    cluster.heal()
+    assert cluster.settle(timeout=600)
+    cluster.run_for(300)
+    assert all(cluster.apps[s].mode is Mode.NORMAL for s in range(6))
+    assert_all_properties(cluster.recorder)

@@ -1,0 +1,167 @@
+"""Tests for subview-scoped multicast and Skeen-safe state creation."""
+
+from __future__ import annotations
+
+from repro.core.group_object import GroupObject
+from repro.core.mode_functions import QuorumModeFunction
+from repro.core.modes import Mode
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.vsync.events import GroupApplication
+
+from tests.conftest import assert_all_properties, settled_cluster
+
+
+class Collector(GroupApplication):
+    def __init__(self) -> None:
+        super().__init__()
+        self.got: list = []
+
+    def on_message(self, sender, payload, msg_id) -> None:
+        self.got.append(payload)
+
+
+# ---------------------------------------------------------------------------
+# Subview-scoped multicast
+# ---------------------------------------------------------------------------
+
+
+def scoped_cluster() -> Cluster:
+    cluster = Cluster(4, app_factory=lambda pid: Collector())
+    assert cluster.settle(timeout=500)
+    return cluster
+
+
+def test_scoped_multicast_reaches_only_subview_members():
+    cluster = scoped_cluster()
+    lead = cluster.stack_at(0)
+    # Build a two-member subview {p0, p1}.
+    structure = lead.eview.structure
+    lead.sv_set_merge([structure.svset_of(cluster.stack_at(s).pid).ssid for s in (0, 1)])
+    cluster.run_for(15)
+    structure = lead.eview.structure
+    lead.subview_merge(
+        [structure.subview_of(cluster.stack_at(s).pid).sid for s in (0, 1)]
+    )
+    cluster.run_for(15)
+    lead.multicast_subview("subview-only")
+    cluster.run_for(15)
+    assert "subview-only" in cluster.apps[0].got
+    assert "subview-only" in cluster.apps[1].got
+    assert "subview-only" not in cluster.apps[2].got
+    assert "subview-only" not in cluster.apps[3].got
+
+
+def test_scoped_multicast_on_singleton_subview_is_local():
+    cluster = scoped_cluster()
+    cluster.stack_at(2).multicast_subview("me-only")
+    cluster.run_for(15)
+    assert cluster.apps[2].got == ["me-only"]
+    assert cluster.apps[0].got == []
+
+
+def test_scoped_multicast_keeps_vs_properties():
+    """Scoping is an application-level filter: at the VS level the
+    message is a normal view multicast and all properties still hold."""
+    cluster = scoped_cluster()
+    cluster.stack_at(1).multicast_subview("scoped")
+    cluster.stack_at(0).multicast("plain")
+    cluster.run_for(15)
+    cluster.crash(3)
+    assert cluster.settle(timeout=500)
+    assert_all_properties(cluster.recorder)
+
+
+def test_scoped_multicast_before_view_returns_none():
+    cluster = Cluster(2, app_factory=lambda pid: Collector(), auto_start=False)
+    stack = cluster.start_site(0)
+    # The singleton bootstrap view exists immediately, so scoping works,
+    # delivering locally.
+    assert stack.multicast_subview("early") is not None
+
+
+# ---------------------------------------------------------------------------
+# Skeen-safe creation (creation_requires_all_sites)
+# ---------------------------------------------------------------------------
+
+
+class PersistentKv(GroupObject):
+    def __init__(self, require_all: bool) -> None:
+        super().__init__(
+            QuorumModeFunction.uniform(range(5)),
+            creation_requires_all_sites=require_all,
+        )
+        self.data: dict = {}
+
+    def bind(self, stack) -> None:
+        super().bind(stack)
+        stored = stack.storage.read("kv")
+        if stored is not None:
+            self.data = stored
+
+    def snapshot_state(self):
+        return dict(self.data)
+
+    def adopt_state(self, state):
+        self.data = dict(state)
+        self.stack.storage.write("kv", self.data)
+
+    def apply_op(self, sender, op, msg_id):
+        self.data[op[0]] = op[1]
+        self.stack.storage.write("kv", self.data)
+
+    def merge_app_states(self, offers):
+        merged: dict = {}
+        for offer in sorted(offers, key=lambda o: (o.version, o.sender)):
+            merged.update(offer.state)
+        return merged
+
+
+def total_failure_partial_recovery(require_all: bool) -> Cluster:
+    cluster = Cluster(
+        5,
+        app_factory=lambda pid: PersistentKv(require_all),
+        config=ClusterConfig(seed=1),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    # Site 4 is the last to fail and holds the freshest state.
+    cluster.apps[0].submit_op(("k", "old"))
+    cluster.run_for(30)
+    for site in (0, 1, 2, 3):
+        cluster.crash(site)
+    cluster.run_for(30)
+    cluster.apps[4].data["k"] = "newest"  # local update persisted below
+    cluster.apps[4].stack.storage.write("kv", cluster.apps[4].data)
+    cluster.crash(4)
+    cluster.run_for(50)
+    # Only a quorum recovers at first; site 4 (last to fail) stays down.
+    for site in (0, 1, 2):
+        cluster.recover(site)
+    assert cluster.settle(timeout=600)
+    cluster.run_for(300)
+    return cluster
+
+
+def test_unsafe_creation_proceeds_with_quorum_and_loses_newest_state():
+    cluster = total_failure_partial_recovery(require_all=False)
+    assert cluster.apps[0].mode is Mode.NORMAL
+    assert cluster.apps[0].data.get("k") == "old"  # site 4's update lost
+
+
+def test_skeen_safe_creation_waits_for_last_process_to_fail():
+    cluster = total_failure_partial_recovery(require_all=True)
+    # Without every site present, creation is deferred: nobody is N.
+    assert all(
+        cluster.apps[s].mode is not Mode.NORMAL for s in (0, 1, 2)
+    )
+    waits = cluster.recorder.app_events("settle_wait_all_sites")
+    assert waits
+    # Now the last process to fail recovers; creation proceeds and its
+    # state (the freshest persisted one) wins.
+    cluster.recover(3)
+    cluster.recover(4)
+    assert cluster.settle(timeout=700)
+    cluster.run_for(400)
+    for site in range(5):
+        assert cluster.apps[site].mode is Mode.NORMAL, site
+        assert cluster.apps[site].data.get("k") == "newest"

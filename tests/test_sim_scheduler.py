@@ -1,0 +1,165 @@
+"""Tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Scheduler
+
+
+def test_starts_at_time_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_events_run_in_time_order():
+    sched = Scheduler()
+    seen = []
+    sched.at(5.0, seen.append, "b")
+    sched.at(1.0, seen.append, "a")
+    sched.at(9.0, seen.append, "c")
+    sched.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sched = Scheduler()
+    seen = []
+    for tag in range(10):
+        sched.at(3.0, seen.append, tag)
+    sched.run()
+    assert seen == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    sched = Scheduler()
+    times = []
+    sched.at(2.5, lambda: times.append(sched.now))
+    sched.at(7.0, lambda: times.append(sched.now))
+    sched.run()
+    assert times == [2.5, 7.0]
+    assert sched.now == 7.0
+
+
+def test_after_is_relative_to_now():
+    sched = Scheduler()
+    fired = []
+    sched.at(10.0, lambda: sched.after(5.0, lambda: fired.append(sched.now)))
+    sched.run()
+    assert fired == [15.0]
+
+
+def test_cancelled_event_does_not_fire():
+    sched = Scheduler()
+    seen = []
+    event = sched.at(1.0, seen.append, "x")
+    event.cancel()
+    sched.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sched = Scheduler()
+    event = sched.at(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sched.run()
+
+
+def test_run_until_stops_before_later_events():
+    sched = Scheduler()
+    seen = []
+    sched.at(1.0, seen.append, "early")
+    sched.at(100.0, seen.append, "late")
+    sched.run(until=50.0)
+    assert seen == ["early"]
+    assert sched.now == 50.0
+    sched.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_for_advances_relative_duration():
+    sched = Scheduler()
+    sched.run_for(25.0)
+    assert sched.now == 25.0
+    sched.run_for(10.0)
+    assert sched.now == 35.0
+
+
+def test_run_until_advances_clock_even_when_queue_empty():
+    sched = Scheduler()
+    sched.run(until=42.0)
+    assert sched.now == 42.0
+
+
+def test_scheduling_into_the_past_raises():
+    sched = Scheduler()
+    sched.at(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.after(-1.0, lambda: None)
+
+
+def test_events_can_schedule_more_events():
+    sched = Scheduler()
+    seen = []
+
+    def chain(n: int) -> None:
+        seen.append(n)
+        if n < 5:
+            sched.after(1.0, chain, n + 1)
+
+    sched.after(1.0, chain, 1)
+    sched.run()
+    assert seen == [1, 2, 3, 4, 5]
+    assert sched.now == 5.0
+
+
+def test_max_events_guards_against_livelock():
+    sched = Scheduler()
+
+    def forever() -> None:
+        sched.after(1.0, forever)
+
+    sched.after(1.0, forever)
+    with pytest.raises(SimulationError):
+        sched.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sched = Scheduler()
+    assert sched.step() is False
+    sched.at(1.0, lambda: None)
+    assert sched.step() is True
+    assert sched.step() is False
+
+
+def test_pending_counts_only_live_events():
+    sched = Scheduler()
+    keep = sched.at(1.0, lambda: None)
+    drop = sched.at(2.0, lambda: None)
+    drop.cancel()
+    assert sched.pending == 1
+    assert keep is not None
+
+
+def test_events_run_counter():
+    sched = Scheduler()
+    for i in range(4):
+        sched.at(float(i + 1), lambda: None)
+    sched.run()
+    assert sched.events_run == 4
+
+
+def test_args_are_passed_to_callback():
+    sched = Scheduler()
+    seen = []
+    sched.at(1.0, lambda a, b: seen.append((a, b)), 1, "two")
+    sched.run()
+    assert seen == [(1, "two")]

@@ -1,0 +1,184 @@
+"""Tests for RNG streams, processes/timers and stable storage."""
+
+from __future__ import annotations
+
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+from repro.sim.stable_storage import SiteStorage, StableStore
+from repro.types import ProcessId
+
+
+# ---------------------------------------------------------------------------
+# RngStreams
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).stream("latency")
+    b = RngStreams(7).stream("latency")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_new_consumer_does_not_perturb_existing_stream():
+    first = RngStreams(3)
+    lone = [first.stream("net").random() for _ in range(5)]
+    second = RngStreams(3)
+    second.stream("workload").random()  # extra consumer
+    shared = [second.stream("net").random() for _ in range(5)]
+    assert lone == shared
+
+
+def test_spawn_derives_independent_family():
+    parent = RngStreams(3)
+    child = parent.spawn("sub")
+    assert child.seed != parent.seed
+    assert child.stream("x").random() != parent.stream("x").random()
+
+
+# ---------------------------------------------------------------------------
+# Process and timers
+# ---------------------------------------------------------------------------
+
+
+class _Ticker(Process):
+    def __init__(self, pid, scheduler, storage):
+        super().__init__(pid, scheduler, storage)
+        self.ticks = []
+
+    def on_network(self, src, payload):
+        pass
+
+
+def _make_process() -> tuple[Scheduler, _Ticker]:
+    sched = Scheduler()
+    proc = _Ticker(ProcessId(0), sched, SiteStorage(0))
+    return sched, proc
+
+
+def test_one_shot_timer_fires_once():
+    sched, proc = _make_process()
+    proc.set_timer(5.0, lambda: proc.ticks.append(sched.now))
+    sched.run_for(50.0)
+    assert proc.ticks == [5.0]
+
+
+def test_periodic_timer_fires_repeatedly():
+    sched, proc = _make_process()
+    proc.set_periodic(10.0, lambda: proc.ticks.append(sched.now))
+    sched.run_for(35.0)
+    assert proc.ticks == [10.0, 20.0, 30.0]
+
+
+def test_cancelled_timer_does_not_fire():
+    sched, proc = _make_process()
+    timer = proc.set_timer(5.0, lambda: proc.ticks.append("x"))
+    timer.cancel()
+    sched.run_for(10.0)
+    assert proc.ticks == []
+
+
+def test_crash_silences_timers():
+    sched, proc = _make_process()
+    proc.set_periodic(5.0, lambda: proc.ticks.append(sched.now))
+    sched.run_for(11.0)
+    proc.crash()
+    sched.run_for(50.0)
+    assert proc.ticks == [5.0, 10.0]
+    assert not proc.alive
+
+
+def test_crash_is_idempotent():
+    _, proc = _make_process()
+    hooks = []
+    proc.on_crash = lambda: hooks.append(1)  # type: ignore[method-assign]
+    proc.crash()
+    proc.crash()
+    assert hooks == [1]
+
+
+def test_crashed_process_drops_deliveries():
+    _, proc = _make_process()
+    seen = []
+    proc.on_network = lambda src, payload: seen.append(payload)  # type: ignore[method-assign]
+    proc.crash()
+    proc.deliver_network(ProcessId(1), "msg")
+    assert seen == []
+
+
+# ---------------------------------------------------------------------------
+# Stable storage
+# ---------------------------------------------------------------------------
+
+
+def test_storage_read_returns_default_when_missing():
+    storage = SiteStorage(0)
+    assert storage.read("nothing") is None
+    assert storage.read("nothing", 42) == 42
+
+
+def test_storage_write_snapshots_value():
+    storage = SiteStorage(0)
+    data = {"a": [1, 2]}
+    storage.write("k", data)
+    data["a"].append(3)  # later mutation must not leak into storage
+    assert storage.read("k") == {"a": [1, 2]}
+
+
+def test_storage_read_returns_private_copy():
+    storage = SiteStorage(0)
+    storage.write("k", [1, 2])
+    copy = storage.read("k")
+    copy.append(3)
+    assert storage.read("k") == [1, 2]
+
+
+def test_storage_append_builds_log():
+    storage = SiteStorage(0)
+    storage.append("log", "a")
+    storage.append("log", "b")
+    assert storage.read("log") == ["a", "b"]
+
+
+def test_storage_contains_and_keys():
+    storage = SiteStorage(0)
+    storage.write("k", 1)
+    assert "k" in storage
+    assert "other" not in storage
+    assert list(storage.keys()) == ["k"]
+
+
+def test_storage_wipe():
+    storage = SiteStorage(0)
+    storage.write("k", 1)
+    storage.wipe()
+    assert "k" not in storage
+
+
+def test_store_returns_same_site_storage():
+    store = StableStore()
+    assert store.site(3) is store.site(3)
+    assert store.site(3) is not store.site(4)
+
+
+def test_storage_survives_process_crash_boundary():
+    """The storage object outlives any process incarnation using it."""
+    store = StableStore()
+    sched = Scheduler()
+    first = _Ticker(ProcessId(0, 0), sched, store.site(0))
+    first.storage.write("epoch", 7)
+    first.crash()
+    second = _Ticker(ProcessId(0, 1), sched, store.site(0))
+    assert second.storage.read("epoch") == 7

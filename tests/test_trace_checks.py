@@ -1,0 +1,194 @@
+"""The checkers must *detect* violations, not just pass clean traces.
+
+Each test fabricates a synthetic trace seeded with exactly one defect
+and asserts the corresponding checker flags it (and only it).
+"""
+
+from __future__ import annotations
+
+from repro.trace.checks import (
+    check_agreement,
+    check_causal_order,
+    check_integrity,
+    check_structure,
+    check_total_order,
+    check_uniqueness,
+    check_view_monotonicity,
+)
+from repro.trace.events import (
+    DeliveryEvent,
+    EViewChangeEvent,
+    MulticastEvent,
+    ViewInstallEvent,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.types import MessageId, ProcessId, SubviewId, SvSetId, ViewId
+
+P0, P1, P2 = ProcessId(0), ProcessId(1), ProcessId(2)
+V1 = ViewId(1, P0)
+V2 = ViewId(2, P0)
+V3 = ViewId(3, P0)
+M = MessageId(P0, V1, 1)
+
+
+def _install(rec, t, pid, vid, members, prev):
+    rec.record(
+        ViewInstallEvent(
+            time=t, pid=pid, view_id=vid, members=frozenset(members), prev_view_id=prev
+        )
+    )
+
+
+def _structure(rec, t, pid, vid, seq, groups):
+    subviews = tuple(
+        (SubviewId(vid.epoch, min(g), i), frozenset(g))
+        for i, g in enumerate(groups)
+    )
+    svsets = tuple(
+        (SvSetId(vid.epoch, min(g), i), frozenset({subviews[i][0]}))
+        for i, g in enumerate(groups)
+    )
+    rec.record(
+        EViewChangeEvent(
+            time=t, pid=pid, view_id=vid, eview_seq=seq,
+            subviews=subviews, svsets=svsets,
+        )
+    )
+
+
+def test_agreement_flags_divergent_delivery_sets():
+    rec = TraceRecorder()
+    for pid in (P0, P1):
+        _install(rec, 0, pid, V1, {P0, P1}, None)
+    rec.record(MulticastEvent(time=1, pid=P0, msg_id=M))
+    rec.record(DeliveryEvent(time=2, pid=P0, msg_id=M, view_id=V1))
+    # P1 never delivers M, yet both survive into V2.
+    for pid in (P0, P1):
+        _install(rec, 3, pid, V2, {P0, P1}, V1)
+    report = check_agreement(rec)
+    assert not report.ok
+    assert "disagree" in report.violations[0]
+
+
+def test_agreement_ok_when_survivor_groups_differ():
+    rec = TraceRecorder()
+    for pid in (P0, P1):
+        _install(rec, 0, pid, V1, {P0, P1}, None)
+    rec.record(MulticastEvent(time=1, pid=P0, msg_id=M))
+    rec.record(DeliveryEvent(time=2, pid=P0, msg_id=M, view_id=V1))
+    _install(rec, 3, P0, V2, {P0}, V1)
+    _install(rec, 3, P1, V3, {P1}, V1)  # different next view: unconstrained
+    assert check_agreement(rec).ok
+
+
+def test_uniqueness_flags_two_view_delivery():
+    rec = TraceRecorder()
+    rec.record(MulticastEvent(time=0, pid=P0, msg_id=M))
+    rec.record(DeliveryEvent(time=1, pid=P0, msg_id=M, view_id=V1))
+    rec.record(DeliveryEvent(time=2, pid=P1, msg_id=M, view_id=V2))
+    report = check_uniqueness(rec)
+    assert not report.ok
+
+
+def test_integrity_flags_duplicate_delivery():
+    rec = TraceRecorder()
+    rec.record(MulticastEvent(time=0, pid=P0, msg_id=M))
+    rec.record(DeliveryEvent(time=1, pid=P1, msg_id=M, view_id=V1))
+    rec.record(DeliveryEvent(time=2, pid=P1, msg_id=M, view_id=V1))
+    report = check_integrity(rec)
+    assert any("twice" in v for v in report.violations)
+
+
+def test_integrity_flags_phantom_message():
+    rec = TraceRecorder()
+    rec.record(DeliveryEvent(time=1, pid=P1, msg_id=M, view_id=V1))
+    report = check_integrity(rec)
+    assert any("never-multicast" in v for v in report.violations)
+
+
+def test_monotonicity_flags_regressing_views():
+    rec = TraceRecorder()
+    _install(rec, 0, P0, V2, {P0}, None)
+    _install(rec, 1, P0, V1, {P0}, V2)
+    report = check_view_monotonicity(rec)
+    assert not report.ok
+
+
+def test_total_order_flags_skipped_sequence():
+    rec = TraceRecorder()
+    _structure(rec, 0, P0, V1, 0, [[P0, P1]])
+    _structure(rec, 1, P0, V1, 2, [[P0, P1]])  # skipped seq 1
+    report = check_total_order(rec)
+    assert not report.ok
+
+
+def test_total_order_flags_divergent_structures():
+    rec = TraceRecorder()
+    _structure(rec, 0, P0, V1, 0, [[P0], [P1]])
+    _structure(rec, 0, P1, V1, 0, [[P0, P1]])  # same seq, different shape
+    report = check_total_order(rec)
+    assert any("divergent" in v for v in report.violations)
+
+
+def test_causal_order_flags_premature_delivery():
+    rec = TraceRecorder()
+    _structure(rec, 0, P0, V1, 0, [[P0, P1]])
+    rec.record(MulticastEvent(time=1, pid=P1, msg_id=M))
+    rec.record(
+        DeliveryEvent(
+            time=2, pid=P0, msg_id=M, view_id=V1, sender_eview_seq=3
+        )
+    )
+    report = check_causal_order(rec)
+    assert not report.ok
+
+
+def test_causal_order_passes_when_change_applied_first():
+    rec = TraceRecorder()
+    _structure(rec, 0, P0, V1, 0, [[P0, P1]])
+    _structure(rec, 1, P0, V1, 1, [[P0, P1]])
+    rec.record(
+        DeliveryEvent(time=2, pid=P0, msg_id=M, view_id=V1, sender_eview_seq=1)
+    )
+    assert check_causal_order(rec).ok
+
+
+def test_structure_flags_split_within_view():
+    rec = TraceRecorder()
+    _structure(rec, 0, P0, V1, 0, [[P0, P1]])
+    _structure(rec, 1, P0, V1, 1, [[P0], [P1]])  # a split: illegal
+    report = check_structure(rec)
+    assert any("split" in v for v in report.violations)
+
+
+def test_structure_flags_separated_mates_across_views():
+    rec = TraceRecorder()
+    for pid in (P0, P1):
+        _install(rec, 0, pid, V1, {P0, P1}, None)
+        _structure(rec, 0, pid, V1, 0, [[P0, P1]])
+    for pid in (P0, P1):
+        _install(rec, 1, pid, V2, {P0, P1}, V1)
+        _structure(rec, 1, pid, V2, 0, [[P0], [P1]])  # mates separated
+    report = check_structure(rec)
+    assert any("separated" in v for v in report.violations)
+
+
+def test_structure_ignores_processes_on_different_chains():
+    rec = TraceRecorder()
+    for pid in (P0, P1):
+        _install(rec, 0, pid, V1, {P0, P1}, None)
+        _structure(rec, 0, pid, V1, 0, [[P0, P1]])
+    # P0 takes V1 -> V2; P1 skips to V3 directly: pairs unconstrained.
+    _install(rec, 1, P0, V2, {P0, P1}, V1)
+    _structure(rec, 1, P0, V2, 0, [[P0], [P1]])
+    _install(rec, 2, P1, V3, {P0, P1}, V1)
+    _structure(rec, 2, P1, V3, 0, [[P0], [P1]])
+    assert check_structure(rec).ok
+
+
+def test_reports_render():
+    rec = TraceRecorder()
+    report = check_uniqueness(rec)
+    assert "Uniqueness" in str(report)
+    merged = report.merge(check_integrity(rec))
+    assert merged.ok

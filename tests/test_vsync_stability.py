@@ -1,0 +1,130 @@
+"""Tests for message stability tracking and garbage collection."""
+
+from __future__ import annotations
+
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.vsync.stack import StackConfig
+
+from tests.conftest import assert_all_properties
+
+
+def chatty_cluster(n: int = 4, interval: float = 20.0, seed: int = 0) -> Cluster:
+    config = ClusterConfig(
+        seed=seed, stack=StackConfig(stability_interval=interval)
+    )
+    cluster = Cluster(n, config=config)
+    assert cluster.settle(timeout=500)
+    return cluster
+
+
+def test_stable_messages_are_pruned():
+    cluster = chatty_cluster()
+    for i in range(40):
+        cluster.stack_at(i % 4).multicast(("m", i))
+        cluster.run_for(3)
+    cluster.run_for(120)  # several stability rounds
+    for stack in cluster.live_stacks():
+        assert stack.stability.messages_pruned > 0
+        # The buffer holds far fewer messages than were sent.
+        assert len(stack.channels.received) < 20
+
+
+def test_buffer_unbounded_without_stability():
+    cluster = chatty_cluster(interval=0.0)
+    for i in range(40):
+        cluster.stack_at(i % 4).multicast(("m", i))
+        cluster.run_for(3)
+    cluster.run_for(120)
+    stack = cluster.stack_at(0)
+    assert stack.stability.messages_pruned == 0
+    assert len(stack.channels.received) >= 40
+
+
+def test_pruning_preserves_all_properties():
+    cluster = chatty_cluster(interval=15.0, seed=3)
+    for i in range(30):
+        cluster.stack_at(i % 4).multicast(("m", i))
+        cluster.run_for(4)
+    cluster.partition([[0, 1], [2, 3]])
+    assert cluster.settle(timeout=500)
+    for i in range(10):
+        cluster.stack_at(0).multicast(("p", i))
+        cluster.stack_at(2).multicast(("q", i))
+        cluster.run_for(4)
+    cluster.heal()
+    assert cluster.settle(timeout=500)
+    cluster.run_for(100)
+    assert_all_properties(cluster.recorder)
+
+
+def test_no_duplicate_delivery_after_prune():
+    """A retransmitted or plan-carried copy of a pruned message must not
+    reach the application a second time (Integrity, 2.3)."""
+    cluster = chatty_cluster(interval=10.0, seed=1)
+    delivered: list = []
+    for site in range(4):
+        app = cluster.apps[site]
+        app.on_message = (
+            lambda sender, payload, msg_id, _site=site: delivered.append(
+                (_site, msg_id)
+            )
+        )
+    msg_id = cluster.stack_at(0).multicast("once-only")
+    cluster.run_for(80)  # deliver + stabilise + prune
+    stack = cluster.stack_at(1)
+    assert msg_id not in stack.channels.received  # pruned
+    # Simulate a duplicate arriving late (e.g. a retransmission).
+    from repro.types import Message
+
+    stack.channels.on_app_message(Message(msg_id, "once-only", 0))
+    cluster.run_for(10)
+    per_site = [m for s, m in delivered if m == msg_id]
+    assert len(per_site) == 4  # exactly one delivery per member
+
+
+def test_stability_vector_tracks_contiguous_prefix():
+    cluster = chatty_cluster(interval=0.0)
+    stack = cluster.stack_at(0)
+    sender = cluster.stack_at(1)
+    sender.multicast("a")
+    sender.multicast("b")
+    cluster.run_for(10)
+    prefix = stack.channels.delivered_prefix()
+    assert prefix[sender.pid] == 2
+
+
+def test_stability_resets_across_views():
+    cluster = chatty_cluster(interval=12.0, seed=2)
+    for i in range(10):
+        cluster.stack_at(0).multicast(("x", i))
+    cluster.run_for(80)
+    cluster.crash(3)
+    assert cluster.settle(timeout=500)
+    stack = cluster.stack_at(0)
+    # New view: fresh stability state, no stale prefixes.
+    assert stack.channels.delivered_prefix() == {} or all(
+        pid in stack.view.members
+        for pid in stack.channels.delivered_prefix()
+    )
+    cluster.stack_at(1).multicast("post-change")
+    cluster.run_for(60)
+    assert_all_properties(cluster.recorder)
+
+
+def test_stability_continues_under_new_coordinator():
+    """Crash the view coordinator; the next view's coordinator must keep
+    the garbage collection going."""
+    cluster = chatty_cluster(n=4, interval=15.0, seed=5)
+    for i in range(20):
+        cluster.stack_at(1 + i % 3).multicast(("pre", i))
+        cluster.run_for(3)
+    cluster.run_for(60)
+    pruned_before = cluster.stack_at(1).stability.messages_pruned
+    assert pruned_before > 0
+    cluster.crash(0)  # the coordinator dies
+    assert cluster.settle(timeout=500)
+    for i in range(20):
+        cluster.stack_at(1 + i % 3).multicast(("post", i))
+        cluster.run_for(3)
+    cluster.run_for(100)
+    assert cluster.stack_at(1).stability.messages_pruned > pruned_before

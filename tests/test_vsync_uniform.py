@@ -1,0 +1,90 @@
+"""Tests for uniform (majority-stable) delivery."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.types import ProcessId
+from repro.vsync.events import GroupApplication
+from repro.vsync.uniform import UniformDeliveryApp
+
+from tests.conftest import assert_all_properties
+
+
+class Log(GroupApplication):
+    def __init__(self) -> None:
+        super().__init__()
+        self.got: list[Any] = []
+
+    def on_message(self, sender, payload, msg_id) -> None:
+        self.got.append(payload)
+
+
+def uniform_cluster(n: int = 3, seed: int = 0) -> Cluster:
+    cluster = Cluster(
+        n,
+        app_factory=lambda pid: UniformDeliveryApp(Log()),
+        config=ClusterConfig(seed=seed),
+    )
+    assert cluster.settle(timeout=500)
+    return cluster
+
+
+def test_udelivery_happens_after_majority_acks():
+    cluster = uniform_cluster()
+    cluster.apps[0].ubcast("stable")
+    cluster.run_for(30)
+    for site in range(3):
+        assert cluster.apps[site].inner.got == ["stable"]
+        assert cluster.apps[site].u_delivered == 1
+        assert cluster.apps[site].pending_count == 0
+
+
+def test_plain_multicasts_pass_through():
+    cluster = uniform_cluster()
+    cluster.stack_at(1).multicast("plain")
+    cluster.run_for(20)
+    assert "plain" in cluster.apps[0].inner.got
+
+
+def test_udelivery_not_immediate():
+    """Before acks return, the message is pending, not delivered."""
+    cluster = uniform_cluster()
+    cluster.apps[2].ubcast("later")
+    cluster.run_for(1.5)  # the data multicast landed, the acks did not
+    receivers_with_pending = sum(
+        1 for site in range(3) if cluster.apps[site].pending_count > 0
+    )
+    assert receivers_with_pending >= 1
+    cluster.run_for(30)
+    assert all(cluster.apps[s].inner.got == ["later"] for s in range(3))
+
+
+def test_pending_messages_survive_view_change():
+    """A message caught mid-acknowledgement by a view change is
+    u-delivered in the next view (flush keeps the data; acks restart)."""
+    cluster = uniform_cluster(4, seed=2)
+    cluster.apps[0].ubcast("cutover")
+    cluster.run_for(1.5)
+    cluster.crash(3)  # view change while acks are in flight
+    assert cluster.settle(timeout=500)
+    cluster.run_for(60)
+    for site in range(3):
+        assert cluster.apps[site].inner.got == ["cutover"], site
+    assert_all_properties(cluster.recorder)
+
+
+def test_uniformity_across_partition():
+    """If any member u-delivers, the surviving majority u-delivers too,
+    even when the sender immediately leaves the majority side."""
+    cluster = uniform_cluster(5, seed=3)
+    cluster.run_for(50)
+    cluster.apps[4].ubcast("acted-upon")
+    cluster.run_for(30)  # u-delivered everywhere in the full view
+    assert cluster.apps[4].inner.got == ["acted-upon"]
+    cluster.partition([[0, 1, 2], [3, 4]])
+    assert cluster.settle(timeout=500)
+    for site in (0, 1, 2):
+        assert cluster.apps[site].inner.got == ["acted-upon"]
+    assert_all_properties(cluster.recorder)

@@ -1,0 +1,146 @@
+"""Tests for workload generators, canned scenarios and the bench harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Table, run_with_schedule
+from repro.net.faults import Crash, Heal, Join, Partition, Recover
+from repro.workload.generator import RandomFaultGenerator
+from repro.workload.scenarios import (
+    cascade_scenario,
+    clean_scenario,
+    figure2_scenario,
+    join_wave_scenario,
+    partition_heal_scenario,
+    total_failure_scenario,
+)
+
+from tests.conftest import assert_all_properties
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def test_clean_scenario_is_empty():
+    assert clean_scenario().actions == []
+
+
+def test_partition_heal_scenario_shape():
+    schedule = partition_heal_scenario(6, split_at=100, heal_at=300, minority=2)
+    kinds = [type(a).__name__ for a in schedule.actions]
+    assert kinds == ["Partition", "Heal"]
+    partition = schedule.actions[0]
+    assert partition.groups == ((0, 1, 2, 3), (4, 5))
+
+
+def test_cascade_scenario_validates():
+    schedule = cascade_scenario(5, crashes=3)
+    schedule.validate()
+    assert sum(isinstance(a, Crash) for a in schedule.actions) == 3
+    assert sum(isinstance(a, Recover) for a in schedule.actions) == 3
+
+
+def test_total_failure_scenario_crashes_everyone_then_recovers():
+    schedule = total_failure_scenario(4)
+    schedule.validate()
+    crashes = [a for a in schedule.actions if isinstance(a, Crash)]
+    recovers = [a for a in schedule.actions if isinstance(a, Recover)]
+    assert {a.site for a in crashes} == {0, 1, 2, 3}
+    assert {a.site for a in recovers} == {0, 1, 2, 3}
+    assert max(a.time for a in crashes) < min(a.time for a in recovers)
+
+
+def test_join_wave_scenario_sites_are_new():
+    schedule = join_wave_scenario(3, joiners=2)
+    joins = [a for a in schedule.actions if isinstance(a, Join)]
+    assert [a.site for a in joins] == [3, 4]
+
+
+def test_figure2_scenario():
+    schedule = figure2_scenario()
+    assert isinstance(schedule.actions[0], Partition)
+    assert isinstance(schedule.actions[1], Heal)
+
+
+# ---------------------------------------------------------------------------
+# Random generator
+# ---------------------------------------------------------------------------
+
+
+def test_generator_is_deterministic_per_seed():
+    a = RandomFaultGenerator(n_sites=5, seed=42).generate()
+    b = RandomFaultGenerator(n_sites=5, seed=42).generate()
+    assert a.actions == b.actions
+
+
+def test_generator_different_seeds_differ():
+    a = RandomFaultGenerator(n_sites=5, seed=1).generate()
+    b = RandomFaultGenerator(n_sites=5, seed=2).generate()
+    assert a.actions != b.actions
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_generated_schedules_are_valid(seed):
+    schedule = RandomFaultGenerator(n_sites=6, seed=seed).generate()
+    schedule.validate()  # raises on up/down inconsistencies
+
+
+def test_generator_ends_with_everyone_up_and_healed():
+    for seed in range(5):
+        schedule = RandomFaultGenerator(n_sites=4, seed=seed).generate()
+        down: set[int] = set()
+        partitioned = False
+        for action in sorted(schedule.actions, key=lambda a: a.time):
+            if isinstance(action, Crash):
+                down.add(action.site)
+            elif isinstance(action, Recover):
+                down.discard(action.site)
+            elif isinstance(action, Partition):
+                partitioned = True
+            elif isinstance(action, Heal):
+                partitioned = False
+        assert not down
+        assert not partitioned
+
+
+def test_generator_respects_max_down_fraction():
+    gen = RandomFaultGenerator(n_sites=4, seed=0, max_down_fraction=0.5)
+    schedule = gen.generate()
+    down: set[int] = set()
+    for action in sorted(schedule.actions, key=lambda a: a.time):
+        if isinstance(action, Crash):
+            down.add(action.site)
+            assert len(down) <= 2
+        elif isinstance(action, Recover):
+            down.discard(action.site)
+
+
+# ---------------------------------------------------------------------------
+# Bench harness
+# ---------------------------------------------------------------------------
+
+
+def test_table_renders_aligned():
+    table = Table("demo", ["name", "value"])
+    table.add("alpha", 1)
+    table.add("b", 123.456)
+    text = table.render()
+    assert "demo" in text
+    assert "alpha" in text
+    assert "123.46" in text
+
+
+def test_table_rejects_bad_rows():
+    table = Table("demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(1)
+
+
+def test_run_with_schedule_end_to_end():
+    schedule = partition_heal_scenario(4, split_at=120, heal_at=280, minority=1)
+    cluster = run_with_schedule(4, schedule, tail=250)
+    assert cluster.is_settled()
+    assert_all_properties(cluster.recorder)

@@ -1,0 +1,96 @@
+"""Tests for the client workload drivers."""
+
+from __future__ import annotations
+
+from repro.apps.lock_manager import MajorityLockManager
+from repro.apps.replicated_db import ParallelLookupDatabase
+from repro.apps.replicated_file import ReplicatedFile
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.workload.clients import (
+    FileClient,
+    LockClient,
+    MulticastClient,
+    QueryClient,
+)
+
+from tests.conftest import assert_all_properties, settled_cluster
+
+
+def test_multicast_client_generates_traffic():
+    cluster = settled_cluster(3)
+    client = MulticastClient(cluster, interval=8.0).start()
+    cluster.run_for(100)
+    assert client.stats.succeeded > 20
+    assert client.stats.success_rate > 0.9
+    assert len(cluster.recorder.deliveries()) >= client.stats.succeeded
+
+
+def test_multicast_client_counts_rejections_during_flush():
+    cluster = settled_cluster(3)
+    client = MulticastClient(cluster, interval=5.0).start()
+    cluster.run_for(30)
+    cluster.crash(2)  # triggers flushing windows
+    cluster.run_for(100)
+    assert client.stats.attempted > client.stats.succeeded or (
+        client.stats.rejected == 0
+    )
+    assert_all_properties(cluster.recorder)
+
+
+def test_client_stop_halts_traffic():
+    cluster = settled_cluster(2)
+    client = MulticastClient(cluster, interval=5.0).start()
+    cluster.run_for(30)
+    count = client.stats.attempted
+    client.stop()
+    cluster.run_for(50)
+    assert client.stats.attempted == count
+
+
+def test_file_client_commits_and_converges():
+    votes = {s: 1 for s in range(4)}
+    cluster = Cluster(
+        4, app_factory=lambda pid: ReplicatedFile(votes),
+        config=ClusterConfig(seed=1),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    client = FileClient(cluster, interval=12.0).start()
+    cluster.run_for(200)
+    client.stop()
+    cluster.run_for(80)
+    assert client.committed_handles()
+    listings = [cluster.apps[s].listing() for s in range(4)]
+    assert all(listing == listings[0] for listing in listings)
+
+
+def test_lock_client_churns_without_violation():
+    cluster = Cluster(
+        5, app_factory=lambda pid: MajorityLockManager(range(5)),
+        config=ClusterConfig(seed=2),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(150)
+    client = LockClient(cluster, interval=10.0).start()
+    cluster.run_for(200)
+    grants = sum(cluster.apps[s].grants for s in range(5))
+    assert grants > 5
+    holders = {
+        cluster.apps[s].holder for s in range(5)
+        if cluster.apps[s].holder is not None
+    }
+    assert len(holders) <= 1
+
+
+def test_query_client_completes_lookups():
+    cluster = Cluster(
+        4,
+        app_factory=lambda pid: ParallelLookupDatabase({"all": lambda k, v: True}),
+        config=ClusterConfig(seed=3),
+    )
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    client = QueryClient(cluster, interval=14.0).start()
+    cluster.run_for(200)
+    assert client.stats.succeeded > 5
+    assert client.completed_lookups > 3
