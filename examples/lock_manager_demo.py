@@ -14,8 +14,28 @@ from __future__ import annotations
 from repro import Cluster
 from repro.apps import MajorityLockManager
 from repro.core.classify import classify_enriched, classify_flat
+from repro.evs.eview import EView, EViewStructure, Subview, SvSet
+from repro.gms.view import View
 
 N = 5
+
+
+def install_time_eview(cluster: Cluster, site: int) -> EView:
+    """The e-view of ``site`` as delivered with its current view (seq 0),
+    reconstructed from the trace — i.e. before any application-requested
+    merges mutated the structure."""
+    stack = cluster.stack_at(site)
+    vid = stack.current_view_id()
+    ev0 = next(
+        e
+        for e in cluster.recorder.eview_changes()
+        if e.pid == stack.pid and e.view_id == vid and e.eview_seq == 0
+    )
+    structure = EViewStructure(
+        tuple(Subview(sid, members) for sid, members in ev0.subviews),
+        tuple(SvSet(ssid, sids) for ssid, sids in ev0.svsets),
+    )
+    return EView(View(vid, stack.view.members), structure, seq=0)
 
 
 def main() -> None:
@@ -47,7 +67,10 @@ def main() -> None:
     print("\n-- repair: what can site 3 conclude about the new view? --")
     cluster.heal()
     cluster.settle()
-    eview = cluster.stack_at(3).eview
+    # Classify the structure *as installed* (seq 0): that is the cut at
+    # which the paper's process reasons.  The live e-view may already
+    # show the post-settlement merge by the time settle() returns.
+    eview = install_time_eview(cluster, 3)
     flat = classify_flat("R", len(eview.members), exclusive_full=True)
     fn = cluster.apps[3].automaton.mode_function
     verdict = classify_enriched(eview, fn.n_capable)

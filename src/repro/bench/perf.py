@@ -1,0 +1,237 @@
+"""Performance regression harness for the simulation core.
+
+Runs a fixed workload matrix against the current core and reports
+throughput next to the committed pre-change baseline:
+
+* **bootstrap** — start ``n`` sites, run until membership settles on the
+  full view.  Exercises the membership/flush protocol and timer churn.
+* **partition_heal** — settle, then cut the group in half and heal it,
+  twice.  Exercises view agreement under topology change and the
+  in-flight message cut.
+* **steady_multicast** — settle, then every site multicasts on a 2.0
+  virtual-unit tick for 400 units.  Exercises the scheduler fast lane,
+  ``Network.multicast`` and the per-sender delivery chains — the hot
+  path of every long experiment.
+
+Methodology: the baseline was captured on the pre-change core (commit
+``82f3cc5``) with the only modes that core had — per-type wire stats
+always on and full trace recording.  The current numbers are measured
+with the benchmark modes the optimized core defaults to for throughput
+work (``detailed_stats=False``, ``trace_level="none"``); the n=24
+steady-state workload is additionally re-run with detailed stats and
+full recording on, so the table separates what the core optimizations
+bought from what the cheaper default modes bought.  Same seeds, same
+virtual durations, same workload code on both sides.
+
+Run::
+
+    python -m repro.bench.perf           # full matrix, writes BENCH_PERF.json
+    python -m repro.bench.perf --quick   # CI smoke: small sizes, no file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.bench.harness import Table
+from repro.runtime.cluster import Cluster, ClusterConfig
+
+SEED = 7
+STEADY_TICK = 2.0
+STEADY_DURATION = 400.0
+SETTLE_TIMEOUT = 600.0
+
+#: Throughput of the pre-change core (events/sec, messages/sec) on this
+#: exact workload matrix, captured before the fast-path rewrite landed.
+#: Kept inline so the speedup column renders without any extra artifact.
+BASELINE: dict[str, dict[str, Any]] = {
+    "core": "pre-change (commit 82f3cc5)",
+    "modes": "detailed stats always on, full trace recording (only modes available)",
+    "workloads": {
+        "steady_multicast_n8": {"events_per_s": 34592, "messages_per_s": 28387, "wall_s": 0.5583},
+        "steady_multicast_n16": {"events_per_s": 24781, "messages_per_s": 22472, "wall_s": 3.0010},
+        "steady_multicast_n24": {"events_per_s": 20242, "messages_per_s": 18968, "wall_s": 8.1582},
+        "bootstrap_n8": {"events_per_s": 46883, "wall_s": 0.0057},
+        "bootstrap_n16": {"events_per_s": 14836, "wall_s": 0.0633},
+        "bootstrap_n24": {"events_per_s": 25308, "wall_s": 0.0788},
+        "partition_heal_n8": {"events_per_s": 62342, "wall_s": 0.0148},
+        "partition_heal_n16": {"events_per_s": 48447, "wall_s": 0.0625},
+    },
+}
+
+
+def _bench_config(**overrides: Any) -> ClusterConfig:
+    cfg = dict(seed=SEED, detailed_stats=False, trace_level="none")
+    cfg.update(overrides)
+    return ClusterConfig(**cfg)
+
+
+def bench_bootstrap(n: int, config: ClusterConfig) -> dict[str, Any]:
+    """Wall time to bring ``n`` sites from cold start to a settled view."""
+    t0 = time.perf_counter()
+    cluster = Cluster(n, config=config)
+    settled = cluster.settle(timeout=SETTLE_TIMEOUT)
+    wall = time.perf_counter() - t0
+    events = cluster.scheduler.events_run
+    return {
+        "n": n,
+        "settled": settled,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": int(events / wall) if wall > 0 else 0,
+    }
+
+
+def bench_partition_heal(
+    n: int, config: ClusterConfig, cycles: int = 2
+) -> dict[str, Any]:
+    """Repeated half/half partition + heal, settling after each step."""
+    cluster = Cluster(n, config=config)
+    cluster.settle(timeout=SETTLE_TIMEOUT)
+    ev0 = cluster.scheduler.events_run
+    half = n // 2
+    t0 = time.perf_counter()
+    for _ in range(cycles):
+        cluster.partition([list(range(half)), list(range(half, n))])
+        cluster.settle(timeout=SETTLE_TIMEOUT)
+        cluster.heal()
+        cluster.settle(timeout=SETTLE_TIMEOUT)
+    wall = time.perf_counter() - t0
+    events = cluster.scheduler.events_run - ev0
+    return {
+        "n": n,
+        "cycles": cycles,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": int(events / wall) if wall > 0 else 0,
+    }
+
+
+def bench_steady_multicast(
+    n: int, config: ClusterConfig, duration: float = STEADY_DURATION
+) -> dict[str, Any]:
+    """Every site multicasts on a fixed tick for ``duration`` units."""
+    cluster = Cluster(n, config=config)
+    cluster.settle(timeout=SETTLE_TIMEOUT)
+    for site in sorted(cluster.stacks):
+        stack = cluster.stacks[site]
+        stack.set_periodic(
+            STEADY_TICK,
+            lambda s=stack: s.alive and s.multicast(("w", s.pid.site)),
+        )
+    ev0 = cluster.scheduler.events_run
+    delivered0 = cluster.network.stats.delivered
+    t0 = time.perf_counter()
+    cluster.run_for(duration)
+    wall = time.perf_counter() - t0
+    events = cluster.scheduler.events_run - ev0
+    delivered = cluster.network.stats.delivered - delivered0
+    return {
+        "n": n,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_s": int(events / wall) if wall > 0 else 0,
+        "messages_delivered": delivered,
+        "messages_per_s": int(delivered / wall) if wall > 0 else 0,
+    }
+
+
+def run_matrix(quick: bool = False) -> dict[str, Any]:
+    """Run the workload matrix; returns the results keyed like BASELINE."""
+    sizes = (8,) if quick else (8, 16, 24, 48)
+    duration = 100.0 if quick else STEADY_DURATION
+    cycles = 1 if quick else 2
+    results: dict[str, Any] = {}
+    for n in sizes:
+        results[f"bootstrap_n{n}"] = bench_bootstrap(n, _bench_config())
+    for n in sizes[: 2 if quick else 3]:
+        results[f"partition_heal_n{n}"] = bench_partition_heal(
+            n, _bench_config(), cycles=cycles
+        )
+    for n in sizes:
+        results[f"steady_multicast_n{n}"] = bench_steady_multicast(
+            n, _bench_config(), duration=duration
+        )
+    if not quick:
+        # Control run: same workload with the expensive modes the
+        # baseline was forced to use, to isolate core vs. mode wins.
+        results["steady_multicast_n24_full_recording"] = bench_steady_multicast(
+            24,
+            _bench_config(detailed_stats=True, trace_level="full"),
+            duration=duration,
+        )
+    return results
+
+
+def report(results: dict[str, Any]) -> Table:
+    table = Table(
+        "simulation core throughput (current vs pre-change baseline)",
+        ["workload", "wall s", "events/s", "msgs/s", "baseline ev/s", "speedup"],
+    )
+    for name, row in results.items():
+        base = BASELINE["workloads"].get(name, {})
+        base_rate = base.get("events_per_s")
+        speedup = (
+            f"{row['events_per_s'] / base_rate:.2f}x" if base_rate else "-"
+        )
+        table.add(
+            name,
+            row["wall_s"],
+            row["events_per_s"],
+            row.get("messages_per_s", "-"),
+            base_rate or "-",
+            speedup,
+        )
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: n=8 only, short runs, no BENCH_PERF.json",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_PERF.json",
+        help="output path for the JSON report (full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    print("== perf harness ==")
+    print(f"baseline core : {BASELINE['core']}")
+    print(f"baseline modes: {BASELINE['modes']}")
+    print("current modes : detailed_stats=False, trace_level='none'"
+          " (plus one full-recording control run at n=24)")
+    print(f"seed={SEED}  steady tick={STEADY_TICK}  duration={STEADY_DURATION}")
+
+    t0 = time.perf_counter()
+    results = run_matrix(quick=args.quick)
+    total = time.perf_counter() - t0
+    report(results).show()
+    print(f"total wall time: {total:.1f}s")
+
+    if not args.quick:
+        payload = {
+            "baseline": BASELINE,
+            "current": {
+                "modes": "detailed_stats=False, trace_level='none'",
+                "workloads": results,
+            },
+        }
+        key = "steady_multicast_n24"
+        base = BASELINE["workloads"][key]["events_per_s"]
+        cur = results[key]["events_per_s"]
+        payload["headline_speedup_n24"] = round(cur / base, 2)
+        Path(args.out).write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote {args.out} (n24 steady-state speedup: {cur / base:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

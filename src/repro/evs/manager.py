@@ -114,9 +114,8 @@ class EViewManager:
                 seq, "svset", req.inputs, new_svset=SvSetId(epoch, req.sender, seq)
             )
         change = EvChange(self.eview.view_id, delta)
-        for member in self.eview.members:
-            if member != self.stack.pid:
-                self.stack.send(member, change)
+        own = self.stack.pid
+        self.stack.send_many((m for m in self.eview.members if m != own), change)
         self.on_change(self.stack.pid, change)
 
     # -- loss repair within a stable view ----------------------------------

@@ -59,7 +59,28 @@ class HeartbeatDetector:
         self.on_change: Callable[[], None] | None = None
 
     def start(self) -> None:
-        """Arm the heartbeat and sweep timers."""
+        """Arm the heartbeat and sweep timers.
+
+        The periodic timers are staggered by a deterministic per-process
+        phase offset within one interval: without it, every process a
+        cluster starts at the same instant beats at the same virtual
+        times forever, and each beat tick lands n*(n-1) deliveries on a
+        single instant — a pathological same-tick burst the real systems
+        being modelled never exhibit.  The offset is a pure function of
+        the process identifier, so runs stay reproducible.
+        """
+        phase = self._phase_offset()
+        self.stack.set_timer(phase, self._arm_periodic)
+        self._beat()
+
+    def _phase_offset(self) -> float:
+        # Golden-ratio hashing spreads consecutive site numbers (and
+        # successive incarnations at one site) evenly over the interval.
+        pid = self.stack.pid
+        frac = (pid.site * 0.6180339887498949 + pid.incarnation * 0.3819660112501051) % 1.0
+        return self.interval * frac
+
+    def _arm_periodic(self) -> None:
         self.stack.set_periodic(self.interval, self._beat)
         self.stack.set_periodic(self.interval, self._sweep)
         self._beat()
@@ -73,10 +94,10 @@ class HeartbeatDetector:
             last_seqno=self.stack.channels.own_seqno(),
             eview_seq=self.stack.evs.applied_seq,
         )
-        for site in self.stack.universe_sites():
-            if site == self.stack.pid.site:
-                continue
-            self.stack.send_site(site, beat)
+        own = self.stack.pid.site
+        self.stack.send_sites(
+            (site for site in self.stack.universe_sites() if site != own), beat
+        )
 
     # -- receiving --------------------------------------------------------
 
@@ -85,13 +106,21 @@ class HeartbeatDetector:
         self.heard(src)
 
     def heard(self, src: ProcessId) -> None:
-        """Register life evidence for ``src`` (any message counts)."""
+        """Register life evidence for ``src`` (any message counts).
+
+        Fast path: when ``src`` is already in the reachable estimate,
+        hearing it again can only refresh its timestamp — no need to
+        rebuild the estimate (this runs on *every* message delivery, so
+        it must not allocate).  Entries that time out are expired by the
+        periodic sweep instead.
+        """
         site = src.site
         prev = self._last_heard.get(site)
         if prev is not None and prev[1].incarnation > src.incarnation:
             return  # stale incarnation; ignore
         self._last_heard[site] = (self.stack.now, src)
-        self._refresh()
+        if src not in self._reachable_cache:
+            self._refresh()
 
     def _sweep(self) -> None:
         self._refresh()

@@ -189,9 +189,8 @@ class ViewAgreement:
         rnd.timer = self.stack.set_timer(self.config.round_timeout, self._round_timeout)
         self._round = rnd
         prepare = VcPrepare(round_id, members)
-        for member in members:
-            if member != self.stack.pid:
-                self.stack.send(member, prepare)
+        own = self.stack.pid
+        self.stack.send_many((m for m in members if m != own), prepare)
         self.on_prepare(self.stack.pid, prepare)
 
     def _cancel_round(self) -> None:
@@ -210,8 +209,7 @@ class ViewAgreement:
         if rnd.attempts == 1:
             # Maybe the prepare or the reply was lost; ask again.
             prepare = VcPrepare(rnd.round_id, rnd.members)
-            for member in missing:
-                self.stack.send(member, prepare)
+            self.stack.send_many(missing, prepare)
             rnd.timer = self.stack.set_timer(
                 self.config.round_timeout, self._round_timeout
             )
@@ -300,9 +298,8 @@ class ViewAgreement:
         structure = EViewStructure(tuple(subviews), tuple(svsets))
         install = VcInstall(rnd.round_id, view, structure, predecessors)
         self._cancel_round()
-        for member in view.members:
-            if member != self.stack.pid:
-                self.stack.send(member, install)
+        own = self.stack.pid
+        self.stack.send_many((m for m in view.members if m != own), install)
         self.on_install(self.stack.pid, install)
 
     @staticmethod
@@ -446,9 +443,10 @@ class ViewAgreement:
     def announce_leave(self) -> None:
         if self.view is None:
             return
-        for member in self.view.members:
-            if member != self.stack.pid:
-                self.stack.send(member, Leave(self.stack.pid))
+        own = self.stack.pid
+        self.stack.send_many(
+            (m for m in self.view.members if m != own), Leave(self.stack.pid)
+        )
 
     def on_leave(self, src: ProcessId, msg: Leave) -> None:
         self.stack.fd.force_down(msg.sender.site)

@@ -10,12 +10,19 @@ never overtake each other even when sampled latencies would reorder
 them.  The protocols above do not *depend* on this (sequence numbers and
 round identifiers guard them), but FIFO links keep traces easier to read;
 tests exercise the non-FIFO mode too.
+
+Fast-path notes: deliveries ride the scheduler's fire-and-forget lane
+(no cancellable handle is ever needed for an in-flight message), and
+:meth:`Network.multicast` fans a payload out to many destinations with
+one stats update and one pass — per-destination loss and latency are
+still sampled independently, in destination order, so a multicast is
+observationally identical to the equivalent ``send`` loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.errors import NetworkError
 from repro.net.latency import ConstantLatency
@@ -23,13 +30,20 @@ from repro.net.topology import Topology
 from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.sim.scheduler import Scheduler
-from repro.types import ProcessId
+from repro.types import ProcessId, SiteId
 
 
 @dataclass
 class NetworkStats:
-    """Counters describing what happened on the wire."""
+    """Counters describing what happened on the wire.
 
+    ``detailed`` enables the per-payload-type breakdown (``by_type``),
+    which costs a type lookup and a dict update on every single send;
+    benchmarks leave it off, protocol analysis turns it on (the
+    :class:`~repro.runtime.cluster.Cluster` default).
+    """
+
+    detailed: bool = False
     sent: int = 0
     delivered: int = 0
     dropped_partition: int = 0
@@ -53,17 +67,19 @@ class Network:
         latency: Any = None,
         loss_prob: float = 0.0,
         fifo_links: bool = True,
+        detailed_stats: bool = False,
     ) -> None:
         self.scheduler = scheduler
         self.topology = topology
         self.latency = latency if latency is not None else ConstantLatency(1.0)
         self.loss_prob = loss_prob
         self.fifo_links = fifo_links
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(detailed=detailed_stats)
         self._rng = rng.stream("network")
         self._procs: dict[ProcessId, Process] = {}
         self._site_proc: dict[int, ProcessId] = {}
         self._link_clock: dict[tuple[ProcessId, ProcessId], float] = {}
+        self._topo_epoch = topology.changes
 
     # -- registration -------------------------------------------------
 
@@ -103,24 +119,116 @@ class Network:
 
     def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
         """Send ``payload`` from ``src`` to ``dst`` (may silently drop)."""
-        self.stats.sent += 1
-        self.stats.record_type(payload)
+        stats = self.stats
+        stats.sent += 1
+        if stats.detailed:
+            stats.record_type(payload)
         if dst.site not in self.topology.sites:
-            self.stats.dropped_dead += 1
+            stats.dropped_dead += 1
             return
         if not self.topology.allows(src.site, dst.site):
-            self.stats.dropped_partition += 1
+            stats.dropped_partition += 1
             return
         if self.loss_prob > 0 and self._rng.random() < self.loss_prob:
-            self.stats.dropped_loss += 1
+            stats.dropped_loss += 1
             return
         delay = self.latency.sample(self._rng)
         arrival = self.scheduler.now + delay
         if self.fifo_links:
-            link = (src, dst)
-            arrival = max(arrival, self._link_clock.get(link, 0.0) + 1e-9)
-            self._link_clock[link] = arrival
-        self.scheduler.at(arrival, self._deliver, src, dst, payload)
+            arrival = self._fifo_arrival(src, dst, arrival)
+        self.scheduler.fire_at(arrival, self._deliver, src, dst, payload)
+
+    def multicast(self, src: ProcessId, dsts: Iterable[ProcessId], payload: Any) -> None:
+        """Fan ``payload`` out from ``src`` to every destination.
+
+        Loss and latency are sampled independently per destination, in
+        the iteration order of ``dsts`` (so a seeded run is identical to
+        the per-destination ``send`` loop it replaces), but the stats
+        counters are updated in one batch and the payload type is
+        classified once.
+        """
+        stats = self.stats
+        topology = self.topology
+        scheduler = self.scheduler
+        sites = topology.sites
+        loss_prob = self.loss_prob
+        rng_random = self._rng.random
+        sample = self.latency.sample
+        fifo = self.fifo_links
+        now = scheduler.now
+
+        sent = dropped_dead = dropped_partition = dropped_loss = 0
+        for dst in dsts:
+            sent += 1
+            if stats.detailed:
+                stats.record_type(payload)
+            if dst.site not in sites:
+                dropped_dead += 1
+                continue
+            if not topology.allows(src.site, dst.site):
+                dropped_partition += 1
+                continue
+            if loss_prob > 0 and rng_random() < loss_prob:
+                dropped_loss += 1
+                continue
+            arrival = now + sample(self._rng)
+            if fifo:
+                arrival = self._fifo_arrival(src, dst, arrival)
+            scheduler.fire_at(arrival, self._deliver, src, dst, payload)
+        stats.sent += sent
+        stats.dropped_dead += dropped_dead
+        stats.dropped_partition += dropped_partition
+        stats.dropped_loss += dropped_loss
+
+    def multicast_sites(self, src: ProcessId, sites: Iterable[SiteId], payload: Any) -> None:
+        """Fan out to whichever incarnations currently live at ``sites``
+        (the site-addressed analogue of :meth:`multicast`, used by the
+        heartbeat failure detector)."""
+        site_proc = self._site_proc
+        dsts: list[ProcessId] = []
+        missing = 0
+        for site in sites:
+            dst = site_proc.get(site)
+            if dst is None:
+                missing += 1
+            else:
+                dsts.append(dst)
+        self.stats.dropped_dead += missing
+        self.multicast(src, dsts, payload)
+
+    def _fifo_arrival(self, src: ProcessId, dst: ProcessId, arrival: float) -> float:
+        clock = self._link_clock
+        if self.topology.changes != self._topo_epoch:
+            self._prune_link_clocks()
+        link = (src, dst)
+        prev = clock.get(link)
+        if prev is not None:
+            arrival = max(arrival, prev + 1e-9)
+        clock[link] = arrival
+        return arrival
+
+    def _prune_link_clocks(self) -> None:
+        """Drop link-clock entries that can no longer affect ordering.
+
+        Called lazily on the first send after a topology change.  An
+        entry whose clock is already in the past constrains nothing (a
+        fresh arrival is at least ``now``), and links naming departed
+        incarnations will never be used again — so long partition/heal
+        histories cannot accumulate clocks without bound.  Entries with
+        in-flight traffic (clock still in the future) are kept even
+        across cuts: a message sent before a cut that heals before
+        arrival still delivers, and must not be overtaken.
+        """
+        self._topo_epoch = self.topology.changes
+        now = self.scheduler.now
+        site_proc = self._site_proc
+        self._link_clock = {
+            (src, dst): clock
+            for (src, dst), clock in self._link_clock.items()
+            if clock + 1e-9 > now
+            and site_proc.get(src.site) == src
+            and site_proc.get(dst.site) == dst
+        }
 
     def _deliver(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
         if not self.topology.allows(src.site, dst.site):

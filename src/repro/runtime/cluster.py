@@ -33,13 +33,25 @@ def _default_app_factory(pid: ProcessId) -> GroupApplication:
 
 @dataclass
 class ClusterConfig:
-    """Knobs for a simulated cluster."""
+    """Knobs for a simulated cluster.
+
+    ``detailed_stats`` keeps the per-payload-type wire breakdown that
+    protocol analysis and the CLI report on; benchmarks switch it off.
+    ``trace_level`` / ``trace_capacity`` configure the recorder (see
+    :class:`~repro.trace.recorder.TraceRecorder`): ``"full"`` history for
+    checkers and determinism comparisons, ``"membership"`` for long runs
+    that only care about structure, ``"none"`` plus the ring buffer for
+    throughput benchmarks.
+    """
 
     seed: int = 0
     latency: Any = field(default_factory=lambda: ConstantLatency(1.0))
     loss_prob: float = 0.0
     fifo_links: bool = True
     stack: StackConfig = field(default_factory=StackConfig)
+    detailed_stats: bool = True
+    trace_level: str = "full"
+    trace_capacity: int | None = None
 
 
 class Cluster:
@@ -66,9 +78,13 @@ class Cluster:
             latency=self.config.latency,
             loss_prob=self.config.loss_prob,
             fifo_links=self.config.fifo_links,
+            detailed_stats=self.config.detailed_stats,
         )
         self.store = StableStore()
-        self.recorder = TraceRecorder()
+        self.recorder = TraceRecorder(
+            level=self.config.trace_level,
+            capacity=self.config.trace_capacity,
+        )
         self._incarnation: dict[SiteId, int] = {}
         self.stacks: dict[SiteId, GroupStack] = {}
         self.apps: dict[SiteId, GroupApplication] = {}

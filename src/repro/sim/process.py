@@ -9,7 +9,7 @@ so a crashed ``Process`` instance is never reused.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.errors import SimulationError
 from repro.sim.scheduler import Event, Scheduler
@@ -96,6 +96,20 @@ class Process:
         if not self.alive:
             return
         self.network.send(self.pid, dst, payload)
+
+    def send_many(self, dsts: "Iterable[ProcessId]", payload: Any) -> None:
+        """Multicast ``payload`` to every destination in one network call.
+
+        Equivalent to ``for dst in dsts: self.send(dst, payload)`` —
+        loss/latency are still per-destination — but batched through
+        :meth:`Network.multicast` so the fan-out loops of the protocol
+        layers stay off the per-send slow path.
+        """
+        if self.network is None:
+            raise SimulationError(f"{self.pid} is not attached to a network")
+        if not self.alive:
+            return
+        self.network.multicast(self.pid, dsts, payload)
 
     def on_network(self, src: ProcessId, payload: Any) -> None:
         """Hook: a network message from ``src`` has been delivered."""

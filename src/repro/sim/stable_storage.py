@@ -7,22 +7,64 @@ handed to the next incarnation.  The state-creation machinery
 (:mod:`repro.core.state_creation`) keeps its view log here, which is what
 makes "determining the last process to fail" possible after a total
 failure, exactly as in Skeen's algorithm cited by the paper.
+
+Snapshot semantics with a copy-on-write fast path: a write must behave
+like a force-write to disk — the writer keeping a reference to the value
+must not be able to mutate what was "persisted".  For a *recursively
+immutable* value (numbers, strings, tuples/frozensets of immutables,
+frozen dataclasses such as every identifier type in :mod:`repro.types`)
+sharing the object IS a snapshot, so the blanket ``copy.deepcopy`` the
+first implementation used is skipped entirely; only values that can
+actually be mutated are deep-copied.  Protocol-critical writes (epoch
+counters, view logs of frozen records) hit the zero-copy path.
 """
 
 from __future__ import annotations
 
 import copy
+from dataclasses import fields, is_dataclass
 from typing import Any, Iterator
 
 from repro.types import SiteId
+
+_ATOMIC = (int, float, complex, bool, str, bytes, type(None))
+
+
+def _is_immutable(value: Any) -> bool:
+    """True iff ``value`` is recursively immutable (safe to share).
+
+    The check must stay structural: a frozen dataclass may still carry a
+    mutable object in an ``Any`` field (e.g. a ``Message`` payload), so
+    per-type verdicts cannot be cached.
+    """
+    if isinstance(value, _ATOMIC):
+        return True
+    if isinstance(value, (tuple, frozenset)):
+        return all(_is_immutable(item) for item in value)
+    if is_dataclass(value) and not isinstance(value, type):
+        params = getattr(value, "__dataclass_params__", None)
+        if params is None or not params.frozen:
+            return False
+        return all(
+            _is_immutable(getattr(value, f.name)) for f in fields(value)
+        )
+    return False
+
+
+def snapshot(value: Any) -> Any:
+    """An isolated snapshot of ``value``: the value itself when it is
+    recursively immutable, a deep copy otherwise."""
+    if _is_immutable(value):
+        return value
+    return copy.deepcopy(value)
 
 
 class SiteStorage:
     """Stable key/value storage of a single site.
 
-    Values are deep-copied on write and read so a crashed process cannot
-    keep mutating what it "persisted" — writes are atomic snapshots, like
-    a force-write to disk.
+    Writes and reads exchange snapshots (see module docstring) so a
+    crashed process cannot keep mutating what it "persisted" — writes
+    are atomic, like a force-write to disk.
     """
 
     def __init__(self, site: SiteId) -> None:
@@ -31,18 +73,18 @@ class SiteStorage:
 
     def write(self, key: str, value: Any) -> None:
         """Atomically persist ``value`` under ``key``."""
-        self._data[key] = copy.deepcopy(value)
+        self._data[key] = snapshot(value)
 
     def read(self, key: str, default: Any = None) -> Any:
-        """Return a private copy of the persisted value (or ``default``)."""
+        """Return a private snapshot of the persisted value (or ``default``)."""
         if key not in self._data:
             return default
-        return copy.deepcopy(self._data[key])
+        return snapshot(self._data[key])
 
     def append(self, key: str, item: Any) -> None:
         """Append ``item`` to the list persisted under ``key``."""
         log = self._data.setdefault(key, [])
-        log.append(copy.deepcopy(item))
+        log.append(snapshot(item))
 
     def keys(self) -> Iterator[str]:
         return iter(self._data)

@@ -4,18 +4,38 @@ One recorder observes the whole run.  Protocol stacks append events as
 they happen; checkers and the ground-truth classifier query the result.
 All query methods are pure reads — the recorder never influences the
 execution it observes.
+
+Recording cost is tunable for long or hot runs:
+
+* ``level`` — a named filter over event types.  ``"full"`` (default)
+  records everything; ``"membership"`` keeps only the rare structural
+  events (view installs, e-view changes, mode changes, crash/recover)
+  and drops the per-message firehose; ``"none"`` records nothing.
+* ``only`` — an explicit set of event types, overriding ``level``.
+* ``capacity`` — bounded ring-buffer mode: only the most recent
+  ``capacity`` events are retained (``dropped`` counts evictions).
+
+Hot paths consult :meth:`TraceRecorder.wants` before even constructing
+an event object, so a filtered run pays neither allocation nor append.
+The invariant checkers work unchanged on a filtered stream — they see a
+prefix-consistent subset of the full trace (filtering is by type, never
+by process or time window).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, TypeVar
+from collections import deque
+from typing import Callable, Iterable, Iterator, TypeVar
 
+from repro.errors import SimulationError
 from repro.trace.events import (
     AppEvent,
+    CrashEvent,
     DeliveryEvent,
     EViewChangeEvent,
     ModeChangeEvent,
     MulticastEvent,
+    RecoverEvent,
     TraceEvent,
     ViewInstallEvent,
 )
@@ -23,15 +43,61 @@ from repro.types import MessageId, ProcessId, ViewId
 
 E = TypeVar("E", bound=TraceEvent)
 
+#: Named recording levels; ``None`` means "accept every type".
+LEVELS: dict[str, frozenset[type[TraceEvent]] | None] = {
+    "full": None,
+    "membership": frozenset(
+        {
+            ViewInstallEvent,
+            EViewChangeEvent,
+            ModeChangeEvent,
+            CrashEvent,
+            RecoverEvent,
+        }
+    ),
+    "none": frozenset(),
+}
+
 
 class TraceRecorder:
-    """Collects every :class:`TraceEvent` of a run, in occurrence order."""
+    """Collects the :class:`TraceEvent` stream of a run, in occurrence
+    order, subject to the configured filter and capacity."""
 
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
+    def __init__(
+        self,
+        level: str = "full",
+        only: Iterable[type[TraceEvent]] | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        if level not in LEVELS:
+            raise SimulationError(
+                f"unknown trace level {level!r}; pick one of {sorted(LEVELS)}"
+            )
+        self.level = level
+        self._accepts = frozenset(only) if only is not None else LEVELS[level]
+        self.capacity = capacity
+        self.events: "list[TraceEvent] | deque[TraceEvent]" = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
+        self.filtered = 0  # events rejected by the type filter
+        self.dropped = 0  # events evicted by the ring buffer
+
+    def wants(self, event_type: type[TraceEvent]) -> bool:
+        """Would an event of this type be recorded?  Hot paths check this
+        before allocating the event object."""
+        accepts = self._accepts
+        return accepts is None or event_type in accepts
 
     def record(self, event: TraceEvent) -> None:
-        self.events.append(event)
+        accepts = self._accepts
+        if accepts is not None and type(event) not in accepts:
+            self.filtered += 1
+            return
+        events = self.events
+        capacity = self.capacity
+        if capacity is not None and len(events) == capacity:
+            self.dropped += 1
+        events.append(event)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -28,10 +28,21 @@ class ProcessId:
 
     Ordering is lexicographic on ``(site, incarnation)``; the membership
     protocol uses the minimum live identifier as view coordinator.
+
+    The hash is precomputed: identifiers key every hot dict and set in
+    the simulator (delivery maps, reachability estimates, link clocks),
+    and the generated dataclass ``__hash__`` would rebuild a field tuple
+    on each call.
     """
 
     site: SiteId
     incarnation: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.site, self.incarnation)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         return f"p{self.site}.{self.incarnation}"
@@ -54,6 +65,12 @@ class ViewId:
     epoch: int
     coordinator: ProcessId
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.epoch, self.coordinator)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return f"v{self.epoch}@{self.coordinator}"
 
@@ -69,6 +86,14 @@ class MessageId:
     sender: ProcessId
     view: ViewId
     seqno: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.sender, self.view, self.seqno))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         return f"m({self.sender},{self.view},{self.seqno})"

@@ -50,6 +50,12 @@ class ViewChannels:
         self.pending_sends: list[Any] = []
         self._future: dict[ViewId, list[Message]] = {}
         self._all_delivered_ids: set[MessageId] = set()
+        # Per-sender index over ``received`` (sender -> seqno -> message):
+        # the delivery loop probes "sender's next seqno" on every arrival,
+        # and an integer dict lookup here is far cheaper than building a
+        # MessageId to probe ``received`` with.
+        self._chains: dict[ProcessId, dict[int, Message]] = {}
+        self._senders: tuple[ProcessId, ...] = ()
         # Garbage collection: per-sender stable prefix (everything at or
         # below it was delivered by every member and has been pruned).
         self._stable: dict[ProcessId, int] = {}
@@ -68,6 +74,8 @@ class ViewChannels:
         self.received = {}
         self.delivered = set()
         self._fifo_next = {m: 1 for m in view.members}
+        self._chains = {}
+        self._senders = tuple(sorted(view.members))
         self.suspended = False
         self._stable = {}
 
@@ -105,12 +113,15 @@ class ViewChannels:
         self._next_seqno += 1
         msg_id = MessageId(self.stack.pid, self.view.view_id, self._next_seqno)
         msg = Message(msg_id, payload, eview_seq=self.stack.evs.applied_seq)
-        self.stack.recorder.record(
-            MulticastEvent(time=self.stack.now, pid=self.stack.pid, msg_id=msg_id)
+        recorder = self.stack.recorder
+        if recorder.wants(MulticastEvent):
+            recorder.record(
+                MulticastEvent(time=self.stack.now, pid=self.stack.pid, msg_id=msg_id)
+            )
+        own = self.stack.pid
+        self.stack.send_many(
+            (member for member in self.view.members if member != own), msg
         )
-        for member in self.view.members:
-            if member != self.stack.pid:
-                self.stack.send(member, msg)
         self.on_app_message(msg)  # self-delivery path
         return msg_id
 
@@ -133,44 +144,83 @@ class ViewChannels:
             return  # older view: the message missed its window (2.2)
         if msg.msg_id in self.received:
             return  # duplicate (2.3)
-        if msg.msg_id.seqno <= self._stable.get(msg.msg_id.sender, 0):
+        sender = msg.msg_id.sender
+        if msg.msg_id.seqno <= self._stable.get(sender, 0):
             return  # already stable (delivered by everyone) and pruned
         self.received[msg.msg_id] = msg
-        self.try_deliver()
+        self._chains.setdefault(sender, {})[msg.msg_id.seqno] = msg
+        # Only this sender's FIFO chain can have become deliverable: a
+        # full scan here would re-probe every other sender for nothing.
+        # Messages held by the e-view gate are retried from
+        # ``on_eview_progress`` / ``activate``, which do the full scan.
+        if not self.suspended:
+            self._run_sender(sender)
 
     def try_deliver(self) -> None:
-        """Deliver everything currently eligible on the normal path."""
+        """Deliver everything currently eligible on the normal path.
+
+        Walks every sender's contiguous run (in identifier order,
+        matching the old sorted-MessageId delivery order: all buffered
+        messages carry the current view, so MessageId order *is*
+        (sender, seqno) order).  The outer loop repeats because
+        delivering can unblock earlier-ordered messages — the e-view
+        gate can open mid-pass via application callbacks.
+        """
         if self.suspended or self.view is None:
             return
+        vid = self.view.view_id
         progress = True
         while progress:
             progress = False
-            for msg_id in sorted(self.received.keys() - self.delivered):
-                if self._eligible(msg_id):
-                    self._deliver(self.received[msg_id])
+            for sender in self._senders:
+                if self._run_sender(sender):
                     progress = True
+                if self.suspended or self.view is None or self.view.view_id != vid:
+                    return  # a callback changed the world under us
 
-    def _eligible(self, msg_id: MessageId) -> bool:
-        msg = self.received[msg_id]
+    def _run_sender(self, sender: ProcessId) -> bool:
+        """Deliver ``sender``'s eligible contiguous run; True if any.
+
+        Per-sender FIFO makes the next deliverable message of a sender
+        the one at ``_fifo_next[sender]``, so delivery is a probe of the
+        sender's chain by integer sequence number — no backlog sorting,
+        no MessageId construction.
+        """
+        chain = self._chains.get(sender)
+        if not chain:
+            return False
+        assert self.view is not None
+        vid = self.view.view_id
         gate_enabled = not self.stack.config.unsafe_disable_eview_gate
-        if gate_enabled and msg.eview_seq > self.stack.evs.applied_seq:
-            return False  # e-view gate (Property 6.2)
-        return msg_id.seqno == self._fifo_next.get(msg_id.sender, 1)
+        fifo_next = self._fifo_next
+        progress = False
+        while True:
+            msg = chain.get(fifo_next.get(sender, 1))
+            if msg is None:
+                return progress
+            if gate_enabled and msg.eview_seq > self.stack.evs.applied_seq:
+                return progress  # e-view gate (Property 6.2)
+            if self.suspended or self.view is None or self.view.view_id != vid:
+                return progress  # a callback changed the world under us
+            self._deliver(msg)
+            progress = True
 
     def _deliver(self, msg: Message) -> None:
         assert self.view is not None
         self.delivered.add(msg.msg_id)
         self._all_delivered_ids.add(msg.msg_id)
         self._fifo_next[msg.msg_id.sender] = msg.msg_id.seqno + 1
-        self.stack.recorder.record(
-            DeliveryEvent(
-                time=self.stack.now,
-                pid=self.stack.pid,
-                msg_id=msg.msg_id,
-                view_id=self.view.view_id,
-                sender_eview_seq=msg.eview_seq,
+        recorder = self.stack.recorder
+        if recorder.wants(DeliveryEvent):
+            recorder.record(
+                DeliveryEvent(
+                    time=self.stack.now,
+                    pid=self.stack.pid,
+                    msg_id=msg.msg_id,
+                    view_id=self.view.view_id,
+                    sender_eview_seq=msg.eview_seq,
+                )
             )
-        )
         self.stack.deliver_app_message(msg.msg_id.sender, msg.payload, msg.msg_id)
 
     # -- flush / install -----------------------------------------------------------
@@ -193,14 +243,17 @@ class ViewChannels:
             return
         if sender not in self.view.members:
             return
-        have = {
-            mid.seqno for mid in self.received if mid.sender == sender
-        }
+        if self._fifo_next.get(sender, 1) > high:
+            return  # delivered prefix already covers the advertised count
+        # Probe the sender's chain by integer seqno over the un-stable
+        # window instead of building a set of every buffered seqno —
+        # heartbeats arrive constantly and the backlog can be large.
         floor = self._stable.get(sender, 0)
+        chain = self._chains.get(sender) or {}
         missing = tuple(
             seqno
             for seqno in range(floor + 1, high + 1)
-            if seqno not in have
+            if seqno not in chain
         )[:64]
         if missing:
             self.stack.send(
@@ -211,9 +264,9 @@ class ViewChannels:
         """Resend our own messages a peer reports missing."""
         if self.view is None or request.view_id != self.view.view_id:
             return
+        own_chain = self._chains.get(self.stack.pid) or {}
         for seqno in request.seqnos:
-            msg_id = MessageId(self.stack.pid, self.view.view_id, seqno)
-            msg = self.received.get(msg_id)
+            msg = own_chain.get(seqno)
             if msg is not None:
                 self.stack.send(src, msg)
 
@@ -244,6 +297,11 @@ class ViewChannels:
                     continue  # paranoia: never prune undelivered input
                 del self.received[msg_id]
                 self.delivered.discard(msg_id)
+                chain = self._chains.get(msg_id.sender)
+                if chain is not None:
+                    chain.pop(msg_id.seqno, None)
+                    if not chain:
+                        del self._chains[msg_id.sender]
                 pruned += 1
         return pruned
 
@@ -267,5 +325,9 @@ class ViewChannels:
                 continue
             if msg.msg_id.seqno <= self._stable.get(msg.msg_id.sender, 0):
                 continue  # stable: we delivered and pruned it already
-            self.received.setdefault(msg.msg_id, msg)
+            if msg.msg_id not in self.received:
+                self.received[msg.msg_id] = msg
+                self._chains.setdefault(msg.msg_id.sender, {})[
+                    msg.msg_id.seqno
+                ] = msg
             self._deliver(msg)

@@ -117,7 +117,6 @@ class StabilityTracker:
             return
         notice = StabilityNotice(view.view_id, tuple(sorted(stable.items())))
         self.notices_sent += 1
-        for member in view.members:
-            if member != self.stack.pid:
-                self.stack.send(member, notice)
+        own = self.stack.pid
+        self.stack.send_many((m for m in view.members if m != own), notice)
         self.on_notice(self.stack.pid, notice)

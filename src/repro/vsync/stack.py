@@ -140,11 +140,20 @@ class GroupStack(Process):
         if self.network is not None and self.alive:
             self.network.send_to_site(self.pid, site, payload)
 
+    def send_sites(self, sites: Iterable[SiteId], payload: Any) -> None:
+        """Site-addressed multicast (heartbeats, join probes)."""
+        if self.network is not None and self.alive:
+            self.network.multicast_sites(self.pid, sites, payload)
+
     # -- dispatch ---------------------------------------------------------------
 
     def on_network(self, src: ProcessId, payload: Any) -> None:
         self.fd.heard(src)  # every message is evidence of life
-        if isinstance(payload, Heartbeat):
+        # Dispatch order follows traffic volume: application multicasts
+        # dominate every steady-state workload, then heartbeats.
+        if isinstance(payload, Message):
+            self.channels.on_app_message(payload)
+        elif isinstance(payload, Heartbeat):
             self.fd.on_heartbeat(src, payload)
             # In-view loss repair: a beacon naming our current view
             # advertises the sender's traffic position; chase gaps.
@@ -155,8 +164,6 @@ class GroupStack(Process):
             ):
                 self.channels.note_sender_high(src, payload.last_seqno)
                 self.evs.note_peer_seq(src, payload.eview_seq)
-        elif isinstance(payload, Message):
-            self.channels.on_app_message(payload)
         elif isinstance(payload, VcPropose):
             self.membership.on_propose(src, payload)
         elif isinstance(payload, VcPrepare):

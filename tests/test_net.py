@@ -223,11 +223,20 @@ def test_duplicate_registration_rejected():
         net.register(procs[0])
 
 
-def test_stats_record_message_types():
-    sched, net, procs = _net()
+def test_stats_record_message_types_when_detailed():
+    sched, net, procs = _net(detailed_stats=True)
     procs[0].send(procs[1].pid, "text")
     sched.run()
     assert net.stats.by_type.get("str") == 1
+    assert net.stats.sent == 1
+    assert net.stats.delivered == 1
+
+
+def test_stats_by_type_off_by_default():
+    sched, net, procs = _net()
+    procs[0].send(procs[1].pid, "text")
+    sched.run()
+    assert net.stats.by_type == {}
     assert net.stats.sent == 1
     assert net.stats.delivered == 1
 
