@@ -14,6 +14,10 @@ Commands:
 ``experiments``
     List the paper experiments and the benchmark files that regenerate
     them.
+``realnet``
+    Run the stacks over real TCP sockets: the partition/merge demo
+    (default), or one standalone node of a multi-process deployment
+    (``realnet node``).
 """
 
 from __future__ import annotations
@@ -169,6 +173,42 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_realnet_demo(args: argparse.Namespace) -> int:
+    """Partition + EVS merge over localhost TCP sockets."""
+    from repro.realnet.demo import run_demo
+
+    result = run_demo(
+        n_sites=args.sites, seed=args.seed, scale=args.scale, timeout=args.timeout
+    )
+    return 1 if result.property_violations else 0
+
+
+def cmd_realnet_node(args: argparse.Namespace) -> int:
+    """One standalone node of a fixed-port multi-process deployment."""
+    import asyncio
+
+    from repro.realnet.node import realnet_stack_config, run_standalone
+
+    book = {
+        site: (args.host, args.base_port + site) for site in range(args.sites)
+    }
+    print(
+        f"site {args.site} listening on {args.host}:{args.base_port + args.site} "
+        f"(universe: {sorted(book)}); Ctrl-C to leave"
+    )
+    asyncio.run(
+        run_standalone(
+            args.site,
+            book,
+            incarnation=args.incarnation,
+            stack_config=realnet_stack_config(args.scale),
+            seed=args.seed,
+            on_view=lambda view: print(f"  installed {view}"),
+        )
+    )
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     table = Table("paper experiments (pytest benchmarks/ --benchmark-only)",
                   ["id", "what it reproduces", "benchmark"])
@@ -211,6 +251,35 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--runs", type=int, default=10)
     check.add_argument("--duration", type=float, default=300.0)
     check.set_defaults(func=cmd_check)
+
+    realnet = sub.add_parser(
+        "realnet", help="run the stacks over real TCP sockets"
+    )
+    realnet_sub = realnet.add_subparsers(dest="realnet_command")
+    rdemo = realnet_sub.add_parser(
+        "demo", help="partition + EVS merge over localhost sockets (default)"
+    )
+    for p in (realnet, rdemo):
+        p.add_argument("--sites", type=int, default=3)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="stretch every protocol timer by this factor")
+        p.add_argument("--timeout", type=float, default=30.0,
+                       help="hard wall-clock budget per phase (seconds)")
+        p.set_defaults(func=cmd_realnet_demo)
+    rnode = realnet_sub.add_parser(
+        "node", help="one standalone node of a fixed-port deployment"
+    )
+    rnode.add_argument("--site", type=int, required=True)
+    rnode.add_argument("--sites", type=int, default=3,
+                       help="universe size; ports are base-port..base-port+sites-1")
+    rnode.add_argument("--base-port", type=int, default=7400)
+    rnode.add_argument("--host", default="127.0.0.1")
+    rnode.add_argument("--incarnation", type=int, default=0,
+                       help="bump after a crash so the site rejoins fresh")
+    rnode.add_argument("--seed", type=int, default=0)
+    rnode.add_argument("--scale", type=float, default=1.0)
+    rnode.set_defaults(func=cmd_realnet_node)
 
     experiments = sub.add_parser("experiments", help="list paper experiments")
     experiments.set_defaults(func=cmd_experiments)

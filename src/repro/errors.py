@@ -47,3 +47,11 @@ class InvariantViolation(ReproError):
 
 class ClassificationError(ReproError):
     """A shared-state classifier was invoked on an ineligible event."""
+
+
+class CodecError(ReproError):
+    """A payload could not be encoded to / decoded from the wire format."""
+
+
+class TransportError(ReproError):
+    """Misuse or failure of the real-network transport layer."""

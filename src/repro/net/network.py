@@ -57,7 +57,12 @@ class NetworkStats:
 
 
 class Network:
-    """Routes payloads between registered processes."""
+    """Routes payloads between registered processes.
+
+    This is the simulator's implementation of
+    :class:`repro.ports.NetworkPort`; :class:`repro.realnet.RealNetwork`
+    implements the same contract over real TCP sockets.
+    """
 
     def __init__(
         self,

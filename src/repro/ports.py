@@ -1,0 +1,118 @@
+"""Backend ports: the contracts between protocols and their runtime.
+
+The protocol layers (:mod:`repro.fd`, :mod:`repro.gms`, :mod:`repro.vsync`,
+:mod:`repro.evs`) never name a concrete scheduler or network class — they
+talk to whatever their :class:`~repro.sim.process.Process` was wired to.
+Historically those contracts were implicit duck types defined by the
+simulator; this module states them explicitly so every backend — the
+deterministic discrete-event simulator (:mod:`repro.sim` +
+:mod:`repro.net`) and the asyncio real-network runtime
+(:mod:`repro.realnet`) — is checked against the *same* interface, by the
+type checker and by the conformance tests in
+``tests/test_realnet_unit.py``.
+
+Two ports exist:
+
+:class:`SchedulerPort`
+    A clock plus two scheduling lanes.  The cancellable lane
+    (:meth:`~SchedulerPort.at` / :meth:`~SchedulerPort.after`) returns a
+    :class:`CancellableEvent` handle — timers use it.  The fire-and-forget
+    lane (:meth:`~SchedulerPort.fire_at` / :meth:`~SchedulerPort.fire_after`)
+    allocates no handle — message deliveries use it.  ``now`` is *backend
+    time*: virtual units in the simulator, seconds since backend start on
+    a wall clock.  Protocol code must only ever compare or difference
+    ``now`` values, never interpret them absolutely.
+
+:class:`NetworkPort`
+    Registration plus the four transmission calls the stack uses:
+    point-to-point and multicast, each in process-addressed and
+    site-addressed (reach-the-current-incarnation) flavours.  All four
+    are fire-and-forget and may silently drop — every protocol above is
+    written to tolerate loss.
+
+Keep this module import-light: it must be importable from
+:mod:`repro.sim.process` without touching :mod:`repro.net` (which imports
+the process module back).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.types import ProcessId, SiteId
+
+
+@runtime_checkable
+class CancellableEvent(Protocol):
+    """Handle for a scheduled callback that may be rescinded.
+
+    ``cancel`` must be idempotent and must be safe to call after the
+    event has already fired (a no-op in that case).
+    """
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class ProcessPort(Protocol):
+    """What a network backend needs from a registered process."""
+
+    pid: ProcessId
+    alive: bool
+
+    def attach(self, network: "NetworkPort") -> None: ...
+
+    def deliver_network(self, src: ProcessId, payload: Any) -> None: ...
+
+
+@runtime_checkable
+class SchedulerPort(Protocol):
+    """Clock + timer service shared by every backend.
+
+    Backends differ in what ``now`` means and in how strictly they treat
+    the past: the simulator raises on an attempt to schedule before
+    ``now`` (it would break determinism), a wall-clock backend clamps it
+    to "as soon as possible" (the wall clock moves between reading
+    ``now`` and scheduling, so a marginally-past deadline is normal, not
+    a bug).  Protocol code only ever schedules relative to ``now``, so
+    both behaviours are indistinguishable to it.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def at(self, time: float, callback: Any, *args: Any) -> CancellableEvent: ...
+
+    def after(self, delay: float, callback: Any, *args: Any) -> CancellableEvent: ...
+
+    def fire_at(self, time: float, callback: Any, *args: Any) -> None: ...
+
+    def fire_after(self, delay: float, callback: Any, *args: Any) -> None: ...
+
+
+@runtime_checkable
+class NetworkPort(Protocol):
+    """Transmission service shared by every backend.
+
+    All sends are fire-and-forget and lossy; None of these calls may
+    raise on an unreachable / unknown / crashed destination — they drop
+    (and account for) the payload instead.  ``send_to_site`` and
+    ``multicast_sites`` address *sites* rather than process
+    incarnations: they reach whichever incarnation currently lives
+    there, which is how heartbeats and join probes find a recovered
+    process without knowing its fresh identifier.
+    """
+
+    def register(self, process: ProcessPort) -> None: ...
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None: ...
+
+    def multicast(
+        self, src: ProcessId, dsts: Iterable[ProcessId], payload: Any
+    ) -> None: ...
+
+    def send_to_site(self, src: ProcessId, site: SiteId, payload: Any) -> None: ...
+
+    def multicast_sites(
+        self, src: ProcessId, sites: Iterable[SiteId], payload: Any
+    ) -> None: ...

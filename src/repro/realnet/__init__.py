@@ -1,0 +1,48 @@
+"""Real-network runtime: the VS/EVS stacks over actual sockets.
+
+The discrete-event simulator (:mod:`repro.sim` + :mod:`repro.net`) is
+the fast, deterministic verification backend; this package is the
+deployment surface.  It implements the same two ports the protocol
+stacks are written against (:mod:`repro.ports`) on top of an asyncio
+event loop and TCP:
+
+* :class:`WallClockScheduler` — :class:`~repro.ports.SchedulerPort`
+  over ``loop.call_at``;
+* :class:`RealNetwork` — :class:`~repro.ports.NetworkPort` over
+  length-prefixed JSON frames on per-peer TCP links, with injected
+  loss/latency and a firewall predicate so the simulator's fault knobs
+  carry over to live sockets;
+* :class:`RealNode` / :class:`RealCluster` — per-site harness and
+  in-process multi-node orchestrator (ephemeral localhost ports,
+  crash/recover/partition/heal/join, wall-clock ``settle``);
+* :mod:`repro.realnet.codec` — the wire format (see docs/protocol.md).
+
+The protocol layers are byte-identical between backends; nothing in
+fd/gms/vsync/evs knows which one it is running on.
+"""
+
+from repro.realnet.cluster import RealCluster, RealClusterConfig
+from repro.realnet.codec import (
+    MAX_FRAME_BYTES,
+    decode_value,
+    encode_value,
+    register_payload,
+)
+from repro.realnet.network import RealNetwork
+from repro.realnet.node import RealNode, realnet_stack_config, run_standalone
+from repro.realnet.wallclock import WallClockEvent, WallClockScheduler
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "RealCluster",
+    "RealClusterConfig",
+    "RealNetwork",
+    "RealNode",
+    "WallClockEvent",
+    "WallClockScheduler",
+    "decode_value",
+    "encode_value",
+    "realnet_stack_config",
+    "register_payload",
+    "run_standalone",
+]

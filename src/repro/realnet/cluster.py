@@ -1,0 +1,302 @@
+"""In-process orchestration of a multi-node real-network cluster.
+
+:class:`RealCluster` is the wall-clock sibling of
+:class:`repro.runtime.cluster.Cluster`: it owns one shared
+:class:`~repro.realnet.wallclock.WallClockScheduler`, one shared trace
+recorder and stable store, and one :class:`~repro.realnet.node.RealNode`
+per site, each with its own server socket on an ephemeral localhost
+port.  Every node runs the unmodified fd/gms/vsync/evs stack; all
+inter-node traffic crosses real TCP connections.
+
+The same environment-action surface the simulator exposes is available
+here — and because the orchestrator satisfies
+:class:`repro.net.faults.FaultTarget` and carries a live
+:class:`~repro.net.topology.Topology`, a declarative
+:class:`~repro.net.faults.FaultSchedule` can be armed on the wall-clock
+scheduler against real sockets unchanged:
+
+* :meth:`crash` kills a stack and closes its sockets;
+* :meth:`recover` boots a fresh incarnation at the same site (new
+  ephemeral port; peers re-resolve it through the shared address book);
+* :meth:`partition` / :meth:`heal` / :meth:`isolate` *firewall* site
+  groups: the topology predicate is enforced on both the send and the
+  receive side of every node, so frames across a cut are destroyed even
+  when the TCP connections stay up;
+* :meth:`join` grows the universe by a brand-new site.
+
+``settle()`` is the wall-clock analogue of the simulator's: it polls
+(on real time) until every live stack has installed the view its
+network component prescribes.  All waiting entry points take hard
+timeouts — a wedged cluster reports failure, it cannot hang the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.net.network import NetworkStats
+from repro.net.topology import Topology
+from repro.realnet.node import AppFactory, RealNode, realnet_stack_config
+from repro.realnet.transport import wait_for_condition
+from repro.realnet.wallclock import WallClockScheduler
+from repro.sim.rng import RngStreams
+from repro.sim.stable_storage import StableStore
+from repro.trace.events import CrashEvent, RecoverEvent
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, SiteId
+from repro.vsync.stack import GroupStack, StackConfig
+
+
+@dataclass
+class RealClusterConfig:
+    """Knobs for a real-network cluster.
+
+    ``scale`` stretches the default timer profile (see
+    :func:`~repro.realnet.node.realnet_stack_config`); ``stack``
+    overrides it wholesale.  ``loss_prob`` and ``latency`` are the
+    injected chaos knobs, applied at every sender on top of whatever
+    the kernel's loopback actually does.
+    """
+
+    seed: int = 0
+    loss_prob: float = 0.0
+    latency: Any = None
+    scale: float = 1.0
+    stack: StackConfig | None = None
+    host: str = "127.0.0.1"
+    detailed_stats: bool = True
+    trace_level: str = "full"
+    trace_capacity: int | None = None
+    quiet: bool = True
+
+    def stack_config(self) -> StackConfig:
+        return self.stack if self.stack is not None else realnet_stack_config(self.scale)
+
+
+class RealCluster:
+    """A set of localhost sites running group stacks over real TCP."""
+
+    def __init__(
+        self,
+        n_sites: int,
+        app_factory: AppFactory | None = None,
+        config: RealClusterConfig | None = None,
+    ) -> None:
+        if n_sites < 1:
+            raise SimulationError("cluster needs at least one site")
+        self.config = config or RealClusterConfig()
+        self.app_factory = app_factory
+        self.topology = Topology(range(n_sites))
+        self.address_book: dict[SiteId, tuple[str, int]] = {}
+        self.nodes: dict[SiteId, RealNode] = {}
+        self.scheduler: WallClockScheduler | None = None
+        self.recorder = TraceRecorder(
+            level=self.config.trace_level, capacity=self.config.trace_capacity
+        )
+        self.store = StableStore()
+        self.rng = RngStreams(self.config.seed)
+        self._incarnation: dict[SiteId, int] = {}
+        self._bg: set[asyncio.Task] = set()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "RealCluster":
+        """Bring every transport up, then boot every stack."""
+        if self._started:
+            raise SimulationError("cluster already started")
+        self._started = True
+        self.scheduler = WallClockScheduler()
+        for site in sorted(self.topology.sites):
+            node = self._make_node(site)
+            await node.start_transport()
+        for site in sorted(self.nodes):
+            self.nodes[site].start_stack()
+        return self
+
+    async def stop(self) -> None:
+        """Tear everything down; idempotent."""
+        for task in list(self._bg):
+            task.cancel()
+        for task in list(self._bg):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._bg.clear()
+        for node in list(self.nodes.values()):
+            await node.stop()
+
+    async def __aenter__(self) -> "RealCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.stop()
+
+    def _make_node(self, site: SiteId) -> RealNode:
+        incarnation = self._incarnation.get(site, -1) + 1
+        self._incarnation[site] = incarnation
+        cfg = self.config
+        node = RealNode(
+            ProcessId(site, incarnation),
+            self.address_book,
+            scheduler=self.scheduler,
+            storage=self.store.site(site),
+            recorder=self.recorder,
+            app_factory=self.app_factory,
+            stack_config=cfg.stack_config(),
+            universe=lambda: set(self.topology.sites),
+            connectivity=self.topology.allows,
+            loss_prob=cfg.loss_prob,
+            latency=cfg.latency,
+            rng=self.rng,
+            host=cfg.host,
+            port=0,
+            detailed_stats=cfg.detailed_stats,
+            quiet=cfg.quiet,
+        )
+        self.nodes[site] = node
+        return node
+
+    def _spawn(self, coro: Any) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._bg.add(task)
+        task.add_done_callback(self._bg.discard)
+        return task
+
+    # -- environment actions (FaultTarget) -----------------------------
+
+    def crash(self, site: SiteId) -> None:
+        """Kill the process at ``site`` and close its sockets."""
+        node = self.nodes.get(site)
+        if node is None or node.stack is None or not node.stack.alive:
+            return
+        node.stack.crash()
+        if self.scheduler is not None:
+            self.recorder.record(
+                CrashEvent(time=self.scheduler.now, pid=node.stack.pid)
+            )
+        self._spawn(node.network.stop())
+
+    def recover(self, site: SiteId) -> asyncio.Task:
+        """Restart ``site`` under a fresh incarnation on a fresh port.
+
+        Returns the startup task (environment-action callers may ignore
+        it; tests can await it).
+        """
+        node = self.nodes.get(site)
+        if node is not None and node.alive:
+            raise SimulationError(f"site {site} is up; cannot recover")
+        return self._spawn(self._recover(site))
+
+    async def _recover(self, site: SiteId) -> GroupStack:
+        old = self.nodes.get(site)
+        if old is not None:
+            await old.network.stop()
+        node = self._make_node(site)
+        await node.start_transport()
+        stack = node.start_stack()
+        self.recorder.record(
+            RecoverEvent(time=self.now, pid=stack.pid, site=site)
+        )
+        return stack
+
+    def join(self, site: SiteId) -> asyncio.Task:
+        """Add a brand-new site to the universe and boot it."""
+        self.topology.add_site(site)
+        return self._spawn(self._join(site))
+
+    async def _join(self, site: SiteId) -> GroupStack:
+        node = self._make_node(site)
+        await node.start_transport()
+        return node.start_stack()
+
+    # -- connectivity (firewalling) ------------------------------------
+
+    def partition(self, groups: Sequence[Sequence[SiteId]]) -> None:
+        """Firewall the universe into the given site groups."""
+        self.topology.partition(groups)
+
+    def heal(self) -> None:
+        self.topology.heal()
+
+    def isolate(self, site: SiteId) -> None:
+        self.topology.isolate(site)
+
+    # -- waiting -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now if self.scheduler is not None else 0.0
+
+    async def settle(self, timeout: float = 10.0, poll: float = 0.02) -> bool:
+        """Wait (on the wall clock) for membership to converge."""
+        return await wait_for_condition(self.is_settled, timeout, poll)
+
+    async def wait_until(
+        self,
+        predicate: Callable[["RealCluster"], Any],
+        timeout: float = 10.0,
+        poll: float = 0.02,
+    ) -> bool:
+        return await wait_for_condition(lambda: predicate(self), timeout, poll)
+
+    def is_settled(self) -> bool:
+        """Same convergence definition as the simulator's cluster."""
+        live = self.live_stacks()
+        for stack in live:
+            if stack.view is None or stack.is_flushing:
+                return False
+            component = self.topology.component_of(stack.pid.site)
+            expected = {s.pid for s in live if s.pid.site in component}
+            if stack.view.members != expected:
+                return False
+            for other in live:
+                if (
+                    other.pid in expected
+                    and other.current_view_id() != stack.current_view_id()
+                ):
+                    return False
+        return True
+
+    # -- queries -------------------------------------------------------
+
+    def stack_at(self, site: SiteId) -> GroupStack:
+        node = self.nodes.get(site)
+        if node is None or node.stack is None:
+            raise SimulationError(f"no process was ever started at site {site}")
+        return node.stack
+
+    def live_stacks(self) -> list[GroupStack]:
+        return [
+            n.stack
+            for n in self.nodes.values()
+            if n.stack is not None and n.stack.alive
+        ]
+
+    def live_pids(self) -> set[ProcessId]:
+        return {s.pid for s in self.live_stacks()}
+
+    def views(self) -> dict[SiteId, str]:
+        return {
+            site: str(node.stack.view)
+            for site, node in sorted(self.nodes.items())
+            if node.stack is not None and node.stack.alive
+        }
+
+    def network_stats(self) -> NetworkStats:
+        """Aggregate wire counters over every node (live and dead)."""
+        total = NetworkStats(detailed=self.config.detailed_stats)
+        for node in self.nodes.values():
+            stats = node.network.stats
+            total.sent += stats.sent
+            total.delivered += stats.delivered
+            total.dropped_partition += stats.dropped_partition
+            total.dropped_loss += stats.dropped_loss
+            total.dropped_dead += stats.dropped_dead
+            for name, count in stats.by_type.items():
+                total.by_type[name] = total.by_type.get(name, 0) + count
+        return total

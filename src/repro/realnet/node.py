@@ -1,0 +1,213 @@
+"""One group member on the real network.
+
+A :class:`RealNode` bundles what the simulator's
+:class:`~repro.runtime.cluster.Cluster` wires per site — stable storage,
+trace recorder, application object and an unmodified
+:class:`~repro.vsync.stack.GroupStack` — with a
+:class:`~repro.realnet.network.RealNetwork` transport endpoint.  Startup
+is two-phase so an orchestrator can bring every transport up (learning
+the ephemeral ports) before any stack starts heartbeating:
+
+1. :meth:`start_transport` binds the server socket and publishes the
+   node's address in the shared address book;
+2. :meth:`start_stack` builds the stack and registers it, which arms
+   the failure detector and membership timers.
+
+:func:`run_standalone` runs one self-contained node in its own OS
+process (the ``repro realnet node`` CLI) against a static address book
+of fixed ports; in-process orchestration across many nodes lives in
+:mod:`repro.realnet.cluster`.
+
+Timer profile: the stack's timer configs are unit-agnostic floats, so
+the same :class:`~repro.vsync.stack.StackConfig` works on both backends
+— only the magnitudes change.  :func:`realnet_stack_config` scales the
+simulator's canonical ratios (latency 1 : fd-interval 5 : fd-timeout 16
+: round-timeout 25) onto loopback reality, where a frame costs well
+under a millisecond: ``scale=1.0`` means a 50 ms heartbeat and
+sub-second view agreement, fast enough for CI smoke tests yet ~50x the
+loopback RTT, the same safety margin the simulator's defaults have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Any, Callable, Iterable
+
+from repro.gms.membership import MembershipConfig
+from repro.realnet.network import Connectivity, RealNetwork
+from repro.realnet.wallclock import WallClockScheduler
+from repro.sim.rng import RngStreams
+from repro.sim.stable_storage import SiteStorage, StableStore
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, SiteId
+from repro.vsync.events import GroupApplication
+from repro.vsync.stack import GroupStack, StackConfig
+
+AppFactory = Callable[[ProcessId], GroupApplication]
+
+
+def realnet_stack_config(scale: float = 1.0) -> StackConfig:
+    """Stack timers for loopback TCP, preserving the simulator's ratios.
+
+    ``scale`` stretches every timer uniformly: raise it on slow or
+    heavily loaded machines, lower it (cautiously) for faster tests.
+    """
+    return StackConfig(
+        fd_interval=0.05 * scale,
+        fd_timeout=0.16 * scale,
+        membership=MembershipConfig(
+            check_interval=0.07 * scale,
+            flush_stall_timeout=0.45 * scale,
+            round_timeout=0.25 * scale,
+            min_initiate_gap=0.03 * scale,
+        ),
+        stability_interval=0.25 * scale,
+    )
+
+
+class RealNode:
+    """One site's stack + transport on the real network."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        address_book: dict[SiteId, tuple[str, int]],
+        *,
+        scheduler: WallClockScheduler | None = None,
+        storage: SiteStorage | None = None,
+        recorder: TraceRecorder | None = None,
+        app_factory: AppFactory | None = None,
+        stack_config: StackConfig | None = None,
+        universe: Callable[[], Iterable[SiteId]] | None = None,
+        connectivity: Connectivity | None = None,
+        loss_prob: float = 0.0,
+        latency: Any = None,
+        rng: RngStreams | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        detailed_stats: bool = True,
+        quiet: bool = True,
+    ) -> None:
+        self.pid = pid
+        self.address_book = address_book
+        self.scheduler = scheduler if scheduler is not None else WallClockScheduler()
+        self.storage = storage if storage is not None else StableStore().site(pid.site)
+        self.recorder = recorder if recorder is not None else TraceRecorder(level="full")
+        self.app_factory = app_factory or (lambda _pid: GroupApplication())
+        self.stack_config = stack_config or realnet_stack_config()
+        self._universe = universe or (lambda: set(self.address_book))
+        self.network = RealNetwork(
+            self.scheduler,
+            pid.site,
+            address_book,
+            host=host,
+            port=port,
+            connectivity=connectivity,
+            loss_prob=loss_prob,
+            latency=latency,
+            rng=rng,
+            detailed_stats=detailed_stats,
+            quiet=quiet,
+        )
+        self.app: GroupApplication | None = None
+        self.stack: GroupStack | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start_transport(self) -> tuple[str, int]:
+        """Phase 1: bind the server socket, publish our address."""
+        return await self.network.start()
+
+    def start_stack(self) -> GroupStack:
+        """Phase 2: boot the unmodified protocol stack on the transport."""
+        self.app = self.app_factory(self.pid)
+        self.stack = GroupStack(
+            self.pid,
+            self.scheduler,
+            self.storage,
+            self.app,
+            self.recorder,
+            universe=self._universe,
+            config=self.stack_config,
+        )
+        self.network.register(self.stack)
+        return self.stack
+
+    async def start(self) -> GroupStack:
+        """Single-phase convenience start (standalone nodes)."""
+        await self.start_transport()
+        return self.start_stack()
+
+    async def stop(self) -> None:
+        """Kill the stack (if running) and tear the transport down."""
+        if self.stack is not None and self.stack.alive:
+            self.stack.crash()
+        await self.network.stop()
+
+    @property
+    def alive(self) -> bool:
+        return self.stack is not None and self.stack.alive
+
+
+async def run_standalone(
+    site: SiteId,
+    address_book: dict[SiteId, tuple[str, int]],
+    *,
+    incarnation: int = 0,
+    app_factory: AppFactory | None = None,
+    stack_config: StackConfig | None = None,
+    loss_prob: float = 0.0,
+    latency: Any = None,
+    seed: int = 0,
+    quiet: bool = False,
+    on_view: Callable[[Any], None] | None = None,
+    stop_event: asyncio.Event | None = None,
+) -> RealNode:
+    """Run one node in this OS process until SIGINT/SIGTERM (or
+    ``stop_event``); the multi-process deployment surface.
+
+    The node must already appear in ``address_book`` with a fixed port
+    (every process needs the same book, so ephemeral ports are only for
+    single-process orchestration).
+    """
+    if site not in address_book:
+        raise ValueError(f"site {site} missing from the address book")
+    host, port = address_book[site]
+    node = RealNode(
+        ProcessId(site, incarnation),
+        address_book,
+        app_factory=app_factory,
+        stack_config=stack_config,
+        loss_prob=loss_prob,
+        latency=latency,
+        rng=RngStreams(seed),
+        host=host,
+        port=port,
+        quiet=quiet,
+    )
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    await node.start()
+    if on_view is not None:
+        last_view: list[Any] = [None]
+
+        def poll_view() -> None:
+            stack = node.stack
+            if stack is not None and stack.alive:
+                if stack.view is not None and stack.view.view_id != last_view[0]:
+                    last_view[0] = stack.view.view_id
+                    on_view(stack.view)
+                node.scheduler.after(0.1, poll_view)
+
+        poll_view()
+    try:
+        await stop.wait()
+    finally:
+        await node.stop()
+    return node

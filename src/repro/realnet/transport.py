@@ -1,0 +1,264 @@
+"""Asyncio TCP transport: one listening server plus dial-out peer links.
+
+Connections are **unidirectional**: a node dials one outbound link per
+peer site and only ever writes frames on it; its server socket only ever
+reads.  Two nodes that both send therefore hold two TCP connections —
+trading a doubled connection count for never having to multiplex reads
+and writes or resolve simultaneous-dial races.
+
+Each :class:`PeerLink` owns a bounded send queue and a background task
+that dials (re-resolving the peer's address each attempt, so a peer that
+recovered on a fresh port is found), performs the ``hello`` handshake
+and drains the queue.  Connection failures trigger exponential backoff
+(:data:`BACKOFF_BASE` doubling to :data:`BACKOFF_CAP`); frames offered
+while the queue is full are dropped — the group protocols above are
+built to tolerate message loss, so a dead or wedged peer costs bounded
+memory, never backpressure into protocol code.
+
+The server side accepts any number of connections, validates the
+``hello`` frame and then forwards each ``msg`` frame to the node's
+receive callback.  A connection that talks garbage is logged and closed;
+the node keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import sys
+from typing import Any, Awaitable, Callable
+
+from repro.errors import CodecError
+from repro.realnet.codec import encode_frame, read_frame
+
+#: Reconnect backoff: first retry after BACKOFF_BASE seconds, doubling
+#: (with jitter) up to BACKOFF_CAP.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 1.0
+
+#: Outbound frames buffered per peer while (re)connecting.
+SEND_QUEUE_CAP = 2048
+
+Resolver = Callable[[], "tuple[str, int] | None"]
+
+
+def _log(msg: str) -> None:
+    print(f"[realnet] {msg}", file=sys.stderr)
+
+
+class PeerLink:
+    """Outbound frame pipe to one peer site, with reconnect/backoff."""
+
+    def __init__(
+        self,
+        name: str,
+        resolve: Resolver,
+        hello: dict[str, Any],
+        queue_cap: int = SEND_QUEUE_CAP,
+        quiet: bool = True,
+    ) -> None:
+        self.name = name
+        self._resolve = resolve
+        self._hello = hello
+        self._queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=queue_cap)
+        self._task: asyncio.Task | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._quiet = quiet
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.connects = 0
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"peerlink-{self.name}"
+            )
+
+    def offer(self, frame: bytes) -> bool:
+        """Enqueue a frame for transmission; False (dropped) when full."""
+        try:
+            self._queue.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            self.frames_dropped += 1
+            return False
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        await self._close_writer()
+
+    async def _close_writer(self) -> None:
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    async def _run(self) -> None:
+        rng = random.Random()
+        backoff = BACKOFF_BASE
+        while True:
+            address = self._resolve()
+            if address is None:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, BACKOFF_CAP)
+                continue
+            try:
+                reader, writer = await asyncio.open_connection(*address)
+            except OSError:
+                await asyncio.sleep(backoff * (0.5 + rng.random()))
+                backoff = min(backoff * 2, BACKOFF_CAP)
+                continue
+            self._writer = writer
+            self.connects += 1
+            try:
+                writer.write(encode_frame(self._hello))
+                await writer.drain()
+                backoff = BACKOFF_BASE  # handshake out: healthy link
+                while True:
+                    frame = await self._queue.get()
+                    writer.write(frame)
+                    self.frames_sent += 1
+                    # Opportunistically coalesce whatever else is queued
+                    # into the same flush.
+                    while True:
+                        try:
+                            frame = self._queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        writer.write(frame)
+                        self.frames_sent += 1
+                    await writer.drain()
+            except (OSError, ConnectionError):
+                if not self._quiet:
+                    _log(f"link {self.name}: peer went away; reconnecting")
+            finally:
+                await self._close_writer()
+
+
+class FrameServer:
+    """Listening side: accepts peer connections and forwards frames.
+
+    ``on_frame(peer_pid_fields, frame)`` is called synchronously on the
+    event loop for every ``msg`` frame; validation beyond frame shape is
+    the receiver's business (incarnation and connectivity checks live in
+    :class:`~repro.realnet.network.RealNetwork`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        on_frame: Callable[[dict[str, Any]], None],
+        quiet: bool = True,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._on_frame = on_frame
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._quiet = quiet
+        self.frames_received = 0
+        self.bad_connections = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound ``(host, port)`` (resolves port 0)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        for task in list(self._conn_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._conn_tasks.clear()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            hello = await read_frame(reader)
+            if hello is None or hello.get("k") != "hello":
+                self.bad_connections += 1
+                return
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                if frame.get("k") != "msg":
+                    continue  # future frame kinds: ignore, don't kill the link
+                self.frames_received += 1
+                self._on_frame(frame)
+        except CodecError as exc:
+            self.bad_connections += 1
+            if not self._quiet:
+                _log(f"server {self._host}:{self._port}: bad peer frame: {exc}")
+        except (OSError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels connection tasks; swallowing the
+            # cancellation here lets the task finish cleanly instead of
+            # tripping asyncio.streams' connection_made callback, which
+            # would log a spurious traceback for every open connection.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+
+async def wait_for_condition(
+    predicate: Callable[[], Any],
+    timeout: float,
+    poll: float = 0.02,
+) -> bool:
+    """Poll ``predicate`` on the wall clock until truthy or ``timeout``.
+
+    The realnet analogue of the simulator's ``run_until``; used by the
+    orchestrator's ``settle`` and by the smoke tests.
+    """
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        if predicate():
+            return True
+        if loop.time() >= deadline:
+            return bool(predicate())
+        await asyncio.sleep(poll)
+
+
+async def run_with_timeout(coro: Awaitable[Any], timeout: float) -> Any:
+    """``asyncio.wait_for`` wrapper: every realnet entry point takes a
+    hard wall-clock budget so a wedged cluster can never hang CI."""
+    return await asyncio.wait_for(coro, timeout=timeout)

@@ -1,0 +1,129 @@
+"""Wall-clock scheduler: :class:`repro.ports.SchedulerPort` on asyncio.
+
+The protocol stacks schedule everything through the two port lanes
+(cancellable timers via :meth:`WallClockScheduler.after`, fire-and-forget
+deliveries via :meth:`WallClockScheduler.fire_after`); here both map to
+``loop.call_at``.  ``now`` is *seconds since the scheduler was created*,
+so stack timer configs express real seconds and traces from co-located
+nodes that share one scheduler share one time base.
+
+Differences from the simulator's scheduler, all deliberate:
+
+* **The past is clamped, not an error.**  Between a callback reading
+  ``now`` and the resulting ``call_at``, the wall clock moves; a
+  deadline that slipped marginally into the past means "run as soon as
+  possible", which is what ``call_at`` with a past deadline already
+  does.  The simulator's raise-on-past is a determinism guard that has
+  no analogue on a real clock.
+* **No ``run``/``step``.**  The asyncio loop drives execution; the
+  scheduler is only a clock plus timer facade.  Tests and orchestrators
+  wait on real conditions (``await``-ing predicates) instead of
+  stepping virtual time.
+* **Equal deadlines may reorder.**  asyncio's timer heap does not
+  promise insertion order on ties, so unlike the simulator (whose
+  ``seq`` tie-break makes execution a pure function of the schedule)
+  two callbacks for the same instant can swap.  The protocols are
+  sequence-number-guarded against exactly this — the simulated
+  network's non-FIFO mode exercises it deterministically.
+
+Callbacks must not raise: an exception would otherwise vanish into the
+loop's exception handler mid-protocol, so it is caught, counted and
+reported through ``on_error`` (default: log to stderr) instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import traceback
+from typing import Any, Callable
+
+
+class WallClockEvent:
+    """Cancellable handle wrapping an :class:`asyncio.TimerHandle`."""
+
+    __slots__ = ("_handle", "cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; idempotent, safe after fire."""
+        if not self.cancelled:
+            self.cancelled = True
+            self._handle.cancel()
+
+
+class WallClockScheduler:
+    """:class:`repro.ports.SchedulerPort` over a running asyncio loop."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop | None = None,
+        on_error: Callable[[BaseException], None] | None = None,
+    ) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._t0 = self._loop.time()
+        self._events_run = 0
+        self._errors = 0
+        self.on_error = on_error
+
+    @property
+    def now(self) -> float:
+        """Seconds elapsed since this scheduler was created."""
+        return self._loop.time() - self._t0
+
+    @property
+    def events_run(self) -> int:
+        """Number of scheduled callbacks executed so far."""
+        return self._events_run
+
+    @property
+    def errors(self) -> int:
+        """Number of callbacks that raised (and were contained)."""
+        return self._errors
+
+    # -- scheduling -------------------------------------------------------
+
+    def at(self, time: float, callback: Callable[..., None], *args: Any) -> WallClockEvent:
+        """Schedule ``callback(*args)`` at scheduler time ``time``.
+
+        A ``time`` already in the past runs as soon as the loop is free.
+        """
+        when = self._t0 + time
+        return WallClockEvent(self._loop.call_at(when, self._run, callback, args))
+
+    def after(self, delay: float, callback: Callable[..., None], *args: Any) -> WallClockEvent:
+        """Schedule ``callback(*args)`` after ``delay`` seconds (>= 0)."""
+        return self.at(self.now + max(0.0, delay), callback, *args)
+
+    def fire_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget lane: no cancellable handle is returned.
+
+        On asyncio both lanes cost one ``TimerHandle`` either way; the
+        lane split exists so the port contract (and the simulator's
+        genuinely cheaper fast lane) is honoured.
+        """
+        self._loop.call_at(self._t0 + time, self._run, callback, args)
+
+    def fire_after(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget lane, relative to now."""
+        self.fire_at(self.now + max(0.0, delay), callback, *args)
+
+    # -- execution --------------------------------------------------------
+
+    def _run(self, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+        self._events_run += 1
+        try:
+            callback(*args)
+        except Exception as exc:  # noqa: BLE001 - must not kill the loop
+            self._errors += 1
+            if self.on_error is not None:
+                self.on_error(exc)
+            else:
+                print(
+                    f"[realnet] scheduler callback {callback!r} raised:",
+                    file=sys.stderr,
+                )
+                traceback.print_exc()

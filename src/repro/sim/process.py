@@ -5,19 +5,22 @@ deliveries (:meth:`Process.on_network`) and to its own timers.  Crashing
 a process cancels every pending timer and silences it permanently — per
 the paper's model a recovery is a *new* process with a fresh identifier,
 so a crashed ``Process`` instance is never reused.
+
+A process is backend-agnostic: it holds whatever
+:class:`~repro.ports.SchedulerPort` and :class:`~repro.ports.NetworkPort`
+it was wired to, so the same subclass runs unmodified inside the
+discrete-event simulator and on the asyncio real-network runtime
+(:mod:`repro.realnet`).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError
-from repro.sim.scheduler import Event, Scheduler
+from repro.ports import CancellableEvent, NetworkPort, SchedulerPort
 from repro.sim.stable_storage import SiteStorage
 from repro.types import ProcessId
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from repro.net.network import Network
 
 
 class Timer:
@@ -34,7 +37,7 @@ class Timer:
         self._interval = interval
         self._callback = callback
         self._periodic = periodic
-        self._event: Event | None = None
+        self._event: CancellableEvent | None = None
         self.active = True
         self._arm()
 
@@ -65,12 +68,12 @@ class Process:
     and :meth:`on_crash` (called when the process is killed).
     """
 
-    def __init__(self, pid: ProcessId, scheduler: Scheduler, storage: SiteStorage) -> None:
+    def __init__(self, pid: ProcessId, scheduler: SchedulerPort, storage: SiteStorage) -> None:
         self.pid = pid
         self.scheduler = scheduler
         self.storage = storage
         self.alive = True
-        self.network: "Network | None" = None
+        self.network: NetworkPort | None = None
         self._timers: list[Timer] = []
 
     @property
@@ -79,7 +82,7 @@ class Process:
 
     # -- wiring -----------------------------------------------------------
 
-    def attach(self, network: "Network") -> None:
+    def attach(self, network: NetworkPort) -> None:
         """Called by the network when the process is registered."""
         self.network = network
         self.on_start()

@@ -69,7 +69,13 @@ class Event:
 
 
 class Scheduler:
-    """Orders and executes all events of one simulation run."""
+    """Orders and executes all events of one simulation run.
+
+    This is the simulator's implementation of
+    :class:`repro.ports.SchedulerPort` (``now`` is virtual time);
+    :class:`repro.realnet.WallClockScheduler` implements the same
+    contract over an asyncio event loop.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0

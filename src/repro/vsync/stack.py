@@ -36,8 +36,8 @@ from repro.gms.messages import (
     VcPropose,
 )
 from repro.gms.view import View
+from repro.ports import SchedulerPort
 from repro.sim.process import Process
-from repro.sim.scheduler import Scheduler
 from repro.sim.stable_storage import SiteStorage
 from repro.trace.recorder import TraceRecorder
 from repro.types import Message, MessageId, ProcessId, SiteId, SubviewId, SvSetId, ViewId
@@ -97,7 +97,7 @@ class GroupStack(Process):
     def __init__(
         self,
         pid: ProcessId,
-        scheduler: Scheduler,
+        scheduler: SchedulerPort,
         storage: SiteStorage,
         app: GroupApplication,
         recorder: TraceRecorder,

@@ -1,0 +1,1 @@
+"""Loopback smoke tests over real TCP sockets (marker: realnet)."""

@@ -1,0 +1,279 @@
+"""Socket-free realnet units: ports conformance, codec, wall clock.
+
+These run in the default (tier-1) lane — no sockets, sub-second wall
+time.  The loopback smoke tests that exercise real TCP live in
+``tests/realnet/`` behind the ``realnet`` marker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import CodecError
+from repro.evs.eview import EvDelta, EViewStructure
+from repro.evs.messages import EvChange, EvReq
+from repro.fd.heartbeat import Heartbeat
+from repro.gms.messages import PredecessorPlan, VcFlush, VcInstall, VcPrepare
+from repro.gms.view import View
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.ports import NetworkPort, SchedulerPort
+from repro.realnet.codec import (
+    MAX_FRAME_BYTES,
+    decode_frame_body,
+    decode_value,
+    encode_frame,
+    encode_value,
+    registered_payloads,
+)
+from repro.realnet.wallclock import WallClockScheduler
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+from repro.types import Message, MessageId, ProcessId, SubviewId, SvSetId, ViewId
+from repro.vsync.stability import StabilityReport
+from repro.vsync.stack import DirectPayload, SubviewScoped
+
+
+# ---------------------------------------------------------------------------
+# Ports: both backends satisfy the same explicit contracts
+# ---------------------------------------------------------------------------
+
+
+def test_sim_scheduler_satisfies_scheduler_port():
+    assert isinstance(Scheduler(), SchedulerPort)
+
+
+def test_wallclock_scheduler_satisfies_scheduler_port():
+    async def check():
+        assert isinstance(WallClockScheduler(), SchedulerPort)
+
+    asyncio.run(check())
+
+
+def test_sim_network_satisfies_network_port():
+    network = Network(Scheduler(), Topology(range(2)), RngStreams(0))
+    assert isinstance(network, NetworkPort)
+
+
+def test_real_network_satisfies_network_port():
+    from repro.realnet.network import RealNetwork
+
+    async def check():
+        network = RealNetwork(WallClockScheduler(), 0, {})
+        assert isinstance(network, NetworkPort)
+
+    asyncio.run(check())
+
+
+# ---------------------------------------------------------------------------
+# Codec: every wire payload round-trips
+# ---------------------------------------------------------------------------
+
+
+def _pid(site: int, inc: int = 0) -> ProcessId:
+    return ProcessId(site, inc)
+
+
+def _sample_payloads():
+    p0, p1, p2 = _pid(0), _pid(1), _pid(2, 3)
+    vid = ViewId(4, p0)
+    view = View(vid, frozenset({p0, p1, p2}))
+    structure = EViewStructure.singletons(4, view.members)
+    delta = EvDelta(
+        seq=1,
+        kind="svset",
+        inputs=frozenset({SvSetId(4, p0, 0), SvSetId(4, p1, 0)}),
+        new_svset=SvSetId(4, p0, 1),
+    )
+    msg = Message(MessageId(p1, vid, 7), payload={"op": "put", "k": [1, 2]}, eview_seq=2)
+    return [
+        p2,
+        vid,
+        view,
+        structure,
+        delta,
+        msg,
+        Heartbeat(p1, vid, last_seqno=9, eview_seq=2),
+        VcPrepare((p0, 5), frozenset({p0, p1})),
+        VcFlush(
+            round_id=(p0, 5),
+            sender=p1,
+            view_id=vid,
+            max_epoch=4,
+            received=(msg,),
+            eview_seq=2,
+            structure=structure,
+            evlog=(delta,),
+            reachable=frozenset({p0, p1}),
+        ),
+        VcInstall(
+            round_id=(p0, 5),
+            view=view,
+            structure=structure,
+            predecessors={vid: PredecessorPlan(messages=(msg,), evlog=(delta,), eview_seq=2)},
+        ),
+        EvReq(p1, vid, "subview", frozenset({SubviewId(4, p0, 0)})),
+        EvChange(vid, delta),
+        StabilityReport(vid, p1, ((p0, 3), (p1, 9))),
+        DirectPayload({"blob": "x" * 10}),
+        SubviewScoped(frozenset({p0, p1}), ["nested", {"deep": (1, 2.5)}]),
+    ]
+
+
+@pytest.mark.parametrize("payload", _sample_payloads(), ids=lambda p: type(p).__name__)
+def test_codec_roundtrip(payload):
+    encoded = encode_value(payload)
+    decoded = decode_value(encoded)
+    assert decoded == payload
+    assert type(decoded) is type(payload)
+
+
+def test_codec_roundtrip_through_json_frame():
+    payload = _sample_payloads()[9]  # VcInstall: the deepest nesting
+    frame = encode_frame({"k": "msg", "p": encode_value(payload)})
+    body = decode_frame_body(frame[4:])
+    assert decode_value(body["p"]) == payload
+
+
+def test_codec_scalar_and_container_tags():
+    value = {
+        "ints": (1, -2, 0),
+        "floats": [1.5, float("inf"), float("-inf")],
+        "set": {1, 2},
+        "none": None,
+        ("tuple", "key"): frozenset({"a"}),
+    }
+    decoded = decode_value(encode_value(value))
+    assert decoded["ints"] == (1, -2, 0)
+    assert decoded["floats"][1] == float("inf")
+    assert decoded["set"] == {1, 2}
+    assert decoded[("tuple", "key")] == frozenset({"a"})
+    nan = decode_value(encode_value(float("nan")))
+    assert nan != nan  # NaN survives the trip as NaN
+
+
+def test_codec_int_float_distinction_survives():
+    assert decode_value(encode_value(3)) == 3
+    assert isinstance(decode_value(encode_value(3)), int)
+    assert isinstance(decode_value(encode_value(3.0)), float)
+
+
+def test_codec_rejects_unregistered_dataclass():
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class NotOnTheWire:
+        x: int = 1
+
+    with pytest.raises(CodecError):
+        encode_value(NotOnTheWire())
+
+
+def test_codec_rejects_unknown_type_tag_and_unknown_fields():
+    with pytest.raises(CodecError):
+        decode_value({"__c__": "EvilClass", "f": {}})
+    with pytest.raises(CodecError):
+        decode_value({"__c__": "ProcessId", "f": {"site": 0, "bogus": 1}})
+    with pytest.raises(CodecError):
+        decode_value({"untagged": 1})
+
+
+def test_codec_rejects_arbitrary_objects():
+    with pytest.raises(CodecError):
+        encode_value(object())
+
+
+def test_frame_cap_enforced():
+    with pytest.raises(CodecError):
+        encode_frame({"p": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_registry_covers_the_stack_vocabulary():
+    names = set(registered_payloads())
+    for required in (
+        "Heartbeat", "Message", "VcPropose", "VcPrepare", "VcFlush", "VcNack",
+        "VcInstall", "VcAbort", "Leave", "EvReq", "EvChange", "EvRepairReq",
+        "StabilityReport", "StabilityNotice", "RetransmitRequest",
+        "DirectPayload", "SubviewScoped", "PredecessorPlan",
+    ):
+        assert required in names
+
+
+# ---------------------------------------------------------------------------
+# WallClockScheduler
+# ---------------------------------------------------------------------------
+
+
+def test_wallclock_fires_in_order_and_cancels():
+    async def scenario():
+        sched = WallClockScheduler()
+        fired: list[str] = []
+        sched.fire_after(0.02, fired.append, "b")
+        sched.fire_after(0.0, fired.append, "a")
+        handle = sched.after(0.01, fired.append, "cancelled")
+        keep = sched.after(0.01, fired.append, "kept")
+        handle.cancel()
+        handle.cancel()  # idempotent
+        await asyncio.sleep(0.06)
+        keep.cancel()  # after firing: harmless
+        assert fired == ["a", "kept", "b"]
+        assert sched.events_run == 3
+
+    asyncio.run(asyncio.wait_for(scenario(), 5))
+
+
+def test_wallclock_equal_deadlines_all_fire():
+    # asyncio does not promise insertion order on equal deadlines (the
+    # protocols are seqno-guarded against that), but nothing may be lost.
+    async def scenario():
+        sched = WallClockScheduler()
+        fired: list[int] = []
+        for i in range(5):
+            sched.fire_at(0.01, fired.append, i)
+        await asyncio.sleep(0.05)
+        assert sorted(fired) == [0, 1, 2, 3, 4]
+
+    asyncio.run(asyncio.wait_for(scenario(), 5))
+
+
+def test_wallclock_clamps_the_past_instead_of_raising():
+    async def scenario():
+        sched = WallClockScheduler()
+        fired: list[str] = []
+        sched.at(-100.0, fired.append, "past")
+        sched.after(-5.0, fired.append, "negative-delay")
+        await asyncio.sleep(0.02)
+        assert sorted(fired) == ["negative-delay", "past"]
+
+    asyncio.run(asyncio.wait_for(scenario(), 5))
+
+
+def test_wallclock_contains_callback_exceptions():
+    async def scenario():
+        caught: list[BaseException] = []
+        sched = WallClockScheduler(on_error=caught.append)
+        fired: list[str] = []
+
+        def boom():
+            raise RuntimeError("protocol bug")
+
+        sched.fire_after(0.0, boom)
+        sched.fire_after(0.01, fired.append, "still-running")
+        await asyncio.sleep(0.03)
+        assert fired == ["still-running"]
+        assert sched.errors == 1
+        assert isinstance(caught[0], RuntimeError)
+
+    asyncio.run(asyncio.wait_for(scenario(), 5))
+
+
+def test_wallclock_now_advances():
+    async def scenario():
+        sched = WallClockScheduler()
+        start = sched.now
+        await asyncio.sleep(0.02)
+        assert sched.now >= start + 0.015
+
+    asyncio.run(asyncio.wait_for(scenario(), 5))
