@@ -217,18 +217,25 @@ def main(argv: list[str] | None = None) -> int:
     print(f"total wall time: {total:.1f}s")
 
     if not args.quick:
-        payload = {
-            "baseline": BASELINE,
-            "current": {
-                "modes": "detailed_stats=False, trace_level='none'",
-                "workloads": results,
-            },
+        out = Path(args.out)
+        # Read-modify-write: other harnesses (repro.bench.realnet_perf)
+        # own sibling sections of the same file.
+        payload = {}
+        if out.exists():
+            try:
+                payload = json.loads(out.read_text())
+            except ValueError:
+                payload = {}
+        payload["baseline"] = BASELINE
+        payload["current"] = {
+            "modes": "detailed_stats=False, trace_level='none'",
+            "workloads": results,
         }
         key = "steady_multicast_n24"
         base = BASELINE["workloads"][key]["events_per_s"]
         cur = results[key]["events_per_s"]
         payload["headline_speedup_n24"] = round(cur / base, 2)
-        Path(args.out).write_text(json.dumps(payload, indent=1) + "\n")
+        out.write_text(json.dumps(payload, indent=1) + "\n")
         print(f"wrote {args.out} (n24 steady-state speedup: {cur / base:.2f}x)")
     return 0
 

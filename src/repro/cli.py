@@ -178,7 +178,8 @@ def cmd_realnet_demo(args: argparse.Namespace) -> int:
     from repro.realnet.demo import run_demo
 
     result = run_demo(
-        n_sites=args.sites, seed=args.seed, scale=args.scale, timeout=args.timeout
+        n_sites=args.sites, seed=args.seed, scale=args.scale,
+        timeout=args.timeout, codec=args.codec,
     )
     return 1 if result.property_violations else 0
 
@@ -203,6 +204,7 @@ def cmd_realnet_node(args: argparse.Namespace) -> int:
             incarnation=args.incarnation,
             stack_config=realnet_stack_config(args.scale),
             seed=args.seed,
+            codec=args.codec,
             on_view=lambda view: print(f"  installed {view}"),
         )
     )
@@ -266,6 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stretch every protocol timer by this factor")
         p.add_argument("--timeout", type=float, default=30.0,
                        help="hard wall-clock budget per phase (seconds)")
+        p.add_argument("--codec", choices=("bin", "json"), default="bin",
+                       help="preferred wire codec (negotiated per link; "
+                            "json is the debug/compat mode)")
         p.set_defaults(func=cmd_realnet_demo)
     rnode = realnet_sub.add_parser(
         "node", help="one standalone node of a fixed-port deployment"
@@ -279,6 +284,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bump after a crash so the site rejoins fresh")
     rnode.add_argument("--seed", type=int, default=0)
     rnode.add_argument("--scale", type=float, default=1.0)
+    rnode.add_argument("--codec", choices=("bin", "json"), default="bin",
+                       help="preferred wire codec (negotiated per link)")
     rnode.set_defaults(func=cmd_realnet_node)
 
     experiments = sub.add_parser("experiments", help="list paper experiments")

@@ -58,7 +58,14 @@ class RealClusterConfig:
     :func:`~repro.realnet.node.realnet_stack_config`); ``stack``
     overrides it wholesale.  ``loss_prob`` and ``latency`` are the
     injected chaos knobs, applied at every sender on top of whatever
-    the kernel's loopback actually does.
+    the kernel's loopback actually does.  ``codec`` picks the wire
+    format every node *prefers* (``"bin"`` — the compact default — or
+    ``"json"`` as a debug/compat mode; the actual format is negotiated
+    per connection, so mixed clusters interoperate).  ``flush_tick``
+    overrides the links' micro-batching flush tick (``0.0`` disables
+    the wait; ``None`` keeps the transport default), and ``batch_bytes``
+    the per-flush byte cap (``0`` means one frame per flush — the
+    unbatched data path, kept as a benchmark baseline).
     """
 
     seed: int = 0
@@ -68,6 +75,9 @@ class RealClusterConfig:
     stack: StackConfig | None = None
     host: str = "127.0.0.1"
     detailed_stats: bool = True
+    codec: str = "bin"
+    flush_tick: float | None = None
+    batch_bytes: int | None = None
     trace_level: str = "full"
     trace_capacity: int | None = None
     quiet: bool = True
@@ -156,6 +166,9 @@ class RealCluster:
             host=cfg.host,
             port=0,
             detailed_stats=cfg.detailed_stats,
+            codec=cfg.codec,
+            flush_tick=cfg.flush_tick,
+            batch_bytes=cfg.batch_bytes,
             quiet=cfg.quiet,
         )
         self.nodes[site] = node
@@ -299,4 +312,25 @@ class RealCluster:
             total.dropped_dead += stats.dropped_dead
             for name, count in stats.by_type.items():
                 total.by_type[name] = total.by_type.get(name, 0) + count
+        return total
+
+    def transport_stats(self) -> dict[str, Any]:
+        """Aggregate link/server counters over every node (live and dead).
+
+        Sums frame, flush, byte and connection counters; ``max_batch`` /
+        ``max_frames_per_read`` are cluster-wide maxima and ``codecs``
+        counts live links by negotiated wire format.
+        """
+        total: dict[str, Any] = {}
+        codecs: dict[str, int] = {}
+        for node in self.nodes.values():
+            stats = node.network.transport_stats()
+            for name, count in stats.pop("codecs").items():
+                codecs[name] = codecs.get(name, 0) + count
+            for key, value in stats.items():
+                if key in ("max_batch", "max_frames_per_read"):
+                    total[key] = max(total.get(key, 0), value)
+                else:
+                    total[key] = total.get(key, 0) + value
+        total["codecs"] = codecs
         return total

@@ -1,0 +1,562 @@
+"""Compact binary wire codec + the wire-format negotiation layer.
+
+The tagged-JSON codec (:mod:`repro.realnet.codec`) is self-describing
+and ``jq``-able, but it pays for that on every frame: the value walk
+allocates a tagged intermediate structure, ``json.dumps`` re-serializes
+the whole frame per destination, and identifiers explode into
+``{"__c__": "ProcessId", "f": {...}}`` objects many times their
+information content.  Group-communication systems in this paper's
+lineage (Isis/Horus, Spread) all moved to compact binary framing for
+exactly this reason: codec cost dominates small-multicast throughput.
+
+This module provides the binary alternative, ``bin1``:
+
+* **Values** are encoded with one tag byte per value: varint (LEB128,
+  zigzag for sign) integers, raw 8-byte doubles (so ``inf``/``nan``
+  travel natively), length-prefixed UTF-8 strings, count-prefixed
+  containers, and — the payoff — registered dataclasses as a *class id
+  plus positional fields*, no field names on the wire.  Small ints
+  (0..127, the bulk of protocol traffic: sites, seqnos, epochs) are a
+  single byte.
+* **Field tables** are derived from the shared payload registry in
+  :mod:`repro.realnet.codec`: classes are numbered in sorted-name
+  order, fields in dataclass declaration order.  Positional encoding
+  only works when both ends agree on the layout, so a **schema
+  fingerprint** (hash over every registered class's name and field
+  names) is exchanged in the ``hello`` handshake; peers whose
+  fingerprints differ fall back to JSON instead of mis-decoding.
+* **Negotiation**: the dialing side lists the formats it speaks in its
+  (always-JSON) ``hello``; the server picks the first mutually
+  supported one — binary only on a fingerprint match — and answers
+  with a ``welcome`` naming the choice.  A JSON-only peer therefore
+  interoperates with a binary-capable one automatically, and ``bin1``
+  upgrades nothing unless both ends prove they share a schema.
+
+Both formats are wrapped in :class:`WireFormat` objects with a common
+surface (``encode_payload`` / ``frame_msg`` / ``parse_msg``) so the
+transport treats the codec as per-connection state.  Framing on the
+socket is unchanged — 4-byte big-endian length + body, capped at
+:data:`~repro.realnet.codec.MAX_FRAME_BYTES` — only the body bytes
+differ.  See docs/protocol.md §7.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import fields
+from operator import attrgetter
+from typing import Any, Callable
+
+from repro.errors import CodecError
+from repro.realnet import codec as _json_codec
+from repro.realnet.codec import MAX_FRAME_BYTES, _LEN, _REGISTRY
+
+FORMAT_JSON = "json"
+FORMAT_BIN = "bin1"
+
+# -- value tags -----------------------------------------------------------
+#
+# One byte per value.  Tags >= 0x80 encode the small int (tag & 0x7F)
+# inline — sites, incarnations, seqnos and epochs are nearly always in
+# that range, so most protocol integers cost a single byte.
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_LIST = 0x06
+_T_TUPLE = 0x07
+_T_FROZENSET = 0x08
+_T_SET = 0x09
+_T_DICT = 0x0A
+_T_CLASS = 0x0B
+_SMALL_INT = 0x80
+
+_F64 = struct.Struct(">d")
+
+#: Frame-kind byte opening every binary body.  Unknown kinds are
+#: ignored (future compatibility), mirroring the JSON server loop.
+MSG_KIND = 0x01
+
+
+# -- class table ----------------------------------------------------------
+#
+# Derived from the shared registry; rebuilt whenever a new payload class
+# is registered (the registry only grows).  Encode side: class -> (id,
+# attrgetter over the field names).  Decode side: id -> (class, arity).
+
+
+class _ClassTable:
+    __slots__ = ("version", "by_class", "by_id", "fingerprint")
+
+    def __init__(self) -> None:
+        names = sorted(_REGISTRY)
+        self.version = len(_REGISTRY)
+        self.by_class: dict[type, tuple[int, Callable[[Any], Any], int]] = {}
+        self.by_id: list[tuple[type, int]] = []
+        lines = []
+        for class_id, name in enumerate(names):
+            cls = _REGISTRY[name]
+            field_names = tuple(f.name for f in fields(cls))
+            if len(field_names) > 1:
+                getter = attrgetter(*field_names)
+            elif field_names:
+                getter = lambda v, _n=field_names[0]: (getattr(v, _n),)  # noqa: E731
+            else:
+                getter = lambda v: ()  # noqa: E731
+            self.by_class[cls] = (class_id, getter, len(field_names))
+            self.by_id.append((cls, len(field_names)))
+            lines.append(f"{name}({','.join(field_names)})")
+        self.fingerprint = hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
+
+
+_TABLE: _ClassTable | None = None
+
+
+def class_table() -> _ClassTable:
+    """The current registry's field tables (rebuilt after registrations)."""
+    global _TABLE
+    table = _TABLE
+    if table is None or table.version != len(_REGISTRY):
+        table = _TABLE = _ClassTable()
+    return table
+
+
+def schema_fingerprint() -> str:
+    """Hash of every registered class's name + field layout.
+
+    Exchanged in the ``hello`` handshake: binary encoding is positional,
+    so it is only enabled between peers with identical fingerprints.
+    """
+    return class_table().fingerprint
+
+
+# -- encoder --------------------------------------------------------------
+
+
+def _enc_uvarint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _enc_int(out: bytearray, value: int) -> None:
+    if 0 <= value <= 0x7F:
+        out.append(_SMALL_INT | value)
+        return
+    out.append(_T_INT)
+    # zigzag, arbitrary precision
+    _enc_uvarint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _enc(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+        return
+    if value is True:
+        out.append(_T_TRUE)
+        return
+    if value is False:
+        out.append(_T_FALSE)
+        return
+    cls = type(value)
+    if cls is int:
+        _enc_int(out, value)
+        return
+    if cls is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        _enc_uvarint(out, len(raw))
+        out += raw
+        return
+    if cls is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+        return
+    if cls is tuple:
+        out.append(_T_TUPLE)
+        _enc_uvarint(out, len(value))
+        for item in value:
+            _enc(out, item)
+        return
+    if cls is list:
+        out.append(_T_LIST)
+        _enc_uvarint(out, len(value))
+        for item in value:
+            _enc(out, item)
+        return
+    if cls is frozenset or cls is set:
+        out.append(_T_FROZENSET if cls is frozenset else _T_SET)
+        _enc_uvarint(out, len(value))
+        for item in value:
+            _enc(out, item)
+        return
+    if cls is dict:
+        out.append(_T_DICT)
+        _enc_uvarint(out, len(value))
+        for k, v in value.items():
+            _enc(out, k)
+            _enc(out, v)
+        return
+    entry = class_table().by_class.get(cls)
+    if entry is not None:
+        class_id, getter, arity = entry
+        out.append(_T_CLASS)
+        _enc_uvarint(out, class_id)
+        _enc_uvarint(out, arity)
+        if arity == 1:
+            _enc(out, getter(value)[0])
+        else:
+            for item in getter(value):
+                _enc(out, item)
+        return
+    # Uncommon shapes (bool/int/str subclasses, unregistered classes):
+    # defer to the JSON codec's vocabulary check so both codecs accept
+    # and reject exactly the same values.
+    if isinstance(value, bool):
+        out.append(_T_TRUE if value else _T_FALSE)
+        return
+    if isinstance(value, int):
+        _enc_int(out, int(value))
+        return
+    if isinstance(value, str):
+        _enc(out, str(value))
+        return
+    _json_codec.encode_value(value)  # raises CodecError with the canonical message
+    raise CodecError(f"cannot binary-encode {cls.__name__} value: {value!r}")
+
+
+def encode_value_bin(value: Any) -> bytes:
+    """Encode one value to ``bin1`` bytes (no framing)."""
+    out = bytearray()
+    _enc(out, value)
+    return bytes(out)
+
+
+# -- decoder --------------------------------------------------------------
+
+
+def _uvarint_at(buf: bytes, pos: int) -> tuple[int, int]:
+    """Multi-byte tail of a LEB128 varint (callers inline the 1-byte case)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 128:
+            raise CodecError("varint too long")
+
+
+def _dec_at(buf: bytes, pos: int, by_id: list) -> tuple[Any, int]:
+    """Decode one value starting at ``pos``; returns ``(value, next_pos)``.
+
+    Hot path of the receive side: flat positional reads on local
+    variables, a single-byte fast path for every varint (counts, class
+    ids and small ints are almost always < 0x80), and *implicit* bounds
+    checks — an overrun raises ``IndexError``/``struct.error``, which
+    the entry points translate to the canonical truncation CodecError.
+    """
+    tag = buf[pos]
+    pos += 1
+    if tag >= _SMALL_INT:
+        return tag & 0x7F, pos
+    if tag == _T_CLASS:
+        class_id = buf[pos]
+        pos += 1
+        if class_id >= 0x80:
+            class_id, pos = _uvarint_at(buf, pos - 1)
+        if class_id >= len(by_id):
+            raise CodecError(f"unknown wire payload class id: {class_id}")
+        cls, arity = by_id[class_id]
+        n_fields = buf[pos]
+        pos += 1
+        if n_fields >= 0x80:
+            n_fields, pos = _uvarint_at(buf, pos - 1)
+        if n_fields != arity:
+            raise CodecError(
+                f"{cls.__name__}: field-layout mismatch "
+                f"(peer sent {n_fields} fields, local class has {arity})"
+            )
+        args = []
+        append = args.append
+        for _ in range(arity):
+            head = buf[pos]
+            if head >= _SMALL_INT:
+                append(head & 0x7F)
+                pos += 1
+            else:
+                value, pos = _dec_at(buf, pos, by_id)
+                append(value)
+        return cls(*args), pos
+    if tag == _T_STR:
+        n = buf[pos]
+        pos += 1
+        if n >= 0x80:
+            n, pos = _uvarint_at(buf, pos - 1)
+        end = pos + n
+        if end > len(buf):
+            raise CodecError("truncated binary frame")
+        return buf[pos:end].decode("utf-8"), end
+    if tag == _T_TUPLE or tag == _T_LIST:
+        n = buf[pos]
+        pos += 1
+        if n >= 0x80:
+            n, pos = _uvarint_at(buf, pos - 1)
+        items = []
+        append = items.append
+        for _ in range(n):
+            # Inline the two scalar shapes that dominate container
+            # bodies (seqno vectors, float vectors): one dispatch, no
+            # recursive call.
+            head = buf[pos]
+            if head >= _SMALL_INT:
+                append(head & 0x7F)
+                pos += 1
+            elif head == _T_FLOAT:
+                append(_F64.unpack_from(buf, pos + 1)[0])
+                pos += 9
+            else:
+                value, pos = _dec_at(buf, pos, by_id)
+                append(value)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_INT:
+        raw, pos = _uvarint_at(buf, pos)
+        return ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1)), pos
+    if tag == _T_FLOAT:
+        value = _F64.unpack_from(buf, pos)[0]
+        return value, pos + 8
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_FROZENSET or tag == _T_SET:
+        n = buf[pos]
+        pos += 1
+        if n >= 0x80:
+            n, pos = _uvarint_at(buf, pos - 1)
+        items = []
+        append = items.append
+        for _ in range(n):
+            value, pos = _dec_at(buf, pos, by_id)
+            append(value)
+        return (frozenset(items) if tag == _T_FROZENSET else set(items)), pos
+    if tag == _T_DICT:
+        n = buf[pos]
+        pos += 1
+        if n >= 0x80:
+            n, pos = _uvarint_at(buf, pos - 1)
+        out: dict = {}
+        for _ in range(n):
+            key, pos = _dec_at(buf, pos, by_id)
+            value, pos = _dec_at(buf, pos, by_id)
+            out[key] = value
+        return out, pos
+    raise CodecError(f"unknown binary value tag: 0x{tag:02x}")
+
+
+def decode_value_bin(data: bytes) -> Any:
+    """Inverse of :func:`encode_value_bin`; rejects trailing bytes."""
+    try:
+        value, pos = _dec_at(data, 0, class_table().by_id)
+    except (IndexError, struct.error):
+        raise CodecError("truncated binary frame") from None
+    if pos != len(data):
+        raise CodecError(f"{len(data) - pos} trailing bytes after binary value")
+    return value
+
+
+# -- wire formats ---------------------------------------------------------
+
+
+class ParsedMsg:
+    """One decoded-enough inbound ``msg`` frame.
+
+    Header fields are decoded eagerly (the receiver filters on them);
+    the payload decodes lazily via :meth:`payload` so frames destroyed
+    by the firewall or addressed to a dead incarnation never pay for
+    payload decoding.
+    """
+
+    __slots__ = ("src_site", "src_inc", "dst_site", "dst_inc", "_thunk")
+
+    def __init__(self, src_site, src_inc, dst_site, dst_inc, thunk) -> None:
+        self.src_site = src_site
+        self.src_inc = src_inc
+        self.dst_site = dst_site
+        self.dst_inc = dst_inc
+        self._thunk = thunk
+
+    def payload(self) -> Any:
+        """Decode the payload; raises :class:`CodecError` on garbage."""
+        return self._thunk()
+
+
+class JsonWireFormat:
+    """The PR-2 tagged-JSON data path behind the common format surface."""
+
+    name = FORMAT_JSON
+    binary = False
+
+    def encode_payload(self, payload: Any) -> Any:
+        return _json_codec.encode_value(payload)
+
+    def frame_msg(
+        self,
+        src: tuple[int, int],
+        dst_site: int,
+        dst_inc: int | None,
+        encoded_payload: Any,
+    ) -> bytes:
+        return _json_codec.encode_frame(
+            {
+                "k": "msg",
+                "src": [src[0], src[1]],
+                "ds": dst_site,
+                "di": dst_inc,
+                "p": encoded_payload,
+            }
+        )
+
+    def parse_msg(self, body: bytes) -> ParsedMsg | None:
+        frame = _json_codec.decode_frame_body(body)
+        if frame.get("k") != "msg":
+            return None  # future frame kinds: ignore, don't kill the link
+        try:
+            src_site, src_inc = frame["src"]
+            dst_site = frame["ds"]
+            dst_inc = frame["di"]
+        except (KeyError, TypeError, ValueError):
+            raise CodecError("malformed msg frame header") from None
+        return ParsedMsg(
+            src_site,
+            src_inc,
+            dst_site,
+            dst_inc,
+            lambda: _json_codec.decode_value(frame.get("p")),
+        )
+
+
+class BinWireFormat:
+    """``bin1``: positional binary bodies behind the same surface.
+
+    Body layout (after the shared 4-byte length prefix)::
+
+        kind:u8 = 0x01 | src_site:varint | src_inc:varint
+                | dst_site:varint | dst_inc:(0x00 | 0x01 varint)
+                | payload:value
+
+    Sites and incarnations use the zigzag varint (sites are ints by
+    contract but nothing forces them non-negative).
+    """
+
+    name = FORMAT_BIN
+    binary = True
+
+    def encode_payload(self, payload: Any) -> bytes:
+        return encode_value_bin(payload)
+
+    def frame_msg(
+        self,
+        src: tuple[int, int],
+        dst_site: int,
+        dst_inc: int | None,
+        encoded_payload: bytes,
+    ) -> bytes:
+        head = bytearray()
+        head.append(MSG_KIND)
+        _enc_int(head, src[0])
+        _enc_int(head, src[1])
+        _enc_int(head, dst_site)
+        if dst_inc is None:
+            head.append(0x00)
+        else:
+            head.append(0x01)
+            _enc_int(head, dst_inc)
+        length = len(head) + len(encoded_payload)
+        if length > MAX_FRAME_BYTES:
+            raise CodecError(f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}")
+        return _LEN.pack(length) + bytes(head) + encoded_payload
+
+    def parse_msg(self, body: bytes) -> ParsedMsg | None:
+        by_id = class_table().by_id
+        try:
+            if body[0] != MSG_KIND:
+                return None  # future frame kinds: ignore, don't kill the link
+            src_site, pos = _dec_at(body, 1, by_id)
+            src_inc, pos = _dec_at(body, pos, by_id)
+            dst_site, pos = _dec_at(body, pos, by_id)
+            if body[pos]:
+                dst_inc, pos = _dec_at(body, pos + 1, by_id)
+            else:
+                dst_inc = None
+                pos += 1
+        except (IndexError, struct.error):
+            raise CodecError("truncated binary frame") from None
+
+        def thunk(start: int = pos) -> Any:
+            try:
+                value, end = _dec_at(body, start, by_id)
+            except (IndexError, struct.error):
+                raise CodecError("truncated binary frame") from None
+            if end != len(body):
+                raise CodecError(
+                    f"{len(body) - end} trailing bytes after msg payload"
+                )
+            return value
+
+        return ParsedMsg(src_site, src_inc, dst_site, dst_inc, thunk)
+
+
+JSON_FORMAT = JsonWireFormat()
+BIN_FORMAT = BinWireFormat()
+
+#: Every format this build can speak, by wire name.
+WIRE_FORMATS: dict[str, Any] = {FORMAT_JSON: JSON_FORMAT, FORMAT_BIN: BIN_FORMAT}
+
+
+# -- negotiation ----------------------------------------------------------
+
+
+def supported_formats(codec: str) -> tuple[str, ...]:
+    """Preference list for a node configured with ``codec``.
+
+    ``"bin"``/``"bin1"`` nodes offer (and accept) binary first with a
+    JSON fallback; ``"json"`` nodes are JSON-only (the debug/compat
+    mode — also what a pre-binary peer effectively offers).
+    """
+    if codec in (FORMAT_JSON,):
+        return (FORMAT_JSON,)
+    if codec in ("bin", FORMAT_BIN):
+        return (FORMAT_BIN, FORMAT_JSON)
+    raise CodecError(f"unknown wire codec {codec!r} (expected 'bin' or 'json')")
+
+
+def choose_format(
+    offered: Any, peer_schema: Any, accept: tuple[str, ...]
+) -> str:
+    """Server-side pick: first mutually supported format, JSON fallback.
+
+    Binary formats are only chosen when the peer's schema fingerprint
+    matches ours — positional field tables must agree exactly.  A hello
+    without a ``codecs`` list (a pre-binary peer) yields JSON.
+    """
+    if not isinstance(offered, (list, tuple)):
+        return FORMAT_JSON
+    local = schema_fingerprint()
+    for name in offered:
+        if name not in accept or name not in WIRE_FORMATS:
+            continue
+        if WIRE_FORMATS[name].binary and peer_schema != local:
+            continue
+        return name
+    return FORMAT_JSON

@@ -42,6 +42,10 @@ class DemoResult:
     frames_delivered: int
     dropped_partition: int
     wall_seconds: float
+    wire_frames: int
+    wire_flushes: int
+    wire_bytes: int
+    codecs: dict[str, int]
 
 
 async def partition_merge_demo(
@@ -49,6 +53,7 @@ async def partition_merge_demo(
     seed: int = 0,
     scale: float = 1.0,
     timeout: float = 30.0,
+    codec: str = "bin",
     printer=None,
 ) -> DemoResult:
     """Run the scripted scenario; raises AssertionError if a phase fails."""
@@ -61,7 +66,7 @@ async def partition_merge_demo(
         if not await cluster.settle(timeout=timeout):
             raise AssertionError(f"{what}: membership did not settle; views={cluster.views()}")
 
-    config = RealClusterConfig(seed=seed, scale=scale)
+    config = RealClusterConfig(seed=seed, scale=scale, codec=codec)
     async with RealCluster(n_sites, config=config) as cluster:
         t0 = cluster.now
         await must_settle(cluster, "bootstrap")
@@ -138,11 +143,23 @@ async def partition_merge_demo(
             say(f"  {report}")
 
         stats = cluster.network_stats()
+        wire = cluster.transport_stats()
         wall = cluster.now - t0
         say(
             f"\nwire totals: {stats.sent} sent, {stats.delivered} delivered, "
             f"{stats.dropped_partition} destroyed by the firewall, "
             f"{wall:.2f}s wall clock"
+        )
+        flushes = wire["flushes"]
+        per_flush = wire["frames_sent"] / flushes if flushes else 0.0
+        codec_summary = ", ".join(
+            f"{name} x{count}" for name, count in sorted(wire["codecs"].items())
+        ) or "none negotiated"
+        say(
+            f"transport: {wire['frames_sent']} frames in {flushes} flushes "
+            f"({per_flush:.1f} frames/flush, max batch {wire['max_batch']}), "
+            f"{wire['bytes_sent']} bytes, {wire['connects']} connects, "
+            f"{wire['frames_dropped']} dropped; links: {codec_summary}"
         )
         return DemoResult(
             n_sites=n_sites,
@@ -156,6 +173,10 @@ async def partition_merge_demo(
             frames_delivered=stats.delivered,
             dropped_partition=stats.dropped_partition,
             wall_seconds=wall,
+            wire_frames=wire["frames_sent"],
+            wire_flushes=wire["flushes"],
+            wire_bytes=wire["bytes_sent"],
+            codecs=wire["codecs"],
         )
 
 
@@ -164,13 +185,15 @@ def run_demo(
     seed: int = 0,
     scale: float = 1.0,
     timeout: float = 30.0,
+    codec: str = "bin",
     printer=print,
 ) -> DemoResult:
     """Synchronous entry point with a hard overall deadline."""
     return asyncio.run(
         asyncio.wait_for(
             partition_merge_demo(
-                n_sites=n_sites, seed=seed, scale=scale, timeout=timeout, printer=printer
+                n_sites=n_sites, seed=seed, scale=scale, timeout=timeout,
+                codec=codec, printer=printer,
             ),
             timeout=timeout * 4,
         )

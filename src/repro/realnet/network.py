@@ -36,16 +36,24 @@ of the simulator delivering only to the registered ``ProcessId``.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Callable, Iterable
 
-from repro.errors import TransportError
+from repro.errors import CodecError, TransportError
 from repro.net.network import NetworkStats
 from repro.ports import ProcessPort
-from repro.realnet.codec import decode_value, encode_frame, encode_value
-from repro.realnet.transport import FrameServer, PeerLink
+from repro.realnet.codec_bin import WIRE_FORMATS, ParsedMsg, supported_formats
+from repro.realnet.transport import (
+    FrameServer,
+    OutMessage,
+    PeerLink,
+    enable_stderr_logging,
+)
 from repro.realnet.wallclock import WallClockScheduler
 from repro.sim.rng import RngStreams
 from repro.types import ProcessId, SiteId
+
+logger = logging.getLogger("repro.realnet.network")
 
 Connectivity = Callable[[SiteId, SiteId], bool]
 
@@ -68,6 +76,9 @@ class RealNetwork:
         latency: Any = None,
         rng: RngStreams | None = None,
         detailed_stats: bool = True,
+        codec: str = "bin",
+        flush_tick: float | None = None,
+        batch_bytes: int | None = None,
         quiet: bool = True,
     ) -> None:
         self.scheduler = scheduler
@@ -80,7 +91,12 @@ class RealNetwork:
         self.latency = latency
         self._rng = (rng or RngStreams(0)).stream(f"realnet.{site}")
         self.stats = NetworkStats(detailed=detailed_stats)
-        self._quiet = quiet
+        self._formats = supported_formats(codec)
+        self._preferred = WIRE_FORMATS[self._formats[0]]
+        self._flush_tick = flush_tick
+        self._batch_bytes = batch_bytes
+        if not quiet:
+            enable_stderr_logging()
         self._proc: ProcessPort | None = None
         self._server: FrameServer | None = None
         self._links: dict[SiteId, PeerLink] = {}
@@ -96,7 +112,8 @@ class RealNetwork:
         if self._server is not None:
             raise TransportError(f"site {self.site}: transport already started")
         self._server = FrameServer(
-            self.host, self._requested_port, self._on_frame, quiet=self._quiet
+            self.host, self._requested_port, self._on_msg,
+            accept_formats=self._formats,
         )
         address = await self._server.start()
         self.address_book[self.site] = address
@@ -125,14 +142,14 @@ class RealNetwork:
         stats.sent += 1
         if stats.detailed:
             stats.record_type(payload)
-        self._transmit(dst.site, dst.incarnation, payload)
+        self._transmit(dst.site, dst.incarnation, payload, {})
 
     def send_to_site(self, src: ProcessId, site: SiteId, payload: Any) -> None:
         stats = self.stats
         stats.sent += 1
         if stats.detailed:
             stats.record_type(payload)
-        self._transmit(site, None, payload)
+        self._transmit(site, None, payload, {})
 
     def multicast(self, src: ProcessId, dsts: Iterable[ProcessId], payload: Any) -> None:
         self._fan_out(tuple((d.site, d.incarnation) for d in dsts), payload)
@@ -143,24 +160,24 @@ class RealNetwork:
     def _fan_out(
         self, targets: tuple[tuple[SiteId, int | None], ...], payload: Any
     ) -> None:
-        """Shared fan-out: encode the payload once, frame per target."""
+        """Shared fan-out: one payload-encoding cell across every target."""
         stats = self.stats
         stats.sent += len(targets)
         if stats.detailed:
             for _ in targets:
                 stats.record_type(payload)
-        encoded: Any = None
+        cell: dict[str, Any] = {}
         for site, incarnation in targets:
-            encoded = self._transmit(site, incarnation, payload, encoded)
+            self._transmit(site, incarnation, payload, cell)
 
     def _transmit(
         self,
         dst_site: SiteId,
         dst_inc: int | None,
         payload: Any,
-        encoded: Any = None,
-    ) -> Any:
-        """Route one payload; returns the encoded form for reuse.
+        cell: dict[str, Any],
+    ) -> None:
+        """Route one payload; ``cell`` shares encodings across a fan-out.
 
         Drop accounting mirrors the simulator: unknown/unreachable site
         -> ``dropped_dead``, firewall -> ``dropped_partition``, injected
@@ -169,51 +186,55 @@ class RealNetwork:
         stats = self.stats
         if not self.connectivity(self.site, dst_site):
             stats.dropped_partition += 1
-            return encoded
+            return
         if self.loss_prob > 0 and self._rng.random() < self.loss_prob:
             stats.dropped_loss += 1
-            return encoded
+            return
         delay = self.latency.sample(self._rng) if self.latency is not None else 0.0
         if dst_site == self.site:
             # Loop back locally — but never synchronously: the stack
             # must not be reentered before its send() returns.
             self.scheduler.fire_after(delay, self._deliver_local, dst_inc, payload)
-            return encoded
+            return
         if dst_site not in self.address_book:
             stats.dropped_dead += 1
-            return encoded
-        if encoded is None:
-            encoded = encode_value(payload)
-        frame = encode_frame(
-            {
-                "k": "msg",
-                "src": [self._pid().site, self._pid().incarnation],
-                "ds": dst_site,
-                "di": dst_inc,
-                "p": encoded,
-            }
-        )
+            return
+        fmt = self._preferred
+        if fmt.name not in cell:
+            # Encode eagerly in our preferred format: the work is shared
+            # across the fan-out and an unencodable payload raises here,
+            # in the sender's context, not in a background link task.
+            cell[fmt.name] = fmt.encode_payload(payload)
+        msg = OutMessage(dst_inc, payload, cell)
         if delay > 0:
-            self.scheduler.fire_after(delay, self._offer, dst_site, frame)
+            self.scheduler.fire_after(delay, self._offer, dst_site, msg)
         else:
-            self._offer(dst_site, frame)
-        return encoded
+            self._offer(dst_site, msg)
 
-    def _offer(self, dst_site: SiteId, frame: bytes) -> None:
+    def _offer(self, dst_site: SiteId, msg: OutMessage) -> None:
         link = self._links.get(dst_site)
         if link is None:
+            pid = self._pid()
             link = PeerLink(
                 name=f"{self.site}->{dst_site}",
+                src=(pid.site, pid.incarnation),
+                dst_site=dst_site,
                 resolve=lambda site=dst_site: self.address_book.get(site),
-                hello={
-                    "k": "hello",
-                    "src": [self._pid().site, self._pid().incarnation],
-                },
-                quiet=self._quiet,
+                offer_formats=self._formats,
+                **(
+                    {}
+                    if self._flush_tick is None
+                    else {"flush_tick": self._flush_tick}
+                ),
+                **(
+                    {}
+                    if self._batch_bytes is None
+                    else {"batch_bytes": self._batch_bytes}
+                ),
             )
             self._links[dst_site] = link
             link.start()
-        if not link.offer(frame):
+        if not link.offer(msg):
             self.stats.dropped_loss += 1
 
     def _pid(self) -> ProcessId:
@@ -236,38 +257,36 @@ class RealNetwork:
 
     # -- receive path --------------------------------------------------
 
-    def _on_frame(self, frame: dict[str, Any]) -> None:
+    def _on_msg(self, msg: ParsedMsg) -> None:
         """Validate and deliver one inbound ``msg`` frame."""
         stats = self.stats
-        try:
-            src_site, src_inc = frame["src"]
-            dst_site = frame["ds"]
-            dst_inc = frame["di"]
-        except (KeyError, TypeError, ValueError):
-            stats.dropped_dead += 1
-            return
-        if dst_site != self.site:
+        if msg.dst_site != self.site:
             stats.dropped_dead += 1  # misdelivered: stale address book
             return
         # Delivery-time firewall check: a partition installed while the
         # frame was in flight (or queued) destroys it, as in the sim.
-        if not self.connectivity(src_site, self.site):
+        if not self.connectivity(msg.src_site, self.site):
             stats.dropped_partition += 1
             return
         proc = self._proc
         if proc is None or not proc.alive:
             stats.dropped_dead += 1
             return
-        if dst_inc is not None and dst_inc != proc.pid.incarnation:
+        if msg.dst_inc is not None and msg.dst_inc != proc.pid.incarnation:
             stats.dropped_dead += 1  # addressed to a previous incarnation
             return
         try:
-            payload = decode_value(frame["p"])
+            payload = msg.payload()
+        except CodecError as exc:
+            stats.dropped_dead += 1
+            logger.info("site %s: undecodable payload from %s: %s",
+                        self.site, msg.src_site, exc)
+            return
         except Exception:
             stats.dropped_dead += 1
             return
         stats.delivered += 1
-        proc.deliver_network(ProcessId(src_site, src_inc), payload)
+        proc.deliver_network(ProcessId(msg.src_site, msg.src_inc), payload)
 
     # -- introspection -------------------------------------------------
 
@@ -275,12 +294,58 @@ class RealNetwork:
     def address(self) -> tuple[str, int] | None:
         return self.address_book.get(self.site)
 
-    def link_stats(self) -> dict[SiteId, tuple[int, int, int]]:
-        """Per-peer ``(frames_sent, frames_dropped, connects)``."""
+    def link_stats(self) -> dict[SiteId, dict[str, Any]]:
+        """Per-peer link counters, including batching and codec state."""
         return {
-            site: (link.frames_sent, link.frames_dropped, link.connects)
+            site: {
+                "frames_sent": link.frames_sent,
+                "frames_dropped": link.frames_dropped,
+                "encode_errors": link.encode_errors,
+                "connects": link.connects,
+                "flushes": link.flushes,
+                "bytes_sent": link.bytes_sent,
+                "max_batch": link.max_batch,
+                "codec": link.wire_format,
+            }
             for site, link in sorted(self._links.items())
         }
+
+    def transport_stats(self) -> dict[str, Any]:
+        """This node's wire totals: links + server, one flat dict."""
+        totals = {
+            "frames_sent": 0,
+            "frames_dropped": 0,
+            "encode_errors": 0,
+            "connects": 0,
+            "flushes": 0,
+            "bytes_sent": 0,
+            "max_batch": 0,
+            "frames_received": 0,
+            "bytes_received": 0,
+            "reads": 0,
+            "max_frames_per_read": 0,
+            "bad_connections": 0,
+        }
+        codecs: dict[str, int] = {}
+        for link in self._links.values():
+            totals["frames_sent"] += link.frames_sent
+            totals["frames_dropped"] += link.frames_dropped
+            totals["encode_errors"] += link.encode_errors
+            totals["connects"] += link.connects
+            totals["flushes"] += link.flushes
+            totals["bytes_sent"] += link.bytes_sent
+            totals["max_batch"] = max(totals["max_batch"], link.max_batch)
+            if link.wire_format is not None:
+                codecs[link.wire_format] = codecs.get(link.wire_format, 0) + 1
+        server = self._server
+        if server is not None:
+            totals["frames_received"] = server.frames_received
+            totals["bytes_received"] = server.bytes_received
+            totals["reads"] = server.reads
+            totals["max_frames_per_read"] = server.max_frames_per_read
+            totals["bad_connections"] = server.bad_connections
+        totals["codecs"] = codecs
+        return totals
 
     def frames_received(self) -> int:
         return self._server.frames_received if self._server is not None else 0

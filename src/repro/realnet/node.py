@@ -87,6 +87,9 @@ class RealNode:
         host: str = "127.0.0.1",
         port: int = 0,
         detailed_stats: bool = True,
+        codec: str = "bin",
+        flush_tick: float | None = None,
+        batch_bytes: int | None = None,
         quiet: bool = True,
     ) -> None:
         self.pid = pid
@@ -108,6 +111,9 @@ class RealNode:
             latency=latency,
             rng=rng,
             detailed_stats=detailed_stats,
+            codec=codec,
+            flush_tick=flush_tick,
+            batch_bytes=batch_bytes,
             quiet=quiet,
         )
         self.app: GroupApplication | None = None
@@ -160,6 +166,7 @@ async def run_standalone(
     loss_prob: float = 0.0,
     latency: Any = None,
     seed: int = 0,
+    codec: str = "bin",
     quiet: bool = False,
     on_view: Callable[[Any], None] | None = None,
     stop_event: asyncio.Event | None = None,
@@ -184,6 +191,7 @@ async def run_standalone(
         rng=RngStreams(seed),
         host=host,
         port=port,
+        codec=codec,
         quiet=quiet,
     )
     stop = stop_event if stop_event is not None else asyncio.Event()

@@ -1,72 +1,167 @@
 """Asyncio TCP transport: one listening server plus dial-out peer links.
 
-Connections are **unidirectional**: a node dials one outbound link per
-peer site and only ever writes frames on it; its server socket only ever
-reads.  Two nodes that both send therefore hold two TCP connections —
-trading a doubled connection count for never having to multiplex reads
-and writes or resolve simultaneous-dial races.
+Connections are **unidirectional** for protocol traffic: a node dials
+one outbound link per peer site and only ever writes ``msg`` frames on
+it; its server socket only ever reads them.  The single exception is
+the handshake — the dialer opens with a JSON ``hello`` naming the wire
+formats it speaks (and its payload-schema fingerprint), the server
+answers with one JSON ``welcome`` naming the format it picked (see
+:func:`~repro.realnet.codec_bin.choose_format`), and everything after
+that travels in the negotiated format.  A JSON-only peer and a
+binary-capable peer therefore interoperate without configuration.
 
 Each :class:`PeerLink` owns a bounded send queue and a background task
-that dials (re-resolving the peer's address each attempt, so a peer that
-recovered on a fresh port is found), performs the ``hello`` handshake
-and drains the queue.  Connection failures trigger exponential backoff
-(:data:`BACKOFF_BASE` doubling to :data:`BACKOFF_CAP`); frames offered
-while the queue is full are dropped — the group protocols above are
-built to tolerate message loss, so a dead or wedged peer costs bounded
-memory, never backpressure into protocol code.
+that dials (re-resolving the peer's address each attempt, so a peer
+that recovered on a fresh port is found), handshakes, and drains the
+queue in **micro-batches**: after the first queued message it waits at
+most :data:`FLUSH_TICK` (sub-millisecond) for stragglers, packs
+everything queued — bounded by :data:`BATCH_BYTES` — into one
+``writelines`` + ``drain`` flush, and encodes each message in the
+link's negotiated format (payload bytes are encoded once per format
+and shared across a multicast's links via
+:class:`OutMessage`).  Connection failures trigger exponential backoff
+(:data:`BACKOFF_BASE` doubling to :data:`BACKOFF_CAP`); messages
+offered while the queue is full are dropped — the group protocols
+above are built to tolerate message loss, so a dead or wedged peer
+costs bounded memory, never backpressure into protocol code.
 
 The server side accepts any number of connections, validates the
-``hello`` frame and then forwards each ``msg`` frame to the node's
-receive callback.  A connection that talks garbage is logged and closed;
-the node keeps serving.
+``hello``, replies with the ``welcome``, and then splits its read
+buffer into frames in batches — one ``reader.read`` can yield dozens
+of frames, each handed synchronously to the node's receive callback —
+instead of paying two ``readexactly`` awaits per frame.  A connection
+that talks garbage is logged and closed; the node keeps serving.
+
+Diagnostics go through the ``repro.realnet.*`` :mod:`logging` loggers
+(silent by default; :func:`enable_stderr_logging` restores the old
+``quiet=False`` stderr behavior).
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
-import sys
 from typing import Any, Awaitable, Callable
 
 from repro.errors import CodecError
-from repro.realnet.codec import encode_frame, read_frame
+from repro.realnet.codec import (
+    MAX_FRAME_BYTES,
+    _LEN,
+    decode_frame_body,
+    encode_frame,
+    read_frame,
+)
+from repro.realnet.codec_bin import (
+    FORMAT_JSON,
+    ParsedMsg,
+    WIRE_FORMATS,
+    choose_format,
+    schema_fingerprint,
+)
+
+logger = logging.getLogger("repro.realnet.transport")
 
 #: Reconnect backoff: first retry after BACKOFF_BASE seconds, doubling
 #: (with jitter) up to BACKOFF_CAP.
 BACKOFF_BASE = 0.05
 BACKOFF_CAP = 1.0
 
-#: Outbound frames buffered per peer while (re)connecting.
+#: Outbound messages buffered per peer while (re)connecting.
 SEND_QUEUE_CAP = 2048
+
+#: Micro-batch flush tick: after the first queued message, wait this
+#: long (seconds) for more before flushing.  Sub-millisecond — far
+#: below every protocol timer — but long enough to coalesce a
+#: multicast fan-out or a flush round into one syscall.  0 disables
+#: the wait (PR-2 behavior: flush whatever is already queued).
+FLUSH_TICK = 0.0005
+
+#: Byte bound per flush: stop packing when a batch reaches this size.
+BATCH_BYTES = 256 * 1024
+
+#: How long the dialer waits for the server's ``welcome`` before
+#: assuming a pre-negotiation peer and falling back to JSON.
+WELCOME_TIMEOUT = 2.0
+
+#: Server-side read size for the batched frame-splitting loop.
+READ_CHUNK = 256 * 1024
 
 Resolver = Callable[[], "tuple[str, int] | None"]
 
 
-def _log(msg: str) -> None:
-    print(f"[realnet] {msg}", file=sys.stderr)
+def enable_stderr_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach one stderr handler to the ``repro.realnet`` logger tree.
+
+    Idempotent.  Called by the CLI and by ``quiet=False`` entry points;
+    library use stays silent unless the application configures logging.
+    """
+    root = logging.getLogger("repro.realnet")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[realnet] %(message)s"))
+        root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
+class OutMessage:
+    """One queued outbound protocol message, encoded lazily per format.
+
+    ``cell`` is shared across every :class:`OutMessage` of one
+    multicast fan-out: the payload is encoded at most once per wire
+    format no matter how many links (or which formats they negotiated)
+    carry it.  The sender pre-fills its preferred format's entry so
+    encoding errors surface in the caller, like the simulator.
+    """
+
+    __slots__ = ("dst_inc", "payload", "cell")
+
+    def __init__(self, dst_inc: int | None, payload: Any, cell: dict[str, Any]) -> None:
+        self.dst_inc = dst_inc
+        self.payload = payload
+        self.cell = cell
+
+    def encoded(self, fmt: Any) -> Any:
+        enc = self.cell.get(fmt.name)
+        if enc is None:
+            enc = self.cell[fmt.name] = fmt.encode_payload(self.payload)
+        return enc
 
 
 class PeerLink:
-    """Outbound frame pipe to one peer site, with reconnect/backoff."""
+    """Outbound message pipe to one peer site: reconnect, negotiate, batch."""
 
     def __init__(
         self,
         name: str,
+        src: tuple[int, int],
+        dst_site: Any,
         resolve: Resolver,
-        hello: dict[str, Any],
+        offer_formats: tuple[str, ...] = (FORMAT_JSON,),
         queue_cap: int = SEND_QUEUE_CAP,
-        quiet: bool = True,
+        flush_tick: float = FLUSH_TICK,
+        batch_bytes: int = BATCH_BYTES,
     ) -> None:
         self.name = name
+        self._src = src
+        self._dst_site = dst_site
         self._resolve = resolve
-        self._hello = hello
-        self._queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=queue_cap)
+        self._offer = offer_formats
+        self._flush_tick = flush_tick
+        self._batch_bytes = batch_bytes
+        self._queue: asyncio.Queue[OutMessage] = asyncio.Queue(maxsize=queue_cap)
         self._task: asyncio.Task | None = None
         self._writer: asyncio.StreamWriter | None = None
-        self._quiet = quiet
+        #: Wire-format name negotiated on the current connection.
+        self.wire_format: str | None = None
         self.frames_sent = 0
         self.frames_dropped = 0
+        self.encode_errors = 0
         self.connects = 0
+        self.flushes = 0
+        self.bytes_sent = 0
+        self.max_batch = 0
 
     def start(self) -> None:
         if self._task is None:
@@ -74,10 +169,10 @@ class PeerLink:
                 self._run(), name=f"peerlink-{self.name}"
             )
 
-    def offer(self, frame: bytes) -> bool:
-        """Enqueue a frame for transmission; False (dropped) when full."""
+    def offer(self, msg: OutMessage) -> bool:
+        """Enqueue a message for transmission; False (dropped) when full."""
         try:
-            self._queue.put_nowait(frame)
+            self._queue.put_nowait(msg)
             return True
         except asyncio.QueueFull:
             self.frames_dropped += 1
@@ -95,12 +190,81 @@ class PeerLink:
 
     async def _close_writer(self) -> None:
         writer, self._writer = self._writer, None
+        self.wire_format = None
         if writer is not None:
             writer.close()
             try:
                 await writer.wait_closed()
             except OSError:
                 pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Any:
+        """Send hello, read welcome, return the negotiated wire format."""
+        writer.write(
+            encode_frame(
+                {
+                    "k": "hello",
+                    "src": [self._src[0], self._src[1]],
+                    "codecs": list(self._offer),
+                    "schema": schema_fingerprint(),
+                }
+            )
+        )
+        await writer.drain()
+        chosen = FORMAT_JSON
+        try:
+            welcome = await asyncio.wait_for(read_frame(reader), WELCOME_TIMEOUT)
+        except (asyncio.TimeoutError, CodecError):
+            logger.debug("link %s: no welcome; assuming JSON peer", self.name)
+        else:
+            if welcome is None:
+                raise ConnectionError("peer closed during handshake")
+            name = welcome.get("codec") if welcome.get("k") == "welcome" else None
+            if name in self._offer and name in WIRE_FORMATS:
+                chosen = name
+        self.wire_format = chosen
+        return WIRE_FORMATS[chosen]
+
+    async def _drain_queue(self, writer: asyncio.StreamWriter, fmt: Any) -> None:
+        queue = self._queue
+        flush_tick = self._flush_tick
+        batch_bytes = self._batch_bytes
+        while True:
+            msg = await queue.get()
+            if flush_tick > 0.0 and queue.empty():
+                # Sub-millisecond pause: let a fan-out or protocol round
+                # land its siblings in the queue, then flush once.
+                await asyncio.sleep(flush_tick)
+            chunks: list[bytes] = []
+            nbytes = 0
+            while True:
+                try:
+                    chunk = fmt.frame_msg(
+                        self._src, self._dst_site, msg.dst_inc, msg.encoded(fmt)
+                    )
+                except CodecError as exc:
+                    self.encode_errors += 1
+                    logger.warning("link %s: cannot encode frame: %s", self.name, exc)
+                else:
+                    chunks.append(chunk)
+                    nbytes += len(chunk)
+                if nbytes >= batch_bytes:
+                    break
+                try:
+                    msg = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            if not chunks:
+                continue
+            writer.writelines(chunks)
+            await writer.drain()
+            self.frames_sent += len(chunks)
+            self.bytes_sent += nbytes
+            self.flushes += 1
+            if len(chunks) > self.max_batch:
+                self.max_batch = len(chunks)
 
     async def _run(self) -> None:
         rng = random.Random()
@@ -120,36 +284,22 @@ class PeerLink:
             self._writer = writer
             self.connects += 1
             try:
-                writer.write(encode_frame(self._hello))
-                await writer.drain()
-                backoff = BACKOFF_BASE  # handshake out: healthy link
-                while True:
-                    frame = await self._queue.get()
-                    writer.write(frame)
-                    self.frames_sent += 1
-                    # Opportunistically coalesce whatever else is queued
-                    # into the same flush.
-                    while True:
-                        try:
-                            frame = self._queue.get_nowait()
-                        except asyncio.QueueEmpty:
-                            break
-                        writer.write(frame)
-                        self.frames_sent += 1
-                    await writer.drain()
+                fmt = await self._handshake(reader, writer)
+                backoff = BACKOFF_BASE  # handshake done: healthy link
+                await self._drain_queue(writer, fmt)
             except (OSError, ConnectionError):
-                if not self._quiet:
-                    _log(f"link {self.name}: peer went away; reconnecting")
+                logger.info("link %s: peer went away; reconnecting", self.name)
             finally:
                 await self._close_writer()
 
 
 class FrameServer:
-    """Listening side: accepts peer connections and forwards frames.
+    """Listening side: accepts peer connections and forwards messages.
 
-    ``on_frame(peer_pid_fields, frame)`` is called synchronously on the
-    event loop for every ``msg`` frame; validation beyond frame shape is
-    the receiver's business (incarnation and connectivity checks live in
+    ``on_msg(parsed)`` is called synchronously on the event loop for
+    every inbound :class:`~repro.realnet.codec_bin.ParsedMsg`;
+    validation beyond frame shape is the receiver's business
+    (incarnation and connectivity checks live in
     :class:`~repro.realnet.network.RealNetwork`).
     """
 
@@ -157,17 +307,22 @@ class FrameServer:
         self,
         host: str,
         port: int,
-        on_frame: Callable[[dict[str, Any]], None],
-        quiet: bool = True,
+        on_msg: Callable[[ParsedMsg], None],
+        accept_formats: tuple[str, ...] = (FORMAT_JSON,),
     ) -> None:
         self._host = host
         self._port = port
-        self._on_frame = on_frame
+        self._on_msg = on_msg
+        self._accept = accept_formats
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
-        self._quiet = quiet
         self.frames_received = 0
+        self.bytes_received = 0
+        self.reads = 0
+        self.max_frames_per_read = 0
         self.bad_connections = 0
+        #: Connections by negotiated format name (lifetime counts).
+        self.format_counts: dict[str, int] = {}
 
     @property
     def address(self) -> tuple[str, int]:
@@ -198,6 +353,26 @@ class FrameServer:
                 pass
         self._conn_tasks.clear()
 
+    def _split_frames(self, buf: bytearray) -> list[bytes]:
+        """Carve every complete ``length + body`` frame off ``buf``."""
+        bodies: list[bytes] = []
+        pos = 0
+        end = len(buf)
+        while end - pos >= _LEN.size:
+            (length,) = _LEN.unpack_from(buf, pos)
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(
+                    f"frame length {length} exceeds cap {MAX_FRAME_BYTES}"
+                )
+            if end - pos - _LEN.size < length:
+                break
+            start = pos + _LEN.size
+            bodies.append(bytes(buf[start : start + length]))
+            pos = start + length
+        if pos:
+            del buf[:pos]
+        return bodies
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -205,23 +380,53 @@ class FrameServer:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+        buf = bytearray()
+        fmt: Any = None  # negotiated after the hello
+        on_msg = self._on_msg
         try:
-            hello = await read_frame(reader)
-            if hello is None or hello.get("k") != "hello":
-                self.bad_connections += 1
-                return
             while True:
-                frame = await read_frame(reader)
-                if frame is None:
+                chunk = await reader.read(READ_CHUNK)
+                if not chunk:
+                    if buf:  # EOF mid-frame
+                        self.bad_connections += 1
+                        logger.info("server %s:%s: connection closed mid-frame",
+                                    self._host, self._port)
                     return
-                if frame.get("k") != "msg":
-                    continue  # future frame kinds: ignore, don't kill the link
-                self.frames_received += 1
-                self._on_frame(frame)
+                buf += chunk
+                self.bytes_received += len(chunk)
+                bodies = self._split_frames(buf)
+                if not bodies:
+                    continue
+                if fmt is None:
+                    # First frame must be the JSON hello; answer with a
+                    # welcome naming the format the rest of the stream
+                    # (and any later frames already in this batch) uses.
+                    hello = decode_frame_body(bodies[0])
+                    if hello.get("k") != "hello":
+                        self.bad_connections += 1
+                        return
+                    chosen = choose_format(
+                        hello.get("codecs"), hello.get("schema"), self._accept
+                    )
+                    writer.write(encode_frame({"k": "welcome", "codec": chosen}))
+                    await writer.drain()
+                    fmt = WIRE_FORMATS[chosen]
+                    self.format_counts[chosen] = self.format_counts.get(chosen, 0) + 1
+                    bodies = bodies[1:]
+                    if not bodies:
+                        continue
+                self.reads += 1
+                if len(bodies) > self.max_frames_per_read:
+                    self.max_frames_per_read = len(bodies)
+                for body in bodies:
+                    parsed = fmt.parse_msg(body)
+                    if parsed is None:
+                        continue  # future frame kinds: ignore, don't kill the link
+                    self.frames_received += 1
+                    on_msg(parsed)
         except CodecError as exc:
             self.bad_connections += 1
-            if not self._quiet:
-                _log(f"server {self._host}:{self._port}: bad peer frame: {exc}")
+            logger.info("server %s:%s: bad peer frame: %s", self._host, self._port, exc)
         except (OSError, ConnectionError):
             pass
         except asyncio.CancelledError:

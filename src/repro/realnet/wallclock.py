@@ -34,9 +34,10 @@ reported through ``on_error`` (default: log to stderr) instead.
 from __future__ import annotations
 
 import asyncio
-import sys
-import traceback
+import logging
 from typing import Any, Callable
+
+logger = logging.getLogger("repro.realnet.wallclock")
 
 
 class WallClockEvent:
@@ -122,8 +123,8 @@ class WallClockScheduler:
             if self.on_error is not None:
                 self.on_error(exc)
             else:
-                print(
-                    f"[realnet] scheduler callback {callback!r} raised:",
-                    file=sys.stderr,
+                # ERROR level: visible via logging.lastResort even when
+                # no handler is configured, like the old stderr print.
+                logger.error(
+                    "scheduler callback %r raised", callback, exc_info=True
                 )
-                traceback.print_exc()

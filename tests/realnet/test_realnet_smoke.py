@@ -152,3 +152,122 @@ def test_bootstrap_survives_injected_loss_and_latency():
             assert_no_violations(cluster)
 
     run(scenario())
+
+def test_binary_links_negotiate_and_multicast_delivers():
+    """Default (bin) cluster: every link upgrades to bin1 and app
+    multicasts cross the wire through the binary data path."""
+
+    async def scenario():
+        delivered: list = []
+
+        def factory(pid):
+            from repro.vsync.events import GroupApplication
+
+            class App(GroupApplication):
+                def on_message(self, sender, payload, msg_id):
+                    delivered.append((pid.site, payload))
+
+            return App()
+
+        config = RealClusterConfig(seed=7, codec="bin")
+        async with RealCluster(3, app_factory=factory, config=config) as cluster:
+            assert await cluster.settle(timeout=SETTLE), cluster.views()
+            cluster.stack_at(0).multicast(("bin-payload", 1, 2.5, (3, 4)))
+            arrived = await cluster.wait_until(
+                lambda c: len(delivered) == 3, timeout=SETTLE
+            )
+            assert arrived, delivered
+            assert all(p == ("bin-payload", 1, 2.5, (3, 4)) for _, p in delivered)
+            wire = cluster.transport_stats()
+            assert wire["codecs"] == {"bin1": 6}  # every live link upgraded
+            assert wire["frames_sent"] > 0
+            assert wire["flushes"] > 0
+            assert wire["frames_dropped"] == 0
+            assert_no_violations(cluster)
+
+    run(scenario())
+
+
+def test_json_codec_cluster_still_settles():
+    """codec="json" keeps the debug/compat data path fully working."""
+
+    async def scenario():
+        config = RealClusterConfig(seed=8, codec="json")
+        async with RealCluster(3, config=config) as cluster:
+            assert await cluster.settle(timeout=SETTLE), cluster.views()
+            wire = cluster.transport_stats()
+            assert wire["codecs"] == {"json": 6}
+            assert_no_violations(cluster)
+
+    run(scenario())
+
+
+def test_mixed_codec_cluster_interoperates():
+    """A JSON-only peer in a binary-capable cluster: hello negotiation
+    downgrades exactly the links that touch it, and the group still
+    reaches one common view."""
+
+    async def scenario():
+        from repro.realnet.node import RealNode
+        from repro.realnet.wallclock import WallClockScheduler
+        from repro.types import ProcessId
+
+        scheduler = WallClockScheduler()
+        address_book: dict[int, tuple[str, int]] = {}
+        codecs = {0: "bin", 1: "bin", 2: "json"}
+        nodes = {
+            site: RealNode(
+                ProcessId(site, 0),
+                address_book,
+                scheduler=scheduler,
+                universe=lambda: {0, 1, 2},
+                codec=codec,
+            )
+            for site, codec in codecs.items()
+        }
+        try:
+            for node in nodes.values():
+                await node.start_transport()
+            for node in nodes.values():
+                node.start_stack()
+
+            def settled() -> bool:
+                expected = {n.stack.pid for n in nodes.values()}
+                return all(
+                    n.stack.view is not None
+                    and not n.stack.is_flushing
+                    and n.stack.view.members == expected
+                    for n in nodes.values()
+                )
+
+            from repro.realnet.transport import wait_for_condition
+
+            assert await wait_for_condition(settled, SETTLE), {
+                site: str(n.stack.view) for site, n in nodes.items()
+            }
+            negotiated: dict[str, int] = {}
+            for node in nodes.values():
+                for stats in node.network.link_stats().values():
+                    name = stats["codec"]
+                    negotiated[name] = negotiated.get(name, 0) + 1
+            # 0<->1 upgraded to binary; every link touching the
+            # JSON-only site 2 fell back to JSON.
+            assert negotiated == {"bin1": 2, "json": 4}
+        finally:
+            for node in nodes.values():
+                await node.stop()
+
+    run(scenario())
+
+
+def test_demo_reports_transport_stats():
+    """The demo surfaces the new link/batch counters."""
+
+    async def scenario():
+        result = await partition_merge_demo(n_sites=3, seed=9, timeout=SETTLE)
+        assert result.wire_frames > 0
+        assert result.wire_flushes > 0
+        assert result.wire_bytes > 0
+        assert result.codecs.get("bin1", 0) > 0  # default codec is binary
+
+    run(scenario())
