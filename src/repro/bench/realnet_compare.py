@@ -9,6 +9,13 @@ network ports differ):
 * **steady multicast** — after settling, every site issues ``rounds``
   view-synchronous multicasts on a fixed pace; the run ends when every
   member has delivered every message.
+* **checked workload** — the full harness loop through the
+  :class:`~repro.ports.ClusterPort`: the figure-2 partition/heal
+  schedule plus a multicast + query client mix on six sites, via
+  :func:`~repro.workload.runner.run_checked_workload`, ending with the
+  Section 2/6 property checks over the (merged) trace.  One code path,
+  both runtimes; the table reports how many events the checkers
+  consumed, how long checking took, and the violation count (zero).
 
 For each runtime the table reports wall seconds, application-level
 delivery throughput (deliveries/sec of wall time), and the per-message
@@ -167,6 +174,43 @@ async def _real_steady(n: int, rounds: int) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Checked workload through the ClusterPort (identical code, both runtimes)
+# ---------------------------------------------------------------------------
+
+
+def checked_workload(runtime: str, n: int = 6) -> dict[str, Any]:
+    from repro.apps.replicated_db import ParallelLookupDatabase
+    from repro.ports import make_cluster
+    from repro.workload.clients import MulticastClient, QueryClient
+    from repro.workload.runner import run_checked_workload
+    from repro.workload.scenarios import figure2_scenario
+
+    def db_factory(pid: ProcessId) -> ParallelLookupDatabase:
+        return ParallelLookupDatabase({"all": lambda k, v: True})
+
+    t0 = time.perf_counter()
+    cluster = make_cluster(runtime, n, app_factory=db_factory, seed=SEED)
+    try:
+        result = run_checked_workload(
+            cluster,
+            figure2_scenario(),
+            client_factories=[
+                lambda c: MulticastClient(c, interval=20.0),
+                lambda c: QueryClient(c, interval=30.0),
+            ],
+        )
+    finally:
+        cluster.close()
+    wall = time.perf_counter() - t0
+    assert result.settled, "checked workload failed to settle"
+    return {"runtime": runtime, "workload": f"checked_fig2_n{n}",
+            "wall_s": wall, "trace_events": len(result.trace),
+            "events_checked": result.events_checked,
+            "check_wall_s": result.check_wall_s,
+            "violations": len(result.violations)}
+
+
+# ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
 
@@ -181,6 +225,8 @@ def run_matrix(quick: bool = False) -> list[dict[str, Any]]:
     for n in sizes:
         rows.append(sim_steady(n, rounds))
         rows.append(asyncio.run(asyncio.wait_for(_real_steady(n, rounds), 300)))
+    for runtime in ("sim", "realnet"):
+        rows.append(checked_workload(runtime))
     return rows
 
 
@@ -192,6 +238,8 @@ def report(rows: list[dict[str, Any]]) -> Table:
          "lat p50", "lat p95"],
     )
     for row in rows:
+        if "events_checked" in row:
+            continue  # checked-workload rows get their own table
         is_real = row["runtime"] == "realnet"
         unit = 1000.0 if is_real else 1.0  # realnet latencies in ms
         table.add(
@@ -206,6 +254,24 @@ def report(rows: list[dict[str, Any]]) -> Table:
     return table
 
 
+def report_checked(rows: list[dict[str, Any]]) -> Table:
+    table = Table(
+        "checked workload through the ClusterPort: figure-2 schedule + "
+        "client mix, property checks over the (merged) trace",
+        ["workload", "runtime", "wall s", "trace events",
+         "events checked", "check wall s", "violations"],
+    )
+    for row in rows:
+        if "events_checked" not in row:
+            continue
+        table.add(
+            row["workload"], row["runtime"], f"{row['wall_s']:.3f}",
+            row["trace_events"], row["events_checked"],
+            f"{row['check_wall_s']:.3f}", row["violations"],
+        )
+    return table
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -213,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     rows = run_matrix(quick=args.quick)
     report(rows).show()
+    report_checked(rows).show()
     return 0
 
 

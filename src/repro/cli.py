@@ -7,10 +7,13 @@ Commands:
     the views and property-check results.
 ``run``
     Run a seeded random fault schedule over a chosen application and
-    print a run summary plus the property reports.
+    print a run summary plus the property reports.  ``--runtime sim``
+    (default) runs on the deterministic simulator; ``--runtime
+    realnet`` drives the identical schedule over loopback TCP sockets.
 ``check``
     Sweep many seeds, verifying all six properties on each run; exits
-    non-zero if any violation is found (useful as a soak test).
+    non-zero if any violation is found (useful as a soak test).  Also
+    takes ``--runtime``.
 ``experiments``
     List the paper experiments and the benchmark files that regenerate
     them.
@@ -29,10 +32,16 @@ from typing import Sequence
 from repro.apps.lock_manager import MajorityLockManager
 from repro.apps.replicated_db import ParallelLookupDatabase
 from repro.apps.replicated_file import ReplicatedFile
-from repro.bench.harness import Table, run_with_schedule
-from repro.runtime.cluster import Cluster, ClusterConfig
-from repro.trace.checks import check_enriched_views, check_view_synchrony
+from repro.bench.harness import Table
+from repro.ports import RUNTIMES, ClusterPort, make_cluster
+from repro.trace.checks import (
+    CheckReport,
+    check_cluster,
+    check_enriched_views,
+    check_view_synchrony,
+)
 from repro.workload.generator import RandomFaultGenerator
+from repro.workload.runner import run_checked_workload
 
 EXPERIMENTS = [
     ("E1", "Figure 1: mode-transition diagram", "bench_e1_modes.py"),
@@ -56,9 +65,7 @@ _APP_FACTORIES = {
 }
 
 
-def _report_properties(cluster: Cluster) -> int:
-    reports = check_view_synchrony(cluster.recorder)
-    reports += check_enriched_views(cluster.recorder)
+def _print_reports(reports: list[CheckReport]) -> int:
     violations = 0
     for report in reports:
         print(f"  {report}")
@@ -66,8 +73,12 @@ def _report_properties(cluster: Cluster) -> int:
     return violations
 
 
+def _report_properties(cluster: ClusterPort) -> int:
+    return _print_reports(check_cluster(cluster))
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
-    cluster = Cluster(args.sites, config=ClusterConfig(seed=args.seed))
+    cluster = make_cluster("sim", args.sites, seed=args.seed)
     cluster.settle()
     print(f"group formed at t={cluster.now}:")
     for site, view in cluster.views().items():
@@ -95,37 +106,45 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     schedule = generator.generate()
     factory = _APP_FACTORIES[args.app](args.sites)
-    config = ClusterConfig(seed=args.seed, loss_prob=args.loss)
-    cluster = run_with_schedule(
-        args.sites, schedule, app_factory=factory, config=config,
-        tail=generator.settle_tail,
+    knobs = {"scale": args.scale} if args.runtime == "realnet" else {}
+    cluster = make_cluster(
+        args.runtime, args.sites, app_factory=factory,
+        seed=args.seed, loss_prob=args.loss, **knobs,
     )
-    from repro.trace.stats import summarize
+    try:
+        report = run_checked_workload(
+            cluster, schedule, tail=generator.settle_tail
+        )
+        from repro.trace.stats import summarize
 
-    stats = summarize(cluster.recorder)
-    table = Table(
-        f"run summary (sites={args.sites} seed={args.seed} app={args.app})",
-        ["metric", "value"],
-    )
-    table.add("virtual time", cluster.now)
-    table.add("fault actions", len(schedule.actions))
-    table.add("messages sent", cluster.network.stats.sent)
-    table.add("messages delivered", cluster.network.stats.delivered)
-    table.add("view installs", stats.view_installs)
-    table.add("max concurrent views", stats.max_concurrent_views)
-    table.add("app deliveries", stats.deliveries)
-    table.add("e-view changes", stats.eview_changes)
-    table.add("settlement sessions", stats.settlement_sessions)
-    table.add("settled", cluster.is_settled())
-    table.show()
-    if args.export:
-        from repro.trace.export import dump_trace
+        stats = summarize(report.trace)
+        net = cluster.network_stats()
+        title = f"run summary (sites={args.sites} seed={args.seed} app={args.app})"
+        if args.runtime != "sim":
+            title = f"run summary (runtime={args.runtime} " + title[len("run summary ("):]
+        table = Table(title, ["metric", "value"])
+        time_label = "virtual time" if args.runtime == "sim" else "wall time (s)"
+        table.add(time_label, cluster.now)
+        table.add("fault actions", len(schedule.actions))
+        table.add("messages sent", net.sent)
+        table.add("messages delivered", net.delivered)
+        table.add("view installs", stats.view_installs)
+        table.add("max concurrent views", stats.max_concurrent_views)
+        table.add("app deliveries", stats.deliveries)
+        table.add("e-view changes", stats.eview_changes)
+        table.add("settlement sessions", stats.settlement_sessions)
+        table.add("settled", cluster.is_settled())
+        table.show()
+        if args.export:
+            from repro.trace.export import dump_trace
 
-        with open(args.export, "w", encoding="utf-8") as handle:
-            count = dump_trace(cluster.recorder, handle)
-        print(f"exported {count} trace events to {args.export}")
-    print("property checks:")
-    return 1 if _report_properties(cluster) else 0
+            with open(args.export, "w", encoding="utf-8") as handle:
+                count = dump_trace(report.trace, handle)
+            print(f"exported {count} trace events to {args.export}")
+        print("property checks:")
+        return 1 if _print_reports(report.reports) else 0
+    finally:
+        cluster.close()
 
 
 def cmd_recheck(args: argparse.Namespace) -> int:
@@ -155,20 +174,20 @@ def cmd_check(args: argparse.Namespace) -> int:
         generator = RandomFaultGenerator(
             n_sites=args.sites, seed=seed, duration=args.duration
         )
-        cluster = run_with_schedule(
-            args.sites,
-            generator.generate(),
-            config=ClusterConfig(seed=seed),
-            tail=generator.settle_tail,
-        )
-        reports = check_view_synchrony(cluster.recorder)
-        reports += check_enriched_views(cluster.recorder)
-        bad = [r for r in reports if not r.ok]
-        status = "ok" if not bad and cluster.is_settled() else "FAIL"
+        cluster = make_cluster(args.runtime, args.sites, seed=seed)
+        try:
+            report = run_checked_workload(
+                cluster, generator.generate(), tail=generator.settle_tail
+            )
+            settled = cluster.is_settled()
+        finally:
+            cluster.close()
+        bad = [r for r in report.reports if not r.ok]
+        status = "ok" if not bad and settled else "FAIL"
         print(f"seed {seed}: {status}")
-        for report in bad:
+        for report_ in bad:
             failures += 1
-            print(f"    {report.name}: {report.violations[:3]}")
+            print(f"    {report_.name}: {report_.violations[:3]}")
     print(f"\n{args.runs - failures}/{args.runs} seeds clean")
     return 1 if failures else 0
 
@@ -233,11 +252,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(func=cmd_demo)
 
     run = sub.add_parser("run", help="run a random fault schedule")
+    run.add_argument("--runtime", choices=RUNTIMES, default="sim",
+                     help="backend: deterministic simulator (default) or "
+                          "real loopback TCP sockets")
     run.add_argument("--sites", type=int, default=5)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--duration", type=float, default=400.0)
     run.add_argument("--loss", type=float, default=0.0)
     run.add_argument("--app", choices=sorted(_APP_FACTORIES), default="none")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="realnet only: stretch protocol timers (and the "
+                          "schedule with them) by this factor")
     run.add_argument("--export", metavar="FILE", default=None,
                      help="write the trace as JSON lines to FILE")
     run.set_defaults(func=cmd_run)
@@ -249,6 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
     recheck.set_defaults(func=cmd_recheck)
 
     check = sub.add_parser("check", help="property soak test over many seeds")
+    check.add_argument("--runtime", choices=RUNTIMES, default="sim",
+                       help="backend to soak (realnet runs wall-clock: "
+                            "keep --runs small)")
     check.add_argument("--sites", type=int, default=5)
     check.add_argument("--runs", type=int, default=10)
     check.add_argument("--duration", type=float, default=300.0)

@@ -24,6 +24,7 @@ Subclasses implement the abstract-data-type half: ``snapshot_state`` /
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.mode_functions import ModeFunction
@@ -56,16 +57,17 @@ class AppStateOffer:
     last_epoch: int
 
 
+@dataclass(frozen=True, slots=True)
 class _OpMsg:
-    """Envelope for an external operation multicast."""
+    """Envelope for an external operation multicast.
 
-    __slots__ = ("op",)
+    A frozen dataclass so the realnet codec can carry it across real
+    sockets (only dataclasses are wire-registrable); ``slots`` keeps
+    the envelope as cheap as the hand-rolled ``__slots__`` class the
+    simulator hot path used.
+    """
 
-    def __init__(self, op: Any) -> None:
-        self.op = op
-
-    def __repr__(self) -> str:
-        return f"_OpMsg({self.op!r})"
+    op: Any
 
 
 class GroupObject(ModeTrackingApp):

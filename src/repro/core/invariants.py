@@ -6,6 +6,12 @@ declare those invariants once and have them evaluated continuously over
 a running cluster — catching violations at the instant they occur
 instead of only at the end of a run.
 
+Monitors attach to any :class:`~repro.ports.ClusterPort` — the sampling
+loop arms on the port's timer surface and reads state through its
+introspection methods, so the same invariants watch a simulated run and
+a real-socket run.  ``interval`` is scenario units (scaled by the
+cluster's ``time_scale`` like every workload cadence).
+
 Two kinds of predicate:
 
 * **global** — sees the whole cluster (all live applications at once);
@@ -25,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import InvariantViolation
-from repro.runtime.cluster import Cluster
+from repro.ports import ClusterPort
 
 
 @dataclass
@@ -43,7 +49,7 @@ class Violation:
 @dataclass
 class _Invariant:
     name: str
-    predicate: Callable[[Cluster], Any]
+    predicate: Callable[[ClusterPort], Any]
     settled_only: bool = False
     samples: int = 0
     failures: list[Violation] = field(default_factory=list)
@@ -58,7 +64,7 @@ class InvariantMonitor:
     predicate is a bug in the experiment, not a violation.
     """
 
-    def __init__(self, cluster: Cluster, interval: float = 10.0) -> None:
+    def __init__(self, cluster: ClusterPort, interval: float = 10.0) -> None:
         self.cluster = cluster
         self.interval = interval
         self._invariants: list[_Invariant] = []
@@ -67,7 +73,7 @@ class InvariantMonitor:
     def declare(
         self,
         name: str,
-        predicate: Callable[[Cluster], Any],
+        predicate: Callable[[ClusterPort], Any],
         settled_only: bool = False,
     ) -> "InvariantMonitor":
         """Register an invariant; chainable."""
@@ -82,7 +88,7 @@ class InvariantMonitor:
         return self
 
     def _arm(self) -> None:
-        self.cluster.scheduler.after(self.interval, self._sample)
+        self.cluster.after(self.interval * self.cluster.time_scale, self._sample)
 
     def _sample(self) -> None:
         settled = None
@@ -129,7 +135,7 @@ class InvariantMonitor:
                 f"{len(self.violations)} invariant violations; first: {first}"
             )
 
-    def assert_eventually(self, name: str, predicate: Callable[[Cluster], Any]) -> None:
+    def assert_eventually(self, name: str, predicate: Callable[[ClusterPort], Any]) -> None:
         """One-shot check for quiescent-state properties."""
         if not predicate(self.cluster):
             raise InvariantViolation(f"eventual invariant {name!r} does not hold")
@@ -140,46 +146,51 @@ class InvariantMonitor:
 # ---------------------------------------------------------------------------
 
 
-def replicas_converged(state_of: Callable[[Any], Any]) -> Callable[[Cluster], Any]:
+def _live_apps(cluster: ClusterPort) -> list[Any]:
+    """Applications hosted on currently-live members, in site order."""
+    return [
+        cluster.app_at(stack.pid.site)
+        for stack in sorted(cluster.live_stacks(), key=lambda s: s.pid.site)
+    ]
+
+
+def replicas_converged(state_of: Callable[[Any], Any]) -> Callable[[ClusterPort], Any]:
     """All live, fresh, NORMAL-mode replicas expose identical state."""
 
-    def predicate(cluster: Cluster) -> bool:
+    def predicate(cluster: ClusterPort) -> bool:
         from repro.core.modes import Mode
 
         states = [
             state_of(app)
-            for site, app in cluster.apps.items()
-            if cluster.stacks[site].alive
-            and getattr(app, "mode", None) is Mode.NORMAL
+            for app in _live_apps(cluster)
+            if getattr(app, "mode", None) is Mode.NORMAL
         ]
         return all(state == states[0] for state in states) if states else True
 
     return predicate
 
 
-def at_most_one_lock_holder(cluster: Cluster) -> bool:
+def at_most_one_lock_holder(cluster: ClusterPort) -> bool:
     """Global mutual exclusion over :class:`MajorityLockManager` apps."""
     from repro.core.modes import Mode
 
     holders = {
         app.holder
-        for site, app in cluster.apps.items()
-        if cluster.stacks[site].alive
-        and getattr(app, "mode", None) is Mode.NORMAL
-        and app.holder is not None
+        for app in _live_apps(cluster)
+        if getattr(app, "mode", None) is Mode.NORMAL and app.holder is not None
     }
     return len(holders) <= 1
 
 
-def responsibility_exact(cluster: Cluster) -> bool:
+def responsibility_exact(cluster: ClusterPort) -> bool:
     """Parallel-lookup DBs: settled slices partition the bucket space."""
     from repro.apps.replicated_db import _BUCKETS
     from repro.core.modes import Mode
 
     slices = [
         app.responsibility()
-        for site, app in cluster.apps.items()
-        if cluster.stacks[site].alive and app.mode is Mode.NORMAL
+        for app in _live_apps(cluster)
+        if app.mode is Mode.NORMAL
     ]
     if not slices:
         return True

@@ -2,17 +2,24 @@
 
 A fault schedule is a time-ordered list of environment actions — crashes,
 recoveries, partitions, repairs and joins — applied to a cluster at
-virtual times.  Schedules are plain data, so workload generators
+*scenario-unit* times.  Schedules are plain data, so workload generators
 (:mod:`repro.workload`) can build, inspect, shrink and replay them.
+
+Schedules are backend-agnostic: they arm against any
+:class:`~repro.ports.SchedulerPort` and act on any
+:class:`FaultTarget`, so the same schedule drives the simulator and the
+real-network runtime.  One scenario unit is one simulated time unit on
+the simulator; a wall-clock backend rescales via :meth:`FaultSchedule.
+scaled` (see :attr:`repro.ports.ClusterPort.time_scale`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Protocol, Sequence
 
 from repro.errors import SimulationError
-from repro.sim.scheduler import Scheduler
+from repro.ports import SchedulerPort
 from repro.types import SiteId
 
 
@@ -138,15 +145,47 @@ class FaultSchedule:
                     )
                 down.discard(action.site)
 
-    def arm(self, scheduler: Scheduler, target: FaultTarget) -> None:
-        """Schedule every action on ``scheduler`` against ``target``."""
+    def arm(self, scheduler: SchedulerPort, target: FaultTarget) -> None:
+        """Schedule every action on ``scheduler`` against ``target``.
+
+        Action times are absolute scheduler times; any backend's
+        scheduler port works (the simulator's or the wall clock's).
+        """
         self.validate()
         for action in self.actions:
             scheduler.at(action.time, action.apply, target)
 
+    def scaled(self, factor: float) -> "FaultSchedule":
+        """A copy with every action time multiplied by ``factor``.
+
+        This is how a schedule written in scenario units lands on a
+        backend with a different time base: scale by the cluster's
+        :attr:`~repro.ports.ClusterPort.time_scale`.  ``factor == 1.0``
+        returns ``self`` unchanged.
+        """
+        if factor == 1.0:
+            return self
+        return FaultSchedule(
+            [replace(a, time=a.time * factor) for a in self.actions]
+        )
+
+    def shifted(self, offset: float) -> "FaultSchedule":
+        """A copy with every action time moved later by ``offset``.
+
+        Used to arm a schedule relative to "now" on a backend whose
+        clock has already advanced (a wall-clock cluster that booted and
+        settled before the scenario starts).  ``offset == 0.0`` returns
+        ``self`` unchanged.
+        """
+        if offset == 0.0:
+            return self
+        return FaultSchedule(
+            [replace(a, time=a.time + offset) for a in self.actions]
+        )
+
     @property
     def horizon(self) -> float:
-        """Virtual time of the last scheduled action (0 if empty)."""
+        """Scenario time of the last scheduled action (0 if empty)."""
         if not self.actions:
             return 0.0
         return max(a.time for a in self.actions)

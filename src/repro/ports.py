@@ -11,7 +11,7 @@ deterministic discrete-event simulator (:mod:`repro.sim` +
 type checker and by the conformance tests in
 ``tests/test_realnet_unit.py``.
 
-Two ports exist:
+Three ports exist:
 
 :class:`SchedulerPort`
     A clock plus two scheduling lanes.  The cancellable lane
@@ -30,16 +30,34 @@ Two ports exist:
     are fire-and-forget and may silently drop — every protocol above is
     written to tolerate loss.
 
+:class:`ClusterPort`
+    The contract one layer up: what the harness code *around* the stacks
+    (workload clients, fault scenarios, invariant monitors, trace-based
+    property checks, the CLI) needs from a running cluster, regardless
+    of which backend drives it.  The simulator's
+    :class:`~repro.runtime.cluster.Cluster` satisfies it natively; the
+    real-network runtime satisfies it through the blocking
+    :class:`~repro.realnet.driver.RealClusterDriver` adapter (the
+    underlying :class:`~repro.realnet.cluster.RealCluster` exposes the
+    same surface with ``async`` waiting methods for asyncio-native
+    callers).  :func:`make_cluster` builds either backend behind the
+    port, so consumers never name a concrete cluster class.
+
 Keep this module import-light: it must be importable from
 :mod:`repro.sim.process` without touching :mod:`repro.net` (which imports
-the process module back).
+the process module back).  Runtime modules are only imported lazily,
+inside :func:`make_cluster`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Protocol, runtime_checkable
 
 from repro.types import ProcessId, SiteId
+
+if TYPE_CHECKING:  # heavy imports: types only, never at runtime
+    from repro.net.faults import FaultSchedule
+    from repro.trace.recorder import TraceRecorder
 
 
 @runtime_checkable
@@ -116,3 +134,154 @@ class NetworkPort(Protocol):
     def multicast_sites(
         self, src: ProcessId, sites: Iterable[SiteId], payload: Any
     ) -> None: ...
+
+
+@runtime_checkable
+class ClusterPort(Protocol):
+    """Runtime-agnostic contract of a running cluster.
+
+    Everything above the protocol stacks — workload clients, fault
+    scenarios, invariant monitors, property checks, the CLI — drives a
+    cluster exclusively through this surface, so the same harness code
+    runs over simulated time and over real sockets.
+
+    **Time.**  ``now`` is backend time (virtual units in the simulator,
+    wall seconds on the real network) and ``time_scale`` is the bridge
+    between them: the backend-time cost of one *scenario unit*, the
+    unit every :class:`~repro.net.faults.FaultSchedule` and workload
+    interval is written in.  The simulator's scale is ``1.0``; the
+    realnet runtime maps one scenario unit onto its timer profile
+    (~0.01 wall seconds per unit at ``scale=1.0``), mirroring how
+    :func:`~repro.realnet.node.realnet_stack_config` scales the
+    protocol timers themselves.  Multiply scenario quantities by
+    ``time_scale`` before handing them to ``run_for`` / ``settle`` /
+    ``wait_until`` / ``after``, which all speak backend time.
+
+    **Waiting.**  All waiting methods block the caller and take hard
+    timeouts: ``run_for`` advances/passes a backend-time duration,
+    ``settle`` waits for membership convergence, ``wait_until`` polls an
+    arbitrary predicate (called with the cluster itself).  On the
+    simulator blocking is free (virtual time); on the real network the
+    blocking adapter parks the calling thread while the event loop runs.
+
+    **Lifecycle.**  The environment actions are a superset of
+    :class:`~repro.net.faults.FaultTarget`, so a declarative fault
+    schedule applies to any backend; ``arm`` schedules a whole
+    :class:`~repro.net.faults.FaultSchedule` (written in scenario
+    units) against this cluster.  ``recover`` and ``join`` return the
+    fresh :class:`~repro.vsync.stack.GroupStack` on both backends.
+
+    **Introspection.**  ``gather_trace`` returns one recorder holding
+    the whole execution history — the simulator's single shared
+    recorder, or the realnet per-node recorders merged by
+    :meth:`~repro.trace.recorder.TraceRecorder.merge` — which is what
+    the property checkers consume.  ``close`` releases backend
+    resources (sockets, threads); it is a no-op on the simulator and
+    idempotent everywhere.
+    """
+
+    # -- time ----------------------------------------------------------
+
+    @property
+    def now(self) -> float: ...
+
+    @property
+    def time_scale(self) -> float: ...
+
+    def run_for(self, duration: float) -> float: ...
+
+    def settle(self, timeout: float = ..., poll: float = ...) -> bool: ...
+
+    def wait_until(
+        self, predicate: Callable[[Any], Any], timeout: float = ..., poll: float = ...
+    ) -> bool: ...
+
+    def is_settled(self) -> bool: ...
+
+    def after(self, delay: float, callback: Any, *args: Any) -> CancellableEvent: ...
+
+    # -- lifecycle / environment actions -------------------------------
+
+    def crash(self, site: SiteId) -> None: ...
+
+    def recover(self, site: SiteId) -> Any: ...
+
+    def join(self, site: SiteId) -> Any: ...
+
+    def partition(self, groups: Any) -> None: ...
+
+    def heal(self) -> None: ...
+
+    def isolate(self, site: SiteId) -> None: ...
+
+    def arm(self, schedule: "FaultSchedule") -> None: ...
+
+    def close(self) -> None: ...
+
+    # -- introspection -------------------------------------------------
+
+    def stack_at(self, site: SiteId) -> Any: ...
+
+    def app_at(self, site: SiteId) -> Any: ...
+
+    def live_stacks(self) -> list[Any]: ...
+
+    def live_pids(self) -> set[ProcessId]: ...
+
+    def views(self) -> dict[SiteId, str]: ...
+
+    def gather_trace(self) -> "TraceRecorder": ...
+
+    def network_stats(self) -> Any: ...
+
+
+#: Names accepted by :func:`make_cluster`.
+RUNTIMES = ("sim", "realnet")
+
+
+def make_cluster(
+    runtime: str,
+    n_sites: int,
+    app_factory: Callable[[ProcessId], Any] | None = None,
+    *,
+    seed: int = 0,
+    loss_prob: float = 0.0,
+    trace_level: str = "full",
+    **knobs: Any,
+) -> ClusterPort:
+    """Build a cluster of ``n_sites`` behind the :class:`ClusterPort`.
+
+    ``runtime`` selects the backend: ``"sim"`` returns a
+    :class:`~repro.runtime.cluster.Cluster` over the deterministic
+    simulator; ``"realnet"`` boots a localhost-TCP
+    :class:`~repro.realnet.cluster.RealCluster` wrapped in the blocking
+    :class:`~repro.realnet.driver.RealClusterDriver`, already started
+    and ready for synchronous calls.  Extra ``knobs`` are forwarded to
+    the backend's config dataclass (:class:`~repro.runtime.cluster.
+    ClusterConfig` / :class:`~repro.realnet.cluster.RealClusterConfig`).
+
+    Callers own the result's lifetime: ``close()`` it (or use
+    ``contextlib.closing``) when done — mandatory for ``realnet``,
+    where it tears down sockets and the driver thread.
+
+    The runtime modules are imported lazily so this module stays
+    import-light for :mod:`repro.sim.process`.
+    """
+    if runtime == "sim":
+        from repro.runtime.cluster import Cluster, ClusterConfig
+
+        config = ClusterConfig(
+            seed=seed, loss_prob=loss_prob, trace_level=trace_level, **knobs
+        )
+        return Cluster(n_sites, app_factory=app_factory, config=config)
+    if runtime == "realnet":
+        from repro.realnet.cluster import RealClusterConfig
+        from repro.realnet.driver import RealClusterDriver
+
+        real_config = RealClusterConfig(
+            seed=seed, loss_prob=loss_prob, trace_level=trace_level, **knobs
+        )
+        return RealClusterDriver(
+            n_sites, app_factory=app_factory, config=real_config
+        ).start()
+    raise ValueError(f"unknown runtime {runtime!r}; pick one of {RUNTIMES}")

@@ -15,6 +15,10 @@ event loop and TCP:
 * :class:`RealNode` / :class:`RealCluster` — per-site harness and
   in-process multi-node orchestrator (ephemeral localhost ports,
   crash/recover/partition/heal/join, wall-clock ``settle``);
+* :class:`RealClusterDriver` — blocking
+  :class:`~repro.ports.ClusterPort` adapter (event loop on a dedicated
+  thread) so synchronous harness code — workloads, invariant monitors,
+  the CLI — drives a real cluster exactly like a simulated one;
 * :mod:`repro.realnet.codec` — the wire format (see docs/protocol.md).
 
 The protocol layers are byte-identical between backends; nothing in
@@ -22,6 +26,7 @@ fd/gms/vsync/evs knows which one it is running on.
 """
 
 from repro.realnet.cluster import RealCluster, RealClusterConfig
+from repro.realnet.driver import RealClusterDriver
 from repro.realnet.codec import (
     MAX_FRAME_BYTES,
     decode_value,
@@ -36,6 +41,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "RealCluster",
     "RealClusterConfig",
+    "RealClusterDriver",
     "RealNetwork",
     "RealNode",
     "WallClockEvent",

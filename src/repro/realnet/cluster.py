@@ -103,9 +103,14 @@ class RealCluster:
         self.address_book: dict[SiteId, tuple[str, int]] = {}
         self.nodes: dict[SiteId, RealNode] = {}
         self.scheduler: WallClockScheduler | None = None
-        self.recorder = TraceRecorder(
+        # Each node records its own history (as a real deployment
+        # would); the orchestrator keeps one recorder for environment
+        # events (crash/recover) and retains the recorders of replaced
+        # incarnations so gather_trace() can merge the full execution.
+        self._env_recorder = TraceRecorder(
             level=self.config.trace_level, capacity=self.config.trace_capacity
         )
+        self._retired_recorders: list[TraceRecorder] = []
         self.store = StableStore()
         self.rng = RngStreams(self.config.seed)
         self._incarnation: dict[SiteId, int] = {}
@@ -150,12 +155,17 @@ class RealCluster:
         incarnation = self._incarnation.get(site, -1) + 1
         self._incarnation[site] = incarnation
         cfg = self.config
+        old = self.nodes.get(site)
+        if old is not None:
+            self._retired_recorders.append(old.recorder)
         node = RealNode(
             ProcessId(site, incarnation),
             self.address_book,
             scheduler=self.scheduler,
             storage=self.store.site(site),
-            recorder=self.recorder,
+            recorder=TraceRecorder(
+                level=cfg.trace_level, capacity=cfg.trace_capacity
+            ),
             app_factory=self.app_factory,
             stack_config=cfg.stack_config(),
             universe=lambda: set(self.topology.sites),
@@ -189,16 +199,21 @@ class RealCluster:
             return
         node.stack.crash()
         if self.scheduler is not None:
-            self.recorder.record(
+            self._env_recorder.record(
                 CrashEvent(time=self.scheduler.now, pid=node.stack.pid)
             )
         self._spawn(node.network.stop())
 
-    def recover(self, site: SiteId) -> asyncio.Task:
+    def recover(self, site: SiteId) -> "asyncio.Task[GroupStack]":
         """Restart ``site`` under a fresh incarnation on a fresh port.
 
-        Returns the startup task (environment-action callers may ignore
-        it; tests can await it).
+        Returns the startup task; **awaiting it yields the fresh**
+        :class:`~repro.vsync.stack.GroupStack` — the realnet analogue of
+        the simulator's synchronous ``recover`` return value, and what
+        the blocking :class:`~repro.realnet.driver.RealClusterDriver`
+        resolves before returning.  Environment-action callers (armed
+        fault schedules) may ignore the task; it is tracked and
+        cancelled by :meth:`stop`.
         """
         node = self.nodes.get(site)
         if node is not None and node.alive:
@@ -212,13 +227,18 @@ class RealCluster:
         node = self._make_node(site)
         await node.start_transport()
         stack = node.start_stack()
-        self.recorder.record(
+        self._env_recorder.record(
             RecoverEvent(time=self.now, pid=stack.pid, site=site)
         )
         return stack
 
-    def join(self, site: SiteId) -> asyncio.Task:
-        """Add a brand-new site to the universe and boot it."""
+    def join(self, site: SiteId) -> "asyncio.Task[GroupStack]":
+        """Add a brand-new site to the universe and boot it.
+
+        Like :meth:`recover`, returns the startup task, which resolves
+        to the new site's :class:`~repro.vsync.stack.GroupStack` once
+        its transport is up and its stack is registered.
+        """
         self.topology.add_site(site)
         return self._spawn(self._join(site))
 
@@ -244,6 +264,32 @@ class RealCluster:
     @property
     def now(self) -> float:
         return self.scheduler.now if self.scheduler is not None else 0.0
+
+    @property
+    def time_scale(self) -> float:
+        """Wall seconds per scenario unit.
+
+        The realnet timer profile (:func:`~repro.realnet.node.
+        realnet_stack_config`) maps the simulator's canonical ratios
+        onto loopback at ~0.01 s per simulated unit at ``scale=1.0``
+        (fd-interval 5 units ↔ 50 ms); fault schedules and workload
+        intervals written in scenario units are scaled by the same
+        factor so faults land at the same point of protocol time on
+        both backends.
+        """
+        return 0.01 * self.config.scale
+
+    def arm(self, schedule: Any) -> None:
+        """Arm a :class:`~repro.net.faults.FaultSchedule` against real
+        sockets.
+
+        Scenario-unit action times are scaled by :attr:`time_scale` and
+        shifted to be relative to ``now`` — a schedule authored for the
+        simulator runs unchanged here.
+        """
+        if self.scheduler is None:
+            raise SimulationError("cluster is not started; cannot arm")
+        schedule.scaled(self.time_scale).shifted(self.now).arm(self.scheduler, self)
 
     async def settle(self, timeout: float = 10.0, poll: float = 0.02) -> bool:
         """Wait (on the wall clock) for membership to converge."""
@@ -299,6 +345,40 @@ class RealCluster:
             for site, node in sorted(self.nodes.items())
             if node.stack is not None and node.stack.alive
         }
+
+    def app_at(self, site: SiteId) -> Any:
+        """The application object of the current incarnation at ``site``."""
+        node = self.nodes.get(site)
+        if node is None or node.app is None:
+            raise SimulationError(f"no process was ever started at site {site}")
+        return node.app
+
+    def node_recorders(self) -> list[TraceRecorder]:
+        """Every per-node recorder: live incarnations plus retired ones."""
+        return self._retired_recorders + [
+            node.recorder for _, node in sorted(self.nodes.items())
+        ]
+
+    def gather_trace(self) -> TraceRecorder:
+        """Merge every node's locally recorded history (plus the
+        orchestrator's crash/recover events) into one globally ordered
+        trace — the input the property checkers expect.  All recorders
+        share this cluster's wall-clock scheduler, so their timestamps
+        are directly comparable; ordering is
+        :meth:`~repro.trace.recorder.TraceRecorder.merge`'s
+        ``(time, pid, seq)``.
+        """
+        return TraceRecorder.merge(self._env_recorder, *self.node_recorders())
+
+    @property
+    def recorder(self) -> TraceRecorder:
+        """The merged execution history (see :meth:`gather_trace`).
+
+        Kept as a property for source compatibility with the era of one
+        shared recorder; each access re-merges, so grab it once after
+        the run quiesces rather than inside a hot loop.
+        """
+        return self.gather_trace()
 
     def network_stats(self) -> NetworkStats:
         """Aggregate wire counters over every node (live and dead)."""

@@ -233,4 +233,29 @@ def _register_stack_payloads() -> None:
         register_payload(cls)
 
 
+def _register_harness_payloads() -> None:
+    """Everything the group-object layer and the example applications
+    put on the wire: settlement state transfer, bulk two-piece
+    transfer, the operation envelope and the apps' request/reply
+    types.  Registered here so workloads run over real sockets exactly
+    as they do on the simulator."""
+    from repro.apps.lock_manager import _AcquireReq, _Denied, _ReleaseReq
+    from repro.apps.replicated_db import _LookupReply, _LookupRequest
+    from repro.apps.replicated_file import _WriteAck
+    from repro.core.group_object import _OpMsg
+    from repro.core.settlement import StateAdopt, StateOffer, StateRequest
+    from repro.core.state_transfer import TAck, TChunk, TSmallPiece
+
+    for cls in (
+        StateRequest, StateOffer, StateAdopt,
+        TChunk, TAck, TSmallPiece,
+        _OpMsg,
+        _AcquireReq, _ReleaseReq, _Denied,
+        _LookupRequest, _LookupReply,
+        _WriteAck,
+    ):
+        register_payload(cls)
+
+
 _register_stack_payloads()
+_register_harness_payloads()

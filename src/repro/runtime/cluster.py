@@ -4,6 +4,13 @@ Owns the scheduler, the network, stable storage, the trace recorder and
 one :class:`~repro.vsync.stack.GroupStack` per site, and exposes the
 environment actions fault schedules need (crash / recover / partition /
 heal / join).  Examples, tests and benchmarks all start here.
+
+:class:`Cluster` is the simulator's implementation of
+:class:`repro.ports.ClusterPort` — the harness layer (workload clients,
+scenarios, invariant monitors, property checks, the CLI) drives it only
+through that contract, so the same code runs over the real-network
+backend (:class:`~repro.realnet.driver.RealClusterDriver`) unchanged.
+Simulated backend time equals scenario time (``time_scale == 1.0``).
 """
 
 from __future__ import annotations
@@ -156,6 +163,34 @@ class Cluster:
     def now(self) -> float:
         return self.scheduler.now
 
+    @property
+    def time_scale(self) -> float:
+        """Backend time per scenario unit: the simulator runs *in*
+        scenario units, so the scale is 1.0."""
+        return 1.0
+
+    def after(self, delay: float, callback: Callable[..., Any], *args: Any):
+        """Schedule ``callback`` after ``delay`` backend-time units.
+
+        The :class:`~repro.ports.ClusterPort` timer surface — workload
+        drivers and invariant monitors arm their ticks here instead of
+        touching the backend scheduler directly.
+        """
+        return self.scheduler.after(delay, callback, *args)
+
+    def arm(self, schedule: Any) -> None:
+        """Arm a :class:`~repro.net.faults.FaultSchedule` against this
+        cluster.
+
+        Action times are scenario units *relative to now*: the schedule
+        is scaled by :attr:`time_scale` (1.0 here) and shifted by the
+        current time, so the same schedule object arms identically on a
+        backend whose clock already advanced.  On a fresh simulated
+        cluster (``now == 0``) this is exactly the classic
+        ``schedule.arm(cluster.scheduler, cluster)``.
+        """
+        schedule.scaled(self.time_scale).shifted(self.now).arm(self.scheduler, self)
+
     def run(self, until: float | None = None) -> float:
         return self.scheduler.run(until=until)
 
@@ -176,6 +211,10 @@ class Cluster:
                 return True
             self.run_for(min(poll, deadline - self.scheduler.now))
         return bool(predicate(self))
+
+    # ClusterPort name for run_until: both backends wait on a predicate
+    # of the cluster; the simulator does so by advancing virtual time.
+    wait_until = run_until
 
     def settle(self, timeout: float = 600.0, poll: float = 10.0) -> bool:
         """Run until membership converges (or ``timeout`` elapses).
@@ -229,3 +268,23 @@ class Cluster:
             for site, stack in sorted(self.stacks.items())
             if stack.alive
         }
+
+    def app_at(self, site: SiteId) -> GroupApplication:
+        """The application object attached to the stack at ``site``."""
+        app = self.apps.get(site)
+        if app is None:
+            raise SimulationError(f"no process was ever started at site {site}")
+        return app
+
+    def gather_trace(self) -> TraceRecorder:
+        """The full execution history: one shared recorder observes the
+        whole simulated run, so there is nothing to merge."""
+        return self.recorder
+
+    def network_stats(self) -> Any:
+        """Wire counters of the simulated network."""
+        return self.network.stats
+
+    def close(self) -> None:
+        """Release backend resources (none in the simulator); part of
+        the :class:`~repro.ports.ClusterPort` contract."""

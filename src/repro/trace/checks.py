@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.ports import ClusterPort
 from repro.trace.events import (
     DeliveryEvent,
     EViewChangeEvent,
@@ -358,3 +359,35 @@ def check_enriched_views(rec: TraceRecorder) -> list[CheckReport]:
 
 def all_ok(reports: list[CheckReport]) -> bool:
     return all(r.ok for r in reports)
+
+
+# ---------------------------------------------------------------------------
+# Cluster-level entry point (any runtime)
+# ---------------------------------------------------------------------------
+
+
+def check_cluster(
+    cluster: "ClusterPort",
+    *,
+    enriched: bool = True,
+    trace: TraceRecorder | None = None,
+) -> list[CheckReport]:
+    """Run the property checks over a whole cluster's execution.
+
+    Works on any :class:`~repro.ports.ClusterPort`: the trace comes
+    from ``cluster.gather_trace()``, which is the simulator's single
+    shared recorder or the real-network runtime's per-node recorders
+    merged into one globally ordered history
+    (:meth:`~repro.trace.recorder.TraceRecorder.merge`) — the checkers
+    themselves are identical on either.  Pass ``trace`` to reuse an
+    already-gathered recorder (gathering merges on the realnet).
+
+    Returns the Section 2 view-synchrony reports
+    (:func:`check_view_synchrony`), plus the Section 6 enriched-view
+    reports (:func:`check_enriched_views`) unless ``enriched=False``.
+    """
+    rec = trace if trace is not None else cluster.gather_trace()
+    reports = check_view_synchrony(rec)
+    if enriched:
+        reports += check_enriched_views(rec)
+    return reports

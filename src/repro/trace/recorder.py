@@ -99,6 +99,43 @@ class TraceRecorder:
             self.dropped += 1
         events.append(event)
 
+    @classmethod
+    def merge(cls, *recorders: "TraceRecorder") -> "TraceRecorder":
+        """Merge several recorders into one coherent history.
+
+        Built for runtimes where each node records locally (one
+        :class:`TraceRecorder` per :class:`~repro.realnet.node.RealNode`)
+        and analysis needs the global event stream the checkers expect.
+        The sources must share a time base (co-located realnet nodes
+        share one wall-clock scheduler, so they do).
+
+        Ordering is total and stable: events sort by ``(time, pid,
+        seq)``, where ``seq`` is the event's position within its source
+        recorder — so same-timestamp events at one process keep their
+        recorded (causal) order, and cross-process ties break
+        deterministically by process identifier.  Events without a
+        process (none currently) would sort before any process's at the
+        same instant.
+
+        The result is a plain unbounded ``level="full"`` recorder (the
+        sources already applied their own filters); ``filtered`` and
+        ``dropped`` counters are summed so loss remains visible.
+        """
+        merged = cls(level="full")
+        keyed: list[tuple[float, tuple, int, int, TraceEvent]] = []
+        for src_index, recorder in enumerate(recorders):
+            merged.filtered += recorder.filtered
+            merged.dropped += recorder.dropped
+            for seq, event in enumerate(recorder.events):
+                pid = getattr(event, "pid", None)
+                pid_key = (
+                    (pid.site, pid.incarnation) if pid is not None else (-1, -1)
+                )
+                keyed.append((event.time, pid_key, seq, src_index, event))
+        keyed.sort()
+        merged.events = [item[-1] for item in keyed]
+        return merged
+
     def __len__(self) -> int:
         return len(self.events)
 

@@ -1,4 +1,9 @@
-"""Workloads: canned fault scenarios and randomized schedule generation."""
+"""Workloads: canned scenarios, random schedules, clients, checked runs.
+
+Everything here is written against :class:`~repro.ports.ClusterPort`, so
+the same scenario + client mix drives the simulator and the real-socket
+runtime unchanged (see :func:`run_checked_workload`).
+"""
 
 from repro.workload.scenarios import (
     cascade_scenario,
@@ -16,6 +21,7 @@ from repro.workload.clients import (
     MulticastClient,
     QueryClient,
 )
+from repro.workload.runner import WorkloadReport, run_checked_workload
 
 __all__ = [
     "clean_scenario",
@@ -30,4 +36,6 @@ __all__ = [
     "FileClient",
     "LockClient",
     "QueryClient",
+    "WorkloadReport",
+    "run_checked_workload",
 ]

@@ -2,9 +2,19 @@
 
 Experiments keep needing the same traffic shapes: periodic multicasts,
 read/write streams against the replicated file, lock churn, query
-streams.  These drivers attach to a cluster's scheduler, respect modes
+streams.  These drivers attach to any :class:`~repro.ports.ClusterPort`
+— simulated or real-network — through its timer surface, respect modes
 (they only submit what the current mode admits), and keep score, so
 benchmarks and tests can reuse them instead of hand-rolling loops.
+
+Intervals are *scenario units* (the unit fault schedules are written
+in): each driver multiplies by the cluster's
+:attr:`~repro.ports.ClusterPort.time_scale` when arming its tick, so
+``MulticastClient(cluster, interval=10.0)`` paces identically relative
+to the protocol timers on both backends — every 10 virtual units on the
+simulator, every ~0.1 wall seconds on loopback TCP.  On the real
+network, ticks run on the cluster's event-loop thread, where touching
+stacks and applications is safe.
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.modes import Mode
-from repro.runtime.cluster import Cluster
+from repro.ports import ClusterPort
 
 
 @dataclass
@@ -30,9 +40,9 @@ class ClientStats:
 
 
 class _Driver:
-    """Base: a periodic callback over the cluster's scheduler."""
+    """Base: a periodic callback over the cluster port's timer surface."""
 
-    def __init__(self, cluster: Cluster, interval: float) -> None:
+    def __init__(self, cluster: ClusterPort, interval: float) -> None:
         self.cluster = cluster
         self.interval = interval
         self.stats = ClientStats()
@@ -48,13 +58,19 @@ class _Driver:
         self._running = False
 
     def _arm(self) -> None:
-        self.cluster.scheduler.after(self.interval, self._fire)
+        self.cluster.after(self.interval * self.cluster.time_scale, self._fire)
 
     def _fire(self) -> None:
         if not self._running:
             return
         self.tick()
         self._arm()
+
+    def _live(self) -> list[tuple[int, Any]]:
+        """(site, stack) for every live member, in site order."""
+        return sorted(
+            (stack.pid.site, stack) for stack in self.cluster.live_stacks()
+        )
 
     def tick(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -63,15 +79,13 @@ class _Driver:
 class MulticastClient(_Driver):
     """Every ``interval``, each live non-flushing member multicasts."""
 
-    def __init__(self, cluster: Cluster, interval: float = 10.0) -> None:
+    def __init__(self, cluster: ClusterPort, interval: float = 10.0) -> None:
         super().__init__(cluster, interval)
         self._counter = 0
 
     def tick(self) -> None:
         self._counter += 1
-        for site, stack in self.cluster.stacks.items():
-            if not stack.alive:
-                continue
+        for site, stack in self._live():
             self.stats.attempted += 1
             if stack.is_flushing:
                 self.stats.rejected += 1
@@ -85,7 +99,7 @@ class FileClient(_Driver):
 
     def __init__(
         self,
-        cluster: Cluster,
+        cluster: ClusterPort,
         interval: float = 15.0,
         names: tuple[str, ...] = ("a", "b", "c"),
     ) -> None:
@@ -96,10 +110,8 @@ class FileClient(_Driver):
 
     def tick(self) -> None:
         self._counter += 1
-        for site, stack in self.cluster.stacks.items():
-            if not stack.alive:
-                continue
-            app = self.cluster.apps[site]
+        for site, _stack in self._live():
+            app = self.cluster.app_at(site)
             name = self.names[(site + self._counter) % len(self.names)]
             self.stats.attempted += 1
             handle = app.write(name, f"{site}:{self._counter}")
@@ -117,10 +129,8 @@ class LockClient(_Driver):
     """Each member alternately acquires and releases the lock."""
 
     def tick(self) -> None:
-        for site, stack in self.cluster.stacks.items():
-            if not stack.alive:
-                continue
-            app = self.cluster.apps[site]
+        for site, _stack in self._live():
+            app = self.cluster.app_at(site)
             if getattr(app, "mode", None) is not Mode.NORMAL:
                 continue
             self.stats.attempted += 1
@@ -140,7 +150,7 @@ class QueryClient(_Driver):
 
     def __init__(
         self,
-        cluster: Cluster,
+        cluster: ClusterPort,
         interval: float = 15.0,
         predicate_name: str = "all",
     ) -> None:
@@ -151,13 +161,11 @@ class QueryClient(_Driver):
 
     def tick(self) -> None:
         self._counter += 1
-        live = [
-            site for site, stack in self.cluster.stacks.items() if stack.alive
-        ]
+        live = [site for site, _stack in self._live()]
         if not live:
             return
         writer = live[self._counter % len(live)]
-        app = self.cluster.apps[writer]
+        app = self.cluster.app_at(writer)
         self.stats.attempted += 1
         if app.can_submit(("insert", None, None)):
             app.insert(f"k{self._counter}", writer)
@@ -165,9 +173,11 @@ class QueryClient(_Driver):
         else:
             self.stats.rejected += 1
         reader = live[(self._counter + 1) % len(live)]
-        handle = self.cluster.apps[reader].lookup(self.predicate_name)
+        handle = self.cluster.app_at(reader).lookup(self.predicate_name)
         if handle.status != "aborted":
             def finish(h=handle):
                 if h.status == "complete":
                     self.completed_lookups += 1
-            self.cluster.scheduler.after(self.interval * 0.9, finish)
+            self.cluster.after(
+                self.interval * 0.9 * self.cluster.time_scale, finish
+            )

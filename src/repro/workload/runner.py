@@ -1,0 +1,110 @@
+"""One harness, two runtimes: checked workload runs over any cluster.
+
+:func:`run_checked_workload` is the runtime-agnostic successor of the
+simulator-only ``run_with_schedule`` flow: it drives an already-built
+:class:`~repro.ports.ClusterPort` — simulated or real-network — through
+a scenario-unit :class:`~repro.net.faults.FaultSchedule` and a mix of
+workload clients, settles, gathers the (merged) trace and runs the
+paper's property checks over it.  The CLI's ``run``/``check`` commands,
+the realnet workload smoke tests and the sim-vs-realnet bench all call
+this one function; none of them name a concrete cluster class.
+
+Every duration parameter is in scenario units; the harness converts via
+the cluster's :attr:`~repro.ports.ClusterPort.time_scale`, so the same
+call is a 650-virtual-unit simulated run or a ~6.5-wall-second loopback
+run.  The cluster is *not* closed here — the caller owns its lifetime
+(and may want stats or more traffic afterwards).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.net.faults import FaultSchedule
+from repro.ports import ClusterPort
+from repro.trace.checks import CheckReport, check_cluster
+from repro.trace.recorder import TraceRecorder
+
+#: Build a workload driver for a cluster (e.g. ``MulticastClient``).
+ClientFactory = Callable[[ClusterPort], Any]
+
+
+@dataclass
+class WorkloadReport:
+    """Everything a checked workload run produced."""
+
+    runtime_now: float  # backend time when the run finished
+    settled: bool
+    schedule_actions: int
+    horizon: float  # scenario units, including the settle tail
+    trace: TraceRecorder
+    reports: list[CheckReport] = field(default_factory=list)
+    clients: list[Any] = field(default_factory=list)
+    check_wall_s: float = 0.0
+
+    @property
+    def events_checked(self) -> int:
+        return sum(r.checked for r in self.reports)
+
+    @property
+    def violations(self) -> list[str]:
+        return [v for r in self.reports for v in r.violations]
+
+    @property
+    def ok(self) -> bool:
+        return self.settled and not self.violations
+
+
+def run_checked_workload(
+    cluster: ClusterPort,
+    schedule: FaultSchedule | None = None,
+    client_factories: Sequence[ClientFactory] = (),
+    *,
+    tail: float = 250.0,
+    settle_timeout: float = 600.0,
+    settle_poll: float = 10.0,
+    enriched: bool = True,
+) -> WorkloadReport:
+    """Run ``schedule`` + clients on ``cluster``, settle, check, report.
+
+    The flow, identical on both runtimes:
+
+    1. start one client per factory (ticks arm on the cluster's own
+       scheduler, paced by ``time_scale``);
+    2. arm the fault schedule (scenario units, relative to now);
+    3. let ``schedule.horizon + tail`` scenario units elapse;
+    4. stop the clients and wait up to ``settle_timeout`` scenario
+       units for membership to converge;
+    5. gather the trace — the simulator's shared recorder, or the
+       realnet per-node recorders merged — and run the Section 2
+       view-synchrony checks (plus the Section 6 enriched-view checks
+       unless ``enriched=False``).
+    """
+    scale = cluster.time_scale
+    schedule = schedule if schedule is not None else FaultSchedule()
+    clients = [factory(cluster) for factory in client_factories]
+    for client in clients:
+        client.start()
+    cluster.arm(schedule)
+    cluster.run_for((schedule.horizon + tail) * scale)
+    for client in clients:
+        client.stop()
+    settled = cluster.settle(
+        timeout=settle_timeout * scale, poll=settle_poll * scale
+    )
+    t0 = time.perf_counter()
+    trace = cluster.gather_trace()
+    reports = check_cluster(cluster, enriched=enriched, trace=trace)
+    check_wall = time.perf_counter() - t0
+    return WorkloadReport(
+        runtime_now=cluster.now,
+        settled=settled,
+        schedule_actions=len(schedule.actions),
+        horizon=schedule.horizon + tail,
+        trace=trace,
+        reports=reports,
+        clients=clients,
+        check_wall_s=check_wall,
+    )

@@ -271,3 +271,82 @@ def test_demo_reports_transport_stats():
         assert result.codecs.get("bin1", 0) > 0  # default codec is binary
 
     run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# One harness, two runtimes: the blocking ClusterPort driver
+# ---------------------------------------------------------------------------
+
+
+def test_driver_presents_the_port_over_sockets():
+    """RealClusterDriver satisfies ClusterPort with the simulator's
+    synchronous contracts — including recover() returning the stack."""
+    import contextlib
+
+    from repro.ports import ClusterPort, make_cluster
+
+    with contextlib.closing(make_cluster("realnet", 3, seed=9)) as cluster:
+        assert isinstance(cluster, ClusterPort)
+        assert cluster.time_scale == pytest.approx(0.01)
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        cluster.crash(2)
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        stack = cluster.recover(2)  # blocks until the fresh node is up
+        assert stack.pid.incarnation == 1
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        assert stack.pid in cluster.live_pids()
+        fired = []
+        cluster.after(0.05, lambda: fired.append(cluster.now))
+        assert cluster.wait_until(lambda c: fired, timeout=SETTLE)
+        merged = cluster.gather_trace()
+        assert len(merged) > 0
+        reports = check_view_synchrony(merged) + check_enriched_views(merged)
+        assert all(r.ok for r in reports), [r for r in reports if not r.ok]
+
+
+def test_checked_workload_runs_unchanged_over_realnet():
+    """The acceptance scenario: the same figure-2 schedule + client mix
+    the simulator runs (tests/test_cluster_port.py) drives six real
+    TCP nodes through the port, and the merged per-node trace passes
+    every view-synchrony check."""
+    import contextlib
+
+    from repro.ports import make_cluster
+    from repro.workload.clients import MulticastClient, QueryClient
+    from repro.workload.runner import run_checked_workload
+    from repro.workload.scenarios import figure2_scenario
+
+    def db_factory(pid):
+        from repro.apps.replicated_db import ParallelLookupDatabase
+
+        return ParallelLookupDatabase({"all": lambda k, v: True})
+
+    with contextlib.closing(
+        make_cluster("realnet", 6, app_factory=db_factory, seed=10)
+    ) as cluster:
+        report = run_checked_workload(
+            cluster,
+            figure2_scenario(),
+            client_factories=[
+                lambda c: MulticastClient(c, interval=20.0),
+                lambda c: QueryClient(c, interval=30.0),
+            ],
+        )
+        assert report.settled, cluster.views()
+        assert report.violations == [], report.violations[:5]
+        assert report.events_checked > 0
+        assert all(c.stats.succeeded > 0 for c in report.clients)
+        # Real frames carried the workload: the wire counters moved.
+        assert cluster.network_stats().delivered > 0
+
+
+def test_cli_run_realnet_end_to_end(capsys):
+    """`python -m repro run --runtime realnet` completes with checks."""
+    from repro.cli import main
+
+    assert main(["run", "--runtime", "realnet", "--sites", "3",
+                 "--seed", "7", "--duration", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "runtime=realnet" in out
+    assert "wall time (s)" in out
+    assert "VIOLATIONS" not in out

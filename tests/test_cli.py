@@ -74,3 +74,24 @@ def test_recheck_timeline_option(tmp_path, capsys):
     assert main(["recheck", str(trace_file), "--timeline"]) == 0
     out = capsys.readouterr().out
     assert "p0.0" in out  # the timeline lanes rendered
+
+
+def test_run_runtime_sim_output_matches_default(capsys):
+    assert main(["run", "--sites", "3", "--seed", "5", "--duration", "150"]) == 0
+    default_out = capsys.readouterr().out
+    assert main(["run", "--runtime", "sim", "--sites", "3", "--seed", "5",
+                 "--duration", "150"]) == 0
+    explicit_out = capsys.readouterr().out
+    assert explicit_out == default_out  # --runtime sim is the exact default
+    assert "virtual time" in default_out
+
+
+def test_check_accepts_runtime_flag(capsys):
+    assert main(["check", "--runtime", "sim", "--runs", "1", "--sites", "3",
+                 "--duration", "150"]) == 0
+    assert "1/1 seeds clean" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_runtime():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--runtime", "telepathy"])

@@ -17,6 +17,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.apps.lock_manager import _AcquireReq, _Denied, _ReleaseReq
+from repro.apps.replicated_db import _LookupReply, _LookupRequest
+from repro.apps.replicated_file import _WriteAck
+from repro.core.group_object import _OpMsg
+from repro.core.settlement import StateAdopt, StateOffer, StateRequest
+from repro.core.state_transfer import TAck, TChunk, TSmallPiece
 from repro.errors import CodecError
 from repro.evs.eview import EvDelta, EView, EViewStructure, Subview, SvSet
 from repro.evs.messages import EvChange, EvRepairReq, EvReq
@@ -120,6 +126,25 @@ def _samples():
         RetransmitRequest(vid, (3, 4, 7)),
         DirectPayload({"blob": "x" * 10}),
         SubviewScoped(frozenset({p0, p1}), ["nested", {"deep": (1, 2.5)}]),
+        StateRequest(session=(p0, 2)),
+        StateOffer(
+            session=(p0, 2),
+            sender=p1,
+            snapshot={"files": {"a": "1:3"}},
+            version=5,
+            last_epoch=4,
+        ),
+        StateAdopt(session=(p0, 2), state={"files": {"a": "1:3"}}),
+        TChunk(transfer=(p1, 1), index=0, payload=["bulk", 7], last=False),
+        TAck(transfer=(p1, 1), index=0),
+        TSmallPiece(transfer=(p1, 1), payload={"meta": 1}, large_chunks=3),
+        _OpMsg(("write", "a", "0:1")),
+        _AcquireReq(requester=p2),
+        _ReleaseReq(requester=p2),
+        _Denied(holder=p0),
+        _LookupRequest(query_id=3, origin=p1, predicate_name="all"),
+        _LookupReply(query_id=3, matches=frozenset({("k1", 1)})),
+        _WriteAck(MessageId(p1, vid, 7)),
     ]
 
 

@@ -192,3 +192,64 @@ def test_reports_render():
     assert "Uniqueness" in str(report)
     merged = report.merge(check_integrity(rec))
     assert merged.ok
+
+
+# ---------------------------------------------------------------------------
+# TraceRecorder.merge: per-node recorders -> one coherent global history
+# ---------------------------------------------------------------------------
+
+
+def test_merge_orders_by_time_then_pid_then_seq():
+    a, b = TraceRecorder(), TraceRecorder()
+    # Same-instant events: P1's (in b) must sort after P0's (in a), and
+    # P0's two t=1 events must keep their recorded order.
+    a.record(MulticastEvent(time=1, pid=P0, msg_id=M))
+    a.record(DeliveryEvent(time=1, pid=P0, msg_id=M, view_id=V1))
+    a.record(DeliveryEvent(time=3, pid=P0, msg_id=M, view_id=V1))
+    b.record(DeliveryEvent(time=1, pid=P1, msg_id=M, view_id=V1))
+    b.record(MulticastEvent(time=2, pid=P1, msg_id=M))
+    merged = TraceRecorder.merge(a, b)
+    assert [(e.time, e.pid) for e in merged.events] == [
+        (1, P0), (1, P0), (1, P1), (2, P1), (3, P0)
+    ]
+    assert type(merged.events[0]) is MulticastEvent  # stable within P0@t=1
+    assert type(merged.events[1]) is DeliveryEvent
+
+
+def test_merge_sums_loss_counters_and_sources_unchanged():
+    a = TraceRecorder(level="membership")
+    b = TraceRecorder(capacity=1)
+    a.record(MulticastEvent(time=0, pid=P0, msg_id=M))  # filtered out
+    _install(a, 1, P0, V1, {P0}, None)
+    b.record(DeliveryEvent(time=2, pid=P1, msg_id=M, view_id=V1))
+    b.record(DeliveryEvent(time=3, pid=P1, msg_id=M, view_id=V1))  # evicts
+    merged = TraceRecorder.merge(a, b)
+    assert merged.filtered == 1
+    assert merged.dropped == 1
+    assert len(merged) == 2
+    assert len(a) == 1 and len(b) == 1  # sources untouched
+
+
+def test_merge_of_nothing_is_empty_full_recorder():
+    merged = TraceRecorder.merge()
+    assert len(merged) == 0
+    assert merged.level == "full"
+    assert merged.wants(MulticastEvent)
+
+
+def test_checkers_see_split_history_whole_after_merge():
+    """A per-process split of a healthy history checks clean merged."""
+    per_node = {pid: TraceRecorder() for pid in (P0, P1)}
+    for pid in (P0, P1):
+        _install(per_node[pid], 0, pid, V1, {P0, P1}, None)
+    per_node[P0].record(MulticastEvent(time=1, pid=P0, msg_id=M))
+    for pid in (P0, P1):
+        per_node[pid].record(
+            DeliveryEvent(time=2, pid=pid, msg_id=M, view_id=V1)
+        )
+        _install(per_node[pid], 3, pid, V2, {P0, P1}, V1)
+    merged = TraceRecorder.merge(*per_node.values())
+    for check in (check_agreement, check_uniqueness, check_integrity,
+                  check_view_monotonicity):
+        report = check(merged)
+        assert report.ok, report.violations
