@@ -21,6 +21,12 @@ Commands:
     Run the stacks over real TCP sockets: the partition/merge demo
     (default), or one standalone node of a multi-process deployment
     (``realnet node``).
+``obs``
+    Observability console.  ``obs report`` runs the figure-2 checked
+    workload on either runtime and prints the unified metrics report
+    (live registry values side by side with trace-derived aggregates);
+    ``obs watch`` polls running realnet nodes for metric snapshots over
+    their normal listening sockets.
 """
 
 from __future__ import annotations
@@ -141,10 +147,25 @@ def cmd_run(args: argparse.Namespace) -> int:
             with open(args.export, "w", encoding="utf-8") as handle:
                 count = dump_trace(report.trace, handle)
             print(f"exported {count} trace events to {args.export}")
+        _export_metrics(report.metrics, args.metrics, args.metrics_jsonl)
         print("property checks:")
         return 1 if _print_reports(report.reports) else 0
     finally:
         cluster.close()
+
+
+def _export_metrics(snapshot, prom_path, jsonl_path) -> None:
+    """Write a run's MetricsSnapshot to the requested export files."""
+    if snapshot is None or (not prom_path and not jsonl_path):
+        return
+    from repro.obs.export import write_jsonl, write_prometheus
+
+    if prom_path:
+        write_prometheus(snapshot, prom_path)
+        print(f"exported metrics (Prometheus text) to {prom_path}")
+    if jsonl_path:
+        write_jsonl(snapshot, jsonl_path)
+        print(f"exported metrics (JSONL) to {jsonl_path}")
 
 
 def cmd_recheck(args: argparse.Namespace) -> int:
@@ -230,6 +251,66 @@ def cmd_realnet_node(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Figure-2 checked workload on either runtime + unified metrics report."""
+    from repro.obs.report import render_report
+    from repro.workload.clients import MulticastClient, QueryClient
+    from repro.workload.scenarios import figure2_scenario
+
+    def db_factory(pid):
+        return ParallelLookupDatabase({"all": lambda k, v: True})
+
+    cluster = make_cluster(
+        args.runtime, args.sites, app_factory=db_factory, seed=args.seed
+    )
+    try:
+        report = run_checked_workload(
+            cluster,
+            figure2_scenario(),
+            client_factories=[
+                lambda c: MulticastClient(c, interval=20.0),
+                lambda c: QueryClient(c, interval=30.0),
+            ],
+        )
+        help_texts = cluster.metrics.help_texts()
+    finally:
+        cluster.close()
+    title = (
+        f"observability report (figure-2 workload, runtime={args.runtime} "
+        f"sites={args.sites} seed={args.seed})"
+    )
+    print(render_report(report.metrics, trace=report.trace, title=title))
+    if args.metrics:
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(report.metrics, args.metrics, help_texts)
+        print(f"exported metrics (Prometheus text) to {args.metrics}")
+    if args.jsonl:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(report.metrics, args.jsonl)
+        print(f"exported metrics (JSONL) to {args.jsonl}")
+    return 0 if report.ok else 1
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    """Live console over running realnet nodes' metric snapshots."""
+    from repro.obs.watch import watch
+
+    if args.targets:
+        targets = []
+        for spec in args.targets:
+            host, _, port = spec.rpartition(":")
+            targets.append((host or args.host, int(port)))
+    else:
+        targets = [
+            (args.host, args.base_port + site) for site in range(args.sites)
+        ]
+    return watch(
+        targets, interval=args.interval, count=args.count, codec=args.codec
+    )
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     table = Table("paper experiments (pytest benchmarks/ --benchmark-only)",
                   ["id", "what it reproduces", "benchmark"])
@@ -265,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "schedule with them) by this factor")
     run.add_argument("--export", metavar="FILE", default=None,
                      help="write the trace as JSON lines to FILE")
+    run.add_argument("--metrics", metavar="FILE", default=None,
+                     help="write the run's metrics snapshot in Prometheus "
+                          "text format to FILE")
+    run.add_argument("--metrics-jsonl", metavar="FILE", default=None,
+                     help="write the run's metrics snapshot as JSONL to FILE")
     run.set_defaults(func=cmd_run)
 
     recheck = sub.add_parser("recheck", help="verify an exported trace file")
@@ -315,6 +401,43 @@ def build_parser() -> argparse.ArgumentParser:
     rnode.add_argument("--codec", choices=("bin", "json"), default="bin",
                        help="preferred wire codec (negotiated per link)")
     rnode.set_defaults(func=cmd_realnet_node)
+
+    obs = sub.add_parser(
+        "obs", help="observability: unified metrics report / live watch"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    oreport = obs_sub.add_parser(
+        "report",
+        help="run the figure-2 checked workload and print the unified "
+             "metrics report (live registry vs trace aggregates)",
+    )
+    oreport.add_argument("--runtime", choices=RUNTIMES, default="sim")
+    oreport.add_argument("--sites", type=int, default=6)
+    oreport.add_argument("--seed", type=int, default=7)
+    oreport.add_argument("--metrics", metavar="FILE", default=None,
+                         help="also write the snapshot in Prometheus text "
+                              "format to FILE")
+    oreport.add_argument("--jsonl", metavar="FILE", default=None,
+                         help="also write the snapshot as JSONL to FILE")
+    oreport.set_defaults(func=cmd_obs_report)
+    owatch = obs_sub.add_parser(
+        "watch",
+        help="poll running realnet nodes for live metric snapshots "
+             "(over their normal listening sockets)",
+    )
+    owatch.add_argument("targets", nargs="*", metavar="HOST:PORT",
+                        help="nodes to poll; default derives "
+                             "host:base-port..base-port+sites-1")
+    owatch.add_argument("--host", default="127.0.0.1")
+    owatch.add_argument("--base-port", type=int, default=7400)
+    owatch.add_argument("--sites", type=int, default=3)
+    owatch.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls")
+    owatch.add_argument("--count", type=int, default=0,
+                        help="stop after this many polls (0 = until Ctrl-C)")
+    owatch.add_argument("--codec", choices=("bin", "json"), default="bin",
+                        help="preferred wire codec for the obs frames")
+    owatch.set_defaults(func=cmd_obs_watch)
 
     experiments = sub.add_parser("experiments", help="list paper experiments")
     experiments.set_defaults(func=cmd_experiments)

@@ -188,6 +188,11 @@ class ModeTrackingApp(GroupApplication):
                     view_id=eview.view_id,
                 )
             )
+            obs = self.stack.obs
+            if obs is not None:
+                obs.mode_changed(
+                    self.stack.pid, change.new, change.transition, self.stack.now
+                )
         self.on_mode_change(change, eview)
 
     def on_mode_change(self, change: ModeChange, eview: EView) -> None:

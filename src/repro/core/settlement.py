@@ -294,3 +294,7 @@ class SettlementEngine:
             stack.recorder.record(
                 AppEvent(time=stack.now, pid=stack.pid, tag=tag, data=data)
             )
+            obs = stack.obs
+            if obs is not None:
+                kind = data.get("kind", "") if isinstance(data, dict) else ""
+                obs.settlement_event(stack.pid, tag, kind, stack.now)

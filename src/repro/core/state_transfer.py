@@ -84,6 +84,9 @@ class ChunkSender:
         self.done = False
 
     def start(self) -> TransferId:
+        obs = self.stack.obs
+        if obs is not None:
+            obs.transfer_started(self.stack.pid, self.peer, self.stack.now)
         self._send(0)
         return self.transfer_id
 
@@ -98,6 +101,9 @@ class ChunkSender:
             return
         if ack.index == len(self.chunks) - 1:
             self.done = True
+            obs = self.stack.obs
+            if obs is not None:
+                obs.transfer_done(self.stack.pid, self.peer, self.stack.now)
             if self.on_done is not None:
                 self.on_done()
             return

@@ -208,3 +208,9 @@ class EViewManager:
                 svsets=svsets,
             )
         )
+        obs = self.stack.obs
+        if obs is not None and self.eview.seq > 0:
+            # seq 0 is the install-time baseline, not a change; matching
+            # the trace-stats eview_changes count keeps the live metric
+            # and the trace aggregate comparable in obs report.
+            obs.eview_changed(self.stack.pid)

@@ -373,6 +373,9 @@ class ViewAgreement:
         if not self.flushing:
             self.flushing = True
             self._flush_since = self.stack.now
+            obs = self.stack.obs
+            if obs is not None:
+                obs.view_change_started(self.stack.pid, self.stack.now)
             self.stack.channels.suspend()
             self.stack.evs.suspend()
         self._flushed_round = round_id
@@ -433,6 +436,9 @@ class ViewAgreement:
                 prev_view_id=prev_view_id,
             )
         )
+        obs = self.stack.obs
+        if obs is not None:
+            obs.view_installed(self.stack.pid, self.stack.now)
         self.stack.app.on_view(self.stack.evs.eview)
         self.stack.channels.activate()
         self.stack.channels.flush_pending_sends()

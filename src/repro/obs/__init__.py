@@ -1,0 +1,39 @@
+"""Unified observability layer: metrics, spans and exports.
+
+One instrumentation surface for both runtimes.  The simulator feeds the
+registry from virtual time, so every metric value is a deterministic
+function of the seed; the realnet runtime feeds it from the wall clock.
+Both emit the same metric names, so a sim run and a realnet run of the
+same workload can be compared row by row.
+
+Modules:
+
+* :mod:`repro.obs.registry` — dependency-free counters, gauges and
+  log-bucketed histograms, labeled, with callback gauges for values
+  that already live elsewhere (scheduler/network counters).
+* :mod:`repro.obs.snapshot` — frozen, codec-friendly snapshot types
+  (:class:`MetricSample`, :class:`MetricsSnapshot`) and snapshot merge.
+* :mod:`repro.obs.spans` — bounded maps of open causal intervals
+  (multicast -> delivery, flush -> install, settle start -> resolve).
+* :mod:`repro.obs.instrument` — :class:`ClusterObs`, the hook hub the
+  protocol stacks call into (guarded by ``stack.obs is not None``).
+* :mod:`repro.obs.export` — Prometheus text format and JSONL writers.
+* :mod:`repro.obs.report` — the ``repro obs report`` renderer: live
+  metrics next to the trace-derived aggregates of
+  :mod:`repro.trace.stats`.
+* :mod:`repro.obs.watch` — the ``repro obs watch`` client: polls metric
+  snapshots from live realnet nodes over the link protocol.
+
+See docs/observability.md for the metric catalog and span semantics.
+"""
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.snapshot import MetricSample, MetricsSnapshot, merge_snapshots
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "MetricSample",
+    "MetricsSnapshot",
+    "merge_snapshots",
+]

@@ -1,0 +1,199 @@
+"""ClusterObs: the hook hub the protocol stacks report into.
+
+One :class:`ClusterObs` per cluster, shared by every site's stack via
+``stack.obs``.  Every hook is a small, allocation-light method; hot
+paths in the stacks guard calls with ``if obs is not None`` so a
+cluster built with ``metrics=False`` (the bench harnesses' fast path)
+pays nothing.
+
+Span bookkeeping lives here, not in the stacks: the gms layer reports
+"flush started" / "view installed" and this class turns the pair into a
+``view_change_duration`` observation.  Mode residency is integrated the
+same way :func:`repro.trace.stats.mode_residency` integrates the trace
+— per-process intervals credited on transition and crash, open
+intervals credited at read time — so the live metric and the
+trace-derived aggregate are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanMap
+
+__all__ = ["ClusterObs"]
+
+_MODES = ("N", "R", "S")
+
+
+class _ModeTracker:
+    """Per-process mode-interval integrator (process-time per mode)."""
+
+    __slots__ = ("_clock", "_open", "_acc")
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._open: dict[str, tuple[str, float]] = {}  # pid -> (mode, since)
+        self._acc: dict[str, float] = {m: 0.0 for m in _MODES}
+
+    def change(self, pid: str, mode: str, at: float) -> None:
+        previous = self._open.get(pid)
+        if previous is not None and at > previous[1]:
+            self._acc[previous[0]] = self._acc.get(previous[0], 0.0) + (
+                at - previous[1]
+            )
+        self._open[pid] = (mode, at)
+
+    def crash(self, pid: str, at: float) -> None:
+        previous = self._open.pop(pid, None)
+        if previous is not None and at > previous[1]:
+            self._acc[previous[0]] = self._acc.get(previous[0], 0.0) + (
+                at - previous[1]
+            )
+
+    def residency(self, mode: str) -> float:
+        now = self._clock()
+        total = self._acc.get(mode, 0.0)
+        for open_mode, since in self._open.values():
+            if open_mode == mode and now > since:
+                total += now - since
+        return total
+
+
+class ClusterObs:
+    """Instrument families + span state for one cluster's registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        r = registry
+        self.view_changes = r.counter(
+            "view_changes_total", "Views installed, per process", ("pid",)
+        )
+        self.view_change_duration = r.histogram(
+            "view_change_duration",
+            "Flush start to view install, per process",
+            ("pid",),
+        )
+        self.eview_changes = r.counter(
+            "eview_changes_total", "E-view changes applied, per process", ("pid",)
+        )
+        self.multicasts = r.counter(
+            "multicasts_total", "View-synchronous multicasts sent", ("pid",)
+        )
+        self.deliveries = r.counter(
+            "deliveries_total", "Application deliveries", ("pid",)
+        )
+        self.delivery_latency = r.histogram(
+            "multicast_delivery_latency",
+            "Multicast send to each delivery (the tail is the last delivery)",
+            ("pid",),
+        )
+        self.settlements = r.counter(
+            "settlement_sessions_total",
+            "Settlement sessions resolved, by outcome",
+            ("pid", "outcome"),
+        )
+        self.settlement_duration = r.histogram(
+            "settlement_duration",
+            "Settlement start to reconciliation, per process and kind",
+            ("pid", "kind"),
+        )
+        self.mode_transitions = r.counter(
+            "mode_transitions_total",
+            "Figure-1 mode automaton edges taken",
+            ("transition",),
+        )
+        self.transfer_duration = r.histogram(
+            "state_transfer_duration",
+            "Chunked state transfer start to final ack, per sender",
+            ("pid",),
+        )
+        self.crashes = r.counter(
+            "crashes_total", "Process crashes injected", ("pid",)
+        )
+        self._mcast = SpanMap(4096)  # msg_id -> multicast time
+        self._transfers = SpanMap(512)  # (pid, peer) -> start time
+        self._flush: dict[str, float] = {}  # pid -> flush start
+        self._settle: dict[str, tuple[float, str]] = {}  # pid -> (start, kind)
+        self._modes = _ModeTracker(r.now)
+        for mode in _MODES:
+            r.gauge_callback(
+                "mode_residency",
+                "Process-time spent per mode (trace-stats semantics)",
+                (lambda m: lambda: self._modes.residency(m))(mode),
+                ("mode",),
+                (mode,),
+            )
+
+    # -- gms: view changes -------------------------------------------------
+
+    def view_change_started(self, pid: Any, at: float) -> None:
+        self._flush.setdefault(str(pid), at)
+
+    def view_installed(self, pid: Any, at: float) -> None:
+        label = str(pid)
+        self.view_changes.labels(label).inc()
+        start = self._flush.pop(label, None)
+        if start is not None:
+            self.view_change_duration.labels(label).observe(at - start)
+
+    # -- evs ---------------------------------------------------------------
+
+    def eview_changed(self, pid: Any) -> None:
+        self.eview_changes.labels(str(pid)).inc()
+
+    # -- vsync: multicast and delivery ------------------------------------
+
+    def multicast_sent(self, pid: Any, msg_id: Any, at: float) -> None:
+        self.multicasts.labels(str(pid)).inc()
+        self._mcast.open(msg_id, at)
+
+    def message_delivered(self, pid: Any, msg_id: Any, at: float) -> None:
+        label = str(pid)
+        self.deliveries.labels(label).inc()
+        start = self._mcast.get(msg_id)
+        if start is not None:
+            self.delivery_latency.labels(label).observe(at - start)
+
+    # -- settlement --------------------------------------------------------
+
+    def settlement_event(self, pid: Any, tag: str, kind: str, at: float) -> None:
+        label = str(pid)
+        if tag == "settle_start":
+            self._settle[label] = (at, kind)
+        elif tag == "settle_done":
+            entry = self._settle.pop(label, None)
+            if entry is not None:
+                self.settlement_duration.labels(label, entry[1]).observe(
+                    at - entry[0]
+                )
+            self.settlements.labels(label, "done").inc()
+        elif tag == "settle_abandon":
+            self._settle.pop(label, None)
+            self.settlements.labels(label, "abandoned").inc()
+
+    # -- modes -------------------------------------------------------------
+
+    def mode_changed(self, pid: Any, new: Any, transition: Any, at: float) -> None:
+        self.mode_transitions.labels(str(transition)).inc()
+        self._modes.change(str(pid), str(new), at)
+
+    # -- state transfer ----------------------------------------------------
+
+    def transfer_started(self, pid: Any, peer: Any, at: float) -> None:
+        self._transfers.open((str(pid), str(peer)), at)
+
+    def transfer_done(self, pid: Any, peer: Any, at: float) -> None:
+        duration = self._transfers.close((str(pid), str(peer)), at)
+        if duration is not None:
+            self.transfer_duration.labels(str(pid)).observe(duration)
+
+    # -- faults ------------------------------------------------------------
+
+    def process_crashed(self, pid: Any, at: float) -> None:
+        label = str(pid)
+        self.crashes.labels(label).inc()
+        self._modes.crash(label, at)
+        self._flush.pop(label, None)
+        self._settle.pop(label, None)

@@ -1,0 +1,293 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the single store both runtimes write into.  Its clock
+is injected: the simulator passes virtual time (metric values become a
+deterministic function of the seed), the realnet runtime passes the
+wall clock.  Everything else is runtime-agnostic.
+
+Three instrument kinds, all labeled:
+
+* **counter** — monotone float, ``inc()``.
+* **gauge** — settable float, ``set()``/``inc()``; or a *callback*
+  gauge whose value is read from a function at snapshot time.  Callback
+  gauges cost nothing on the hot path, which is how scheduler/network
+  counters that already exist are exported without double counting.
+* **histogram** — fixed log-scale buckets (:data:`DEFAULT_BUCKETS`,
+  powers of two from 2^-10 to 2^10) chosen to cover both virtual-time
+  durations (tens to hundreds of units) and wall-clock seconds
+  (sub-millisecond to minutes) without per-runtime configuration.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are sorted by name and
+label values, so equal registry state exports byte-identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Iterable
+
+from repro.obs.snapshot import MetricSample, MetricsSnapshot
+
+__all__ = ["DEFAULT_BUCKETS", "MetricsRegistry"]
+
+#: Log-scale histogram boundaries: powers of two, 2^-10 .. 2^10.
+#: ~1 ms to ~17 min when observing wall seconds; fractions of a unit to
+#: ~1000 units when observing virtual time.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(2.0**e for e in range(-10, 11))
+
+_INF = float("inf")
+
+
+class Counter:
+    """A monotone value.  Never decrement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A settable value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics."""
+
+    __slots__ = ("boundaries", "bucket_counts", "sum", "count")
+
+    def __init__(self, boundaries: tuple[float, ...]) -> None:
+        self.boundaries = boundaries
+        # one slot per finite boundary plus the +Inf overflow slot
+        self.bucket_counts = [0] * (len(boundaries) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # first boundary >= value: the le bucket the value falls in
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> tuple[tuple[float, int], ...]:
+        """Cumulative ``(le, count)`` pairs, ending with ``(inf, count)``."""
+        out = []
+        running = 0
+        for bound, cnt in zip(self.boundaries, self.bucket_counts):
+            running += cnt
+            out.append((bound, running))
+        out.append((_INF, self.count))
+        return tuple(out)
+
+
+class Family:
+    """All children (label combinations) of one metric name."""
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = labelnames
+        self._buckets = buckets
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def labels(self, *values: str) -> Any:
+        """The child for one label-value combination (created on demand)."""
+        child = self._children.get(values)
+        if child is None:
+            if len(values) != len(self.labelnames):
+                raise ValueError(
+                    f"{self.name}: expected {len(self.labelnames)} label "
+                    f"values {self.labelnames}, got {values!r}"
+                )
+            if self.kind == "counter":
+                child = Counter()
+            elif self.kind == "gauge":
+                child = Gauge()
+            else:
+                child = Histogram(self._buckets)
+            self._children[values] = child
+        return child
+
+    def items(self) -> Iterable[tuple[tuple[str, ...], Any]]:
+        return sorted(self._children.items())
+
+
+class _Callback:
+    """A gauge whose value is computed at snapshot time."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], float]) -> None:
+        self.fn = fn
+
+
+class MetricsRegistry:
+    """One registry per cluster; shared by every site's stack."""
+
+    def __init__(self, clock: Callable[[], float], runtime: str) -> None:
+        self._clock = clock
+        self.runtime = runtime
+        self._families: dict[str, Family] = {}
+        # name -> (help, {labelvalues: callback})
+        self._callbacks: dict[
+            str, tuple[str, tuple[str, ...], dict[tuple[str, ...], _Callback]]
+        ] = {}
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- registration ------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Family:
+        fam = self._families.get(name)
+        if fam is not None:
+            if fam.kind != kind or fam.labelnames != labelnames:
+                raise ValueError(
+                    f"metric {name!r} re-registered with a different shape"
+                )
+            return fam
+        if name in self._callbacks:
+            raise ValueError(f"metric {name!r} already registered as a callback")
+        fam = Family(name, help, kind, labelnames, buckets)
+        self._families[name] = fam
+        return fam
+
+    def counter(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Family:
+        return self._family(name, help, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Family:
+        return self._family(name, help, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Family:
+        return self._family(name, help, "histogram", labelnames, buckets)
+
+    def gauge_callback(
+        self,
+        name: str,
+        help: str,
+        fn: Callable[[], float],
+        labelnames: tuple[str, ...] = (),
+        labelvalues: tuple[str, ...] = (),
+    ) -> None:
+        """Register a read-at-snapshot gauge (zero hot-path cost)."""
+        if name in self._families:
+            raise ValueError(f"metric {name!r} already registered as a family")
+        if len(labelnames) != len(labelvalues):
+            raise ValueError(f"{name}: labelnames/labelvalues length mismatch")
+        entry = self._callbacks.get(name)
+        if entry is None:
+            entry = (help, labelnames, {})
+            self._callbacks[name] = entry
+        elif entry[1] != labelnames:
+            raise ValueError(f"metric {name!r} re-registered with different labels")
+        entry[2][labelvalues] = _Callback(fn)
+
+    # -- reads -------------------------------------------------------------
+
+    def value(self, name: str, *labelvalues: str) -> float:
+        """Current value of one series; the read path bench harnesses use.
+
+        Counters and gauges return their value, histograms their count,
+        callbacks are evaluated.  Raises KeyError on unknown series.
+        """
+        entry = self._callbacks.get(name)
+        if entry is not None:
+            return float(entry[2][labelvalues].fn())
+        fam = self._families[name]
+        child = fam._children[labelvalues]
+        if fam.kind == "histogram":
+            return float(child.count)
+        return float(child.value)
+
+    def snapshot(self, source: str = "cluster") -> MetricsSnapshot:
+        """Point-in-time copy, sorted for deterministic export."""
+        samples: list[MetricSample] = []
+        for name in sorted(set(self._families) | set(self._callbacks)):
+            fam = self._families.get(name)
+            if fam is not None:
+                for values, child in fam.items():
+                    labels = tuple(zip(fam.labelnames, values))
+                    if fam.kind == "histogram":
+                        samples.append(
+                            MetricSample(
+                                name=name,
+                                kind="histogram",
+                                labels=labels,
+                                value=float(child.sum),
+                                count=int(child.count),
+                                buckets=child.cumulative(),
+                            )
+                        )
+                    else:
+                        samples.append(
+                            MetricSample(
+                                name=name,
+                                kind=fam.kind,
+                                labels=labels,
+                                value=float(child.value),
+                            )
+                        )
+            else:
+                _help, labelnames, children = self._callbacks[name]
+                for values in sorted(children):
+                    samples.append(
+                        MetricSample(
+                            name=name,
+                            kind="gauge",
+                            labels=tuple(zip(labelnames, values)),
+                            value=float(children[values].fn()),
+                        )
+                    )
+        return MetricsSnapshot(
+            source=source,
+            runtime=self.runtime,
+            time=float(self._clock()),
+            samples=tuple(samples),
+        )
+
+    def help_texts(self) -> dict[str, str]:
+        """name -> help, for the Prometheus exposition HELP lines."""
+        out = {name: fam.help for name, fam in self._families.items()}
+        out.update({name: entry[0] for name, entry in self._callbacks.items()})
+        return out

@@ -1,0 +1,221 @@
+"""Post-run observability report: live metrics next to trace aggregates.
+
+``repro obs report`` (and ``repro run --metrics``) render this after a
+checked workload.  The report puts the registry's live metrics side by
+side with the trace-derived aggregates of :mod:`repro.trace.stats` —
+two independent measurement paths over the same run — so a mismatch is
+immediately visible, and prints a ``dropped_events`` warning when the
+trace ring buffer overflowed (in which case the trace column, not the
+metric column, undercounts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.obs.snapshot import MetricSample, MetricsSnapshot
+from repro.trace.recorder import TraceRecorder
+from repro.trace.stats import summarize
+
+__all__ = ["render_report", "quantile"]
+
+
+def quantile(sample: MetricSample, q: float) -> float:
+    """Upper-bound estimate of the q-quantile from cumulative buckets."""
+    if sample.count == 0 or not sample.buckets:
+        return 0.0
+    rank = max(1, math.ceil(q * sample.count))
+    for bound, cum in sample.buckets:
+        if cum >= rank:
+            return bound
+    return sample.buckets[-1][0]
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if float(value) == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _rows(table: list[tuple[str, str, str]]) -> list[str]:
+    widths = [max(len(row[i]) for row in table) for i in range(3)]
+    return [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in table
+    ]
+
+
+def _dropped_warning(trace: TraceRecorder) -> list[str]:
+    if not trace.dropped:
+        return []
+    by_source = getattr(trace, "dropped_by_source", None) or {}
+    detail = ""
+    if by_source:
+        parts = ", ".join(
+            f"{src}: {n}" for src, n in sorted(by_source.items())
+        )
+        detail = f" ({parts})"
+    return [
+        f"WARNING: dropped_events={trace.dropped} — the trace ring buffer "
+        f"overflowed{detail}; trace-derived counts below undercount. "
+        "Raise trace_capacity or lower trace_level.",
+        "",
+    ]
+
+
+def render_report(
+    snapshot: MetricsSnapshot,
+    trace: TraceRecorder | None = None,
+    *,
+    title: str = "observability report",
+) -> str:
+    """Render the post-run report as plain text."""
+    lines: list[str] = []
+    header = (
+        f"{title} — runtime={snapshot.runtime or '?'} "
+        f"source={snapshot.source} t={_fmt(snapshot.time)}"
+    )
+    lines.append(header)
+    lines.append("=" * len(header))
+    lines.append("")
+
+    if trace is not None:
+        lines.extend(_dropped_warning(trace))
+        stats = summarize(trace)
+        resid = stats.residency
+        live_resid = {
+            m: (snapshot.sample("mode_residency", mode=m) or _ZERO).value
+            for m in ("N", "R", "S")
+        }
+        live_total = sum(live_resid.values())
+
+        def frac(value: float, total: float) -> str:
+            return f"{value / total:.3f}" if total > 0 else "0.000"
+
+        table: list[tuple[str, str, str]] = [
+            ("quantity", "trace", "live metric"),
+            (
+                "view installs",
+                str(stats.view_installs),
+                _fmt(snapshot.total("view_changes_total")),
+            ),
+            (
+                "eview changes",
+                str(stats.eview_changes),
+                _fmt(snapshot.total("eview_changes_total")),
+            ),
+            (
+                "multicasts",
+                str(stats.multicasts),
+                _fmt(snapshot.total("multicasts_total")),
+            ),
+            (
+                "deliveries",
+                str(stats.deliveries),
+                _fmt(snapshot.total("deliveries_total")),
+            ),
+            (
+                "crashes",
+                str(stats.crashes),
+                _fmt(snapshot.total("crashes_total")),
+            ),
+            (
+                "mode transitions",
+                str(sum(stats.mode_transitions.values())),
+                _fmt(snapshot.total("mode_transitions_total")),
+            ),
+            (
+                "settlement sessions",
+                str(stats.settlement_sessions),
+                _fmt(
+                    sum(
+                        s.value
+                        for s in snapshot.samples
+                        if s.name == "settlement_sessions_total"
+                        and dict(s.labels).get("outcome") == "done"
+                    )
+                    + sum(
+                        s.value
+                        for s in snapshot.samples
+                        if s.name == "settlement_sessions_total"
+                        and dict(s.labels).get("outcome") == "abandoned"
+                    )
+                ),
+            ),
+            (
+                "mode residency N",
+                frac(resid.normal, resid.total),
+                frac(live_resid["N"], live_total),
+            ),
+            (
+                "mode residency R",
+                frac(resid.reduced, resid.total),
+                frac(live_resid["R"], live_total),
+            ),
+            (
+                "mode residency S",
+                frac(resid.settling, resid.total),
+                frac(live_resid["S"], live_total),
+            ),
+            (
+                "view rate (/100 units)",
+                _fmt(
+                    100.0 * stats.view_installs / stats.duration
+                    if stats.duration
+                    else 0.0
+                ),
+                _fmt(
+                    100.0 * snapshot.total("view_changes_total") / snapshot.time
+                    if snapshot.time
+                    else 0.0
+                ),
+            ),
+        ]
+        lines.append("trace vs live metrics (independent measurement paths):")
+        lines.extend("  " + row for row in _rows(table))
+        lines.append("")
+
+    hist = [s for s in snapshot.samples if s.kind == "histogram"]
+    scalars = [s for s in snapshot.samples if s.kind != "histogram"]
+
+    if hist:
+        lines.append("spans (histograms; p50/p95 are bucket upper bounds):")
+        table = [("series", "count", "mean / p50 / p95")]
+        for s in hist:
+            mean = s.value / s.count if s.count else 0.0
+            table.append(
+                (
+                    s.name + _labelsuffix(s),
+                    str(s.count),
+                    f"{_fmt(mean)} / {_fmt(quantile(s, 0.5))} / "
+                    f"{_fmt(quantile(s, 0.95))}",
+                )
+            )
+        lines.extend("  " + row for row in _rows(table))
+        lines.append("")
+
+    if scalars:
+        lines.append("counters and gauges:")
+        table = [("series", "value", "")]
+        for s in scalars:
+            table.append((s.name + _labelsuffix(s), _fmt(s.value), ""))
+        lines.extend("  " + row for row in _rows(table))
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def _labelsuffix(sample: MetricSample) -> str:
+    if not sample.labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sample.labels) + "}"
+
+
+class _Zero:
+    value = 0.0
+
+
+_ZERO: Any = _Zero()

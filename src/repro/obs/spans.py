@@ -1,0 +1,64 @@
+"""Bounded maps of open causal intervals.
+
+A span is an interval bounded by two protocol events: a multicast and
+one of its deliveries, a flush start and the view install that ends it,
+a settlement start and its resolution.  The start side records the open
+timestamp keyed by whatever identifies the interval (a message id, a
+pid); the end side looks it up and observes the duration.
+
+The map is bounded: when it is full, the oldest open span is evicted
+(FIFO).  Eviction loses the latency observation for that one interval —
+acceptable for a metrics layer — and caps memory on hot paths where
+ends can be lost (a multicast whose sender crashes never closes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable
+
+__all__ = ["SpanMap"]
+
+
+class SpanMap:
+    """Open-interval starts keyed by id, with FIFO eviction when full."""
+
+    __slots__ = ("_capacity", "_open", "_order")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("SpanMap capacity must be positive")
+        self._capacity = capacity
+        self._open: dict[Hashable, float] = {}
+        self._order: deque[Hashable] = deque()
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def open(self, key: Hashable, at: float) -> None:
+        """Record the start of an interval (first start wins)."""
+        if key in self._open:
+            return
+        while len(self._open) >= self._capacity:
+            old = self._order.popleft()
+            self._open.pop(old, None)
+        self._open[key] = at
+        self._order.append(key)
+
+    def get(self, key: Hashable, default: Any = None) -> float | Any:
+        """Start time of an open interval, without closing it.
+
+        Used for one-to-many spans (one multicast, many deliveries).
+        """
+        return self._open.get(key, default)
+
+    def close(self, key: Hashable, at: float) -> float | None:
+        """Close an interval and return its duration, or None if unknown."""
+        start = self._open.pop(key, None)
+        if start is None:
+            return None
+        return at - start
+
+    def discard(self, key: Hashable) -> None:
+        """Drop an open interval without observing it (abandon)."""
+        self._open.pop(key, None)

@@ -1,0 +1,263 @@
+"""Live metrics console: poll snapshots from running realnet nodes.
+
+``repro obs watch`` dials each node's normal listening socket, performs
+the standard ``hello``/``welcome`` negotiation (so it works against
+JSON-only and binary nodes alike), then sends one **obs request** frame
+and reads back one **obs reply** carrying a
+:class:`~repro.obs.snapshot.MetricsSnapshot` in the negotiated format:
+
+* JSON: request ``{"k": "obs_req"}``, reply ``{"k": "obs_snap", "p":
+  <tagged snapshot>}``.
+* bin1: a body opening with the frame-kind byte :data:`OBS_KIND`
+  (``0x02``); the reply carries the bin1-encoded snapshot after the
+  kind byte.
+
+On the node, :class:`~repro.realnet.transport.FrameServer` hands any
+non-``msg`` frame to its ``on_control`` hook, which
+:func:`handle_obs_control` serves — protocol traffic and observability
+share one socket, one negotiation, and one codec registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import CodecError
+from repro.obs.snapshot import MetricsSnapshot, merge_snapshots
+from repro.realnet.codec import _LEN, decode_frame_body, encode_frame
+from repro.realnet.codec import decode_value, encode_value
+from repro.realnet.codec_bin import (
+    FORMAT_JSON,
+    WIRE_FORMATS,
+    decode_value_bin,
+    encode_value_bin,
+    schema_fingerprint,
+    supported_formats,
+)
+
+__all__ = [
+    "OBS_KIND",
+    "handle_obs_control",
+    "fetch_snapshot",
+    "fetch_snapshots",
+    "render_watch",
+    "watch",
+]
+
+#: Frame-kind byte for bin1 observability frames (``msg`` is 0x01).
+OBS_KIND = 0x02
+
+_REQUEST_TIMEOUT = 5.0
+
+
+# -- frame builders / parsers (both codecs) --------------------------------
+
+
+def obs_request_body(fmt: Any) -> bytes:
+    if fmt.binary:
+        return bytes([OBS_KIND])
+    import json
+
+    return json.dumps({"k": "obs_req"}).encode("utf-8")
+
+
+def obs_reply_frame(fmt: Any, snapshot: MetricsSnapshot) -> bytes:
+    """One framed obs reply in the connection's negotiated format."""
+    if fmt.binary:
+        body = bytes([OBS_KIND]) + encode_value_bin(snapshot)
+        return _LEN.pack(len(body)) + body
+    return encode_frame({"k": "obs_snap", "p": encode_value(snapshot)})
+
+
+def parse_obs_request(fmt: Any, body: bytes) -> bool:
+    """Is this non-``msg`` frame body an obs request?"""
+    if fmt.binary:
+        return len(body) == 1 and body[0] == OBS_KIND
+    try:
+        frame = decode_frame_body(body)
+    except CodecError:
+        return False
+    return frame.get("k") == "obs_req"
+
+
+def parse_obs_reply(fmt: Any, body: bytes) -> MetricsSnapshot | None:
+    if fmt.binary:
+        if not body or body[0] != OBS_KIND:
+            return None
+        value = decode_value_bin(body[1:])
+    else:
+        frame = decode_frame_body(body)
+        if frame.get("k") != "obs_snap":
+            return None
+        value = decode_value(frame.get("p"))
+    if not isinstance(value, MetricsSnapshot):
+        raise CodecError(f"obs reply carried {type(value).__name__}")
+    return value
+
+
+def handle_obs_control(
+    fmt: Any,
+    body: bytes,
+    provider: Callable[[], MetricsSnapshot] | None,
+) -> bytes | None:
+    """Server-side hook: answer obs requests, ignore everything else.
+
+    Wired into :class:`~repro.realnet.transport.FrameServer` as its
+    ``on_control`` callback.  Returns the framed reply to write back,
+    or None for frames this layer does not understand.
+    """
+    if provider is None or not parse_obs_request(fmt, body):
+        return None
+    return obs_reply_frame(fmt, provider())
+
+
+# -- the polling client ----------------------------------------------------
+
+
+async def _read_raw_frame(reader: asyncio.StreamReader) -> bytes:
+    prefix = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(prefix)
+    return await reader.readexactly(length)
+
+
+async def fetch_snapshot(
+    host: str,
+    port: int,
+    *,
+    codec: str = "bin",
+    timeout: float = _REQUEST_TIMEOUT,
+) -> MetricsSnapshot:
+    """Dial one node, negotiate, request and return its snapshot."""
+
+    async def _go() -> MetricsSnapshot:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            offer = supported_formats(codec)
+            writer.write(
+                encode_frame(
+                    {
+                        "k": "hello",
+                        "src": [-1, 0],  # not a site: an observer
+                        "codecs": list(offer),
+                        "schema": schema_fingerprint(),
+                    }
+                )
+            )
+            await writer.drain()
+            welcome = decode_frame_body(await _read_raw_frame(reader))
+            name = welcome.get("codec") if welcome.get("k") == "welcome" else None
+            fmt = WIRE_FORMATS[name if name in WIRE_FORMATS else FORMAT_JSON]
+            body = obs_request_body(fmt)
+            writer.write(_LEN.pack(len(body)) + body)
+            await writer.drain()
+            while True:
+                reply = parse_obs_reply(fmt, await _read_raw_frame(reader))
+                if reply is not None:
+                    return reply
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    return await asyncio.wait_for(_go(), timeout=timeout)
+
+
+async def fetch_snapshots(
+    targets: Sequence[tuple[str, int]],
+    *,
+    codec: str = "bin",
+    timeout: float = _REQUEST_TIMEOUT,
+) -> list[MetricsSnapshot | None]:
+    """Poll every target concurrently; unreachable nodes yield None."""
+
+    async def _one(host: str, port: int) -> MetricsSnapshot | None:
+        try:
+            return await fetch_snapshot(host, port, codec=codec, timeout=timeout)
+        except (OSError, CodecError, asyncio.TimeoutError, ConnectionError):
+            return None
+
+    return list(
+        await asyncio.gather(*(_one(host, port) for host, port in targets))
+    )
+
+
+# -- console rendering -----------------------------------------------------
+
+_WATCH_COLUMNS = (
+    ("views", "view_changes_total"),
+    ("eviews", "eview_changes_total"),
+    ("mcast", "multicasts_total"),
+    ("deliv", "deliveries_total"),
+    ("settled", "settlement_sessions_total"),
+    ("crashes", "crashes_total"),
+)
+
+
+def render_watch(
+    targets: Sequence[tuple[str, int]],
+    snapshots: Sequence[MetricsSnapshot | None],
+) -> str:
+    """One poll's console frame: a row per node plus a merged total row."""
+    header = ["node".ljust(22)] + [name.rjust(8) for name, _ in _WATCH_COLUMNS]
+    lines = ["".join(header)]
+    # A snapshot's source names its *registry*.  Co-located nodes
+    # (in-process RealCluster) share one registry and all answer with
+    # source="cluster"; dedupe by source so the merged row only sums
+    # genuinely distinct registries (multi-process deployments).
+    alive: list[MetricsSnapshot] = []
+    seen: set[str] = set()
+    for s in snapshots:
+        if s is not None and s.source not in seen:
+            seen.add(s.source)
+            alive.append(s)
+    for (host, port), snap in zip(targets, snapshots):
+        label = f"{host}:{port}".ljust(22)
+        if snap is None:
+            lines.append(label + "unreachable".rjust(8))
+            continue
+        cells = [
+            format(int(snap.total(metric)), "d").rjust(8)
+            for _, metric in _WATCH_COLUMNS
+        ]
+        lines.append(label + "".join(cells))
+    if len(alive) > 1:
+        merged = merge_snapshots(*alive)
+        cells = [
+            format(int(merged.total(metric)), "d").rjust(8)
+            for _, metric in _WATCH_COLUMNS
+        ]
+        lines.append("(merged)".ljust(22) + "".join(cells))
+    return "\n".join(lines)
+
+
+def watch(
+    targets: Sequence[tuple[str, int]],
+    *,
+    interval: float = 2.0,
+    count: int = 0,
+    codec: str = "bin",
+    out: Callable[[str], None] = print,
+) -> int:
+    """Poll ``targets`` every ``interval`` seconds, ``count`` times
+    (0 = until interrupted).  Returns 0 if the final poll reached at
+    least one node."""
+    polls = 0
+    any_alive = False
+    try:
+        while True:
+            snapshots = asyncio.run(fetch_snapshots(targets, codec=codec))
+            any_alive = any(s is not None for s in snapshots)
+            stamp = time.strftime("%H:%M:%S")
+            out(f"-- {stamp} --")
+            out(render_watch(targets, snapshots))
+            polls += 1
+            if count and polls >= count:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0 if any_alive else 1

@@ -234,6 +234,11 @@ class ClusterPort(Protocol):
 
     def network_stats(self) -> Any: ...
 
+    @property
+    def metrics(self) -> Any: ...
+
+    def metrics_snapshot(self, source: str = "cluster") -> Any: ...
+
 
 #: Names accepted by :func:`make_cluster`.
 RUNTIMES = ("sim", "realnet")

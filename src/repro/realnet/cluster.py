@@ -39,6 +39,9 @@ from typing import Any, Callable, Sequence
 from repro.errors import SimulationError
 from repro.net.network import NetworkStats
 from repro.net.topology import Topology
+from repro.obs.instrument import ClusterObs
+from repro.obs.registry import MetricsRegistry
+from repro.obs.snapshot import MetricsSnapshot
 from repro.realnet.node import AppFactory, RealNode, realnet_stack_config
 from repro.realnet.transport import wait_for_condition
 from repro.realnet.wallclock import WallClockScheduler
@@ -81,6 +84,9 @@ class RealClusterConfig:
     trace_level: str = "full"
     trace_capacity: int | None = None
     quiet: bool = True
+    #: Gate the in-stack observability hooks (the registry and its
+    #: callback gauges always exist; see ClusterConfig.metrics).
+    metrics: bool = True
 
     def stack_config(self) -> StackConfig:
         return self.stack if self.stack is not None else realnet_stack_config(self.scale)
@@ -108,7 +114,9 @@ class RealCluster:
         # events (crash/recover) and retains the recorders of replaced
         # incarnations so gather_trace() can merge the full execution.
         self._env_recorder = TraceRecorder(
-            level=self.config.trace_level, capacity=self.config.trace_capacity
+            level=self.config.trace_level,
+            capacity=self.config.trace_capacity,
+            label="env",
         )
         self._retired_recorders: list[TraceRecorder] = []
         self.store = StableStore()
@@ -116,6 +124,53 @@ class RealCluster:
         self._incarnation: dict[SiteId, int] = {}
         self._bg: set[asyncio.Task] = set()
         self._started = False
+        # One registry shared by every co-located node: the nodes share
+        # one wall-clock scheduler, so cross-node spans (multicast on
+        # one node, delivery on another) are measurable on one clock.
+        self.metrics = MetricsRegistry(
+            clock=lambda: self.now, runtime="realnet"
+        )
+        self.obs = ClusterObs(self.metrics) if self.config.metrics else None
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Callback gauges over counters the transport already keeps.
+
+        Same ``net_*`` metric names as the simulator's collectors, so
+        sim and realnet snapshots of one workload compare row by row;
+        the ``transport_*`` series are realnet-only (sockets/frames
+        have no simulator analogue).
+        """
+        reg = self.metrics
+        for name, help_text, key in (
+            ("net_messages_sent_total", "Messages offered to the network", "sent"),
+            ("net_messages_delivered_total", "Messages delivered by the network",
+             "delivered"),
+        ):
+            reg.gauge_callback(
+                name, help_text,
+                (lambda k: lambda: float(getattr(self.network_stats(), k)))(key),
+            )
+        for reason, key in (
+            ("partition", "dropped_partition"),
+            ("loss", "dropped_loss"),
+            ("dead", "dropped_dead"),
+        ):
+            reg.gauge_callback(
+                "net_messages_dropped_total", "Messages dropped, by reason",
+                (lambda k: lambda: float(getattr(self.network_stats(), k)))(key),
+                ("reason",), (reason,),
+            )
+        for key in ("frames_sent", "bytes_sent", "frames_received",
+                    "bytes_received", "frames_dropped"):
+            reg.gauge_callback(
+                f"transport_{key}_total", f"Transport {key.replace('_', ' ')}",
+                (lambda k: lambda: float(self.transport_stats().get(k, 0)))(key),
+            )
+
+    def metrics_snapshot(self, source: str = "cluster") -> MetricsSnapshot:
+        """Point-in-time metrics copy (the ClusterPort accessor)."""
+        return self.metrics.snapshot(source)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -164,7 +219,9 @@ class RealCluster:
             scheduler=self.scheduler,
             storage=self.store.site(site),
             recorder=TraceRecorder(
-                level=cfg.trace_level, capacity=cfg.trace_capacity
+                level=cfg.trace_level,
+                capacity=cfg.trace_capacity,
+                label=f"site{site}/inc{incarnation}",
             ),
             app_factory=self.app_factory,
             stack_config=cfg.stack_config(),
@@ -180,6 +237,9 @@ class RealCluster:
             flush_tick=cfg.flush_tick,
             batch_bytes=cfg.batch_bytes,
             quiet=cfg.quiet,
+            obs=self.obs,
+            metrics=self.metrics,
+            metrics_source="cluster",
         )
         self.nodes[site] = node
         return node
@@ -202,6 +262,8 @@ class RealCluster:
             self._env_recorder.record(
                 CrashEvent(time=self.scheduler.now, pid=node.stack.pid)
             )
+            if self.obs is not None:
+                self.obs.process_crashed(node.stack.pid, self.scheduler.now)
         self._spawn(node.network.stop())
 
     def recover(self, site: SiteId) -> "asyncio.Task[GroupStack]":

@@ -257,5 +257,15 @@ def _register_harness_payloads() -> None:
         register_payload(cls)
 
 
+def _register_obs_payloads() -> None:
+    """Metric-snapshot payloads for ``repro obs watch``: registered with
+    both wire codecs so a watch client can poll mixed-codec clusters."""
+    from repro.obs.snapshot import MetricSample, MetricsSnapshot
+
+    for cls in (MetricSample, MetricsSnapshot):
+        register_payload(cls)
+
+
 _register_stack_payloads()
 _register_harness_payloads()
+_register_obs_payloads()

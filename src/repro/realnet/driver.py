@@ -286,3 +286,13 @@ class RealClusterDriver:
 
     def transport_stats(self) -> dict[str, Any]:
         return self._invoke(self.cluster.transport_stats)
+
+    @property
+    def metrics(self) -> Any:
+        """The cluster's metrics registry (reads are GIL-safe)."""
+        return self.cluster.metrics
+
+    def metrics_snapshot(self, source: str = "cluster") -> Any:
+        """Snapshot the registry on the loop thread (a paused instant
+        of the run, like :meth:`gather_trace`)."""
+        return self._invoke(self.cluster.metrics_snapshot, source)

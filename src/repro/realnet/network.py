@@ -100,6 +100,10 @@ class RealNetwork:
         self._proc: ProcessPort | None = None
         self._server: FrameServer | None = None
         self._links: dict[SiteId, PeerLink] = {}
+        #: Callable returning a MetricsSnapshot, set by the node when a
+        #: metrics registry exists; serves ``repro obs watch`` requests
+        #: arriving on the normal listening socket.
+        self.snapshot_provider: Any = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -114,6 +118,7 @@ class RealNetwork:
         self._server = FrameServer(
             self.host, self._requested_port, self._on_msg,
             accept_formats=self._formats,
+            on_control=self._on_control,
         )
         address = await self._server.start()
         self.address_book[self.site] = address
@@ -287,6 +292,12 @@ class RealNetwork:
             return
         stats.delivered += 1
         proc.deliver_network(ProcessId(msg.src_site, msg.src_inc), payload)
+
+    def _on_control(self, fmt: Any, body: bytes) -> bytes | None:
+        """Serve non-``msg`` frames: currently only obs snapshot polls."""
+        from repro.obs.watch import handle_obs_control
+
+        return handle_obs_control(fmt, body, self.snapshot_provider)
 
     # -- introspection -------------------------------------------------
 

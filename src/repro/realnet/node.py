@@ -91,15 +91,29 @@ class RealNode:
         flush_tick: float | None = None,
         batch_bytes: int | None = None,
         quiet: bool = True,
+        obs: Any = None,
+        metrics: Any = None,
+        metrics_source: str | None = None,
     ) -> None:
         self.pid = pid
         self.address_book = address_book
         self.scheduler = scheduler if scheduler is not None else WallClockScheduler()
         self.storage = storage if storage is not None else StableStore().site(pid.site)
-        self.recorder = recorder if recorder is not None else TraceRecorder(level="full")
+        self.recorder = (
+            recorder
+            if recorder is not None
+            else TraceRecorder(level="full", label=f"site{pid.site}")
+        )
         self.app_factory = app_factory or (lambda _pid: GroupApplication())
         self.stack_config = stack_config or realnet_stack_config()
         self._universe = universe or (lambda: set(self.address_book))
+        # Observability: the ClusterObs hub the stack reports into (may
+        # be shared across co-located nodes) and the metrics registry
+        # served to `repro obs watch` over the link protocol.
+        self.obs = obs
+        self.metrics = metrics if metrics is not None else (
+            obs.registry if obs is not None else None
+        )
         self.network = RealNetwork(
             self.scheduler,
             pid.site,
@@ -116,6 +130,13 @@ class RealNode:
             batch_bytes=batch_bytes,
             quiet=quiet,
         )
+        if self.metrics is not None:
+            registry = self.metrics
+            # The source names the *registry*, not the node: co-located
+            # nodes sharing one registry must answer with one source so
+            # watch clients can tell shared from per-process registries.
+            source = metrics_source or f"site{pid.site}"
+            self.network.snapshot_provider = lambda: registry.snapshot(source)
         self.app: GroupApplication | None = None
         self.stack: GroupStack | None = None
 
@@ -136,6 +157,7 @@ class RealNode:
             self.recorder,
             universe=self._universe,
             config=self.stack_config,
+            obs=self.obs,
         )
         self.network.register(self.stack)
         return self.stack
@@ -180,10 +202,16 @@ async def run_standalone(
     """
     if site not in address_book:
         raise ValueError(f"site {site} missing from the address book")
+    from repro.obs.instrument import ClusterObs
+    from repro.obs.registry import MetricsRegistry
+
     host, port = address_book[site]
+    scheduler = WallClockScheduler()
+    registry = MetricsRegistry(clock=lambda: scheduler.now, runtime="realnet")
     node = RealNode(
         ProcessId(site, incarnation),
         address_book,
+        scheduler=scheduler,
         app_factory=app_factory,
         stack_config=stack_config,
         loss_prob=loss_prob,
@@ -193,6 +221,7 @@ async def run_standalone(
         port=port,
         codec=codec,
         quiet=quiet,
+        obs=ClusterObs(registry),
     )
     stop = stop_event if stop_event is not None else asyncio.Event()
     loop = asyncio.get_running_loop()

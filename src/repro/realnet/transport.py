@@ -309,11 +309,17 @@ class FrameServer:
         port: int,
         on_msg: Callable[[ParsedMsg], None],
         accept_formats: tuple[str, ...] = (FORMAT_JSON,),
+        on_control: Callable[[Any, bytes], "bytes | None"] | None = None,
     ) -> None:
         self._host = host
         self._port = port
         self._on_msg = on_msg
         self._accept = accept_formats
+        #: Optional handler for non-``msg`` frame bodies: called with
+        #: (negotiated format, body); a bytes return is written back on
+        #: the connection (the obs snapshot service), None ignores the
+        #: frame as before.
+        self._on_control = on_control
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self.frames_received = 0
@@ -421,7 +427,15 @@ class FrameServer:
                 for body in bodies:
                     parsed = fmt.parse_msg(body)
                     if parsed is None:
-                        continue  # future frame kinds: ignore, don't kill the link
+                        # Not a msg frame: offer it to the control hook
+                        # (obs snapshot polls); unknown kinds stay
+                        # ignored so future frames don't kill the link.
+                        if self._on_control is not None:
+                            reply = self._on_control(fmt, body)
+                            if reply is not None:
+                                writer.write(reply)
+                                await writer.drain()
+                        continue
                     self.frames_received += 1
                     on_msg(parsed)
         except CodecError as exc:

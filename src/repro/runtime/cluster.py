@@ -20,6 +20,9 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import SimulationError
 from repro.net.latency import ConstantLatency
+from repro.obs.instrument import ClusterObs
+from repro.obs.registry import MetricsRegistry
+from repro.obs.snapshot import MetricsSnapshot
 from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.sim.rng import RngStreams
@@ -49,6 +52,11 @@ class ClusterConfig:
     checkers and determinism comparisons, ``"membership"`` for long runs
     that only care about structure, ``"none"`` plus the ring buffer for
     throughput benchmarks.
+
+    ``metrics`` gates the in-stack observability hooks (``stack.obs``);
+    the registry itself and its callback gauges always exist — they
+    cost nothing until a snapshot is taken — so ``metrics=False`` (the
+    bench fast path) still exports scheduler/network counters.
     """
 
     seed: int = 0
@@ -59,6 +67,7 @@ class ClusterConfig:
     detailed_stats: bool = True
     trace_level: str = "full"
     trace_capacity: int | None = None
+    metrics: bool = True
 
 
 class Cluster:
@@ -91,13 +100,55 @@ class Cluster:
         self.recorder = TraceRecorder(
             level=self.config.trace_level,
             capacity=self.config.trace_capacity,
+            label="sim",
         )
+        # Metrics read virtual time: every exported value is a
+        # deterministic function of the seed.
+        self.metrics = MetricsRegistry(clock=lambda: self.scheduler.now,
+                                       runtime="sim")
+        self.obs = ClusterObs(self.metrics) if self.config.metrics else None
+        self._register_collectors()
         self._incarnation: dict[SiteId, int] = {}
         self.stacks: dict[SiteId, GroupStack] = {}
         self.apps: dict[SiteId, GroupApplication] = {}
         if auto_start:
             for site in sorted(self.topology.sites):
                 self.start_site(site)
+
+    def _register_collectors(self) -> None:
+        """Callback gauges over counters the simulator already keeps.
+
+        Read at snapshot time only — the hot path never touches the
+        registry for these, and the bench harnesses read the same
+        series, so BENCH_PERF and observability can never disagree.
+        """
+        reg = self.metrics
+        reg.gauge_callback(
+            "sim_events_total", "Scheduler events executed",
+            lambda: float(self.scheduler.events_run),
+        )
+        stats = self.network.stats
+        reg.gauge_callback(
+            "net_messages_sent_total", "Messages offered to the network",
+            lambda: float(stats.sent),
+        )
+        reg.gauge_callback(
+            "net_messages_delivered_total", "Messages delivered by the network",
+            lambda: float(stats.delivered),
+        )
+        for reason, read in (
+            ("partition", lambda: float(stats.dropped_partition)),
+            ("loss", lambda: float(stats.dropped_loss)),
+            ("dead", lambda: float(stats.dropped_dead)),
+        ):
+            reg.gauge_callback(
+                "net_messages_dropped_total", "Messages dropped, by reason",
+                read, ("reason",), (reason,),
+            )
+
+    def metrics_snapshot(self, source: str = "cluster") -> MetricsSnapshot:
+        """Point-in-time metrics copy (the ClusterPort accessor)."""
+        return self.metrics.snapshot(source)
 
     # -- process management --------------------------------------------------
 
@@ -117,6 +168,7 @@ class Cluster:
             self.recorder,
             universe=lambda: self.topology.sites,
             config=self.config.stack,
+            obs=self.obs,
         )
         self.stacks[site] = stack
         self.apps[site] = app
@@ -129,6 +181,8 @@ class Cluster:
             return
         stack.crash()
         self.recorder.record(CrashEvent(time=self.scheduler.now, pid=stack.pid))
+        if self.obs is not None:
+            self.obs.process_crashed(stack.pid, self.scheduler.now)
 
     def recover(self, site: SiteId) -> GroupStack:
         """Restart a crashed site under a fresh process identifier."""

@@ -68,6 +68,7 @@ class TraceRecorder:
         level: str = "full",
         only: Iterable[type[TraceEvent]] | None = None,
         capacity: int | None = None,
+        label: str | None = None,
     ) -> None:
         if level not in LEVELS:
             raise SimulationError(
@@ -76,11 +77,18 @@ class TraceRecorder:
         self.level = level
         self._accepts = frozenset(only) if only is not None else LEVELS[level]
         self.capacity = capacity
+        #: Who recorded this: names the source in merged-trace overflow
+        #: reports (``"sim"``, ``"site3"``, ``"env"``, ...).
+        self.label = label
         self.events: "list[TraceEvent] | deque[TraceEvent]" = (
             [] if capacity is None else deque(maxlen=capacity)
         )
         self.filtered = 0  # events rejected by the type filter
         self.dropped = 0  # events evicted by the ring buffer
+        #: Ring-buffer evictions attributed per source recorder; empty
+        #: on a leaf recorder, populated by :meth:`merge` so a merged
+        #: trace keeps *which node* undercounted, not just by how much.
+        self.dropped_by_source: dict[str, int] = {}
 
     def wants(self, event_type: type[TraceEvent]) -> bool:
         """Would an event of this type be recorded?  Hot paths check this
@@ -119,13 +127,31 @@ class TraceRecorder:
 
         The result is a plain unbounded ``level="full"`` recorder (the
         sources already applied their own filters); ``filtered`` and
-        ``dropped`` counters are summed so loss remains visible.
+        ``dropped`` counters are summed so loss remains visible, and
+        per-node ring-buffer overflow is kept attributed in
+        ``dropped_by_source`` (keyed by each source's ``label``) so a
+        merged trace can say *which* node undercounts, not just that
+        one does.  Re-merging a merged recorder folds its breakdown in
+        unchanged.
         """
         merged = cls(level="full")
         keyed: list[tuple[float, tuple, int, int, TraceEvent]] = []
         for src_index, recorder in enumerate(recorders):
             merged.filtered += recorder.filtered
             merged.dropped += recorder.dropped
+            for source, count in recorder.dropped_by_source.items():
+                merged.dropped_by_source[source] = (
+                    merged.dropped_by_source.get(source, 0) + count
+                )
+            # Only the drops not already attributed upstream (a merged
+            # source carries its breakdown; adding its total again
+            # would double count).
+            own = recorder.dropped - sum(recorder.dropped_by_source.values())
+            if own > 0:
+                source = recorder.label or f"source{src_index}"
+                merged.dropped_by_source[source] = (
+                    merged.dropped_by_source.get(source, 0) + own
+                )
             for seq, event in enumerate(recorder.events):
                 pid = getattr(event, "pid", None)
                 pid_key = (

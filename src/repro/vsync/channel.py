@@ -118,6 +118,9 @@ class ViewChannels:
             recorder.record(
                 MulticastEvent(time=self.stack.now, pid=self.stack.pid, msg_id=msg_id)
             )
+        obs = self.stack.obs
+        if obs is not None:
+            obs.multicast_sent(self.stack.pid, msg_id, self.stack.now)
         own = self.stack.pid
         self.stack.send_many(
             (member for member in self.view.members if member != own), msg
@@ -221,6 +224,9 @@ class ViewChannels:
                     sender_eview_seq=msg.eview_seq,
                 )
             )
+        obs = self.stack.obs
+        if obs is not None:
+            obs.message_delivered(self.stack.pid, msg.msg_id, self.stack.now)
         self.stack.deliver_app_message(msg.msg_id.sender, msg.payload, msg.msg_id)
 
     # -- flush / install -----------------------------------------------------------

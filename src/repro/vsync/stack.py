@@ -103,10 +103,15 @@ class GroupStack(Process):
         recorder: TraceRecorder,
         universe: Callable[[], Iterable[SiteId]],
         config: StackConfig | None = None,
+        obs: Any = None,
     ) -> None:
         super().__init__(pid, scheduler, storage)
         self.app = app
         self.recorder = recorder
+        # Optional ClusterObs hub (repro.obs.instrument); hot paths guard
+        # every call with ``if obs is not None`` so metrics-off runs
+        # (e.g. the bench harnesses) pay nothing.
+        self.obs = obs
         self._universe = universe
         self.config = config or StackConfig()
         self.fd = HeartbeatDetector(

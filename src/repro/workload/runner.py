@@ -43,6 +43,10 @@ class WorkloadReport:
     reports: list[CheckReport] = field(default_factory=list)
     clients: list[Any] = field(default_factory=list)
     check_wall_s: float = 0.0
+    #: MetricsSnapshot taken after the checks (None when the backend
+    #: predates the metrics surface) — every checked workload gets a
+    #: metrics artifact alongside its trace.
+    metrics: Any = None
 
     @property
     def events_checked(self) -> int:
@@ -98,6 +102,8 @@ def run_checked_workload(
     trace = cluster.gather_trace()
     reports = check_cluster(cluster, enriched=enriched, trace=trace)
     check_wall = time.perf_counter() - t0
+    snap_fn = getattr(cluster, "metrics_snapshot", None)
+    metrics = snap_fn() if callable(snap_fn) else None
     return WorkloadReport(
         runtime_now=cluster.now,
         settled=settled,
@@ -107,4 +113,5 @@ def run_checked_workload(
         reports=reports,
         clients=clients,
         check_wall_s=check_wall,
+        metrics=metrics,
     )

@@ -1,0 +1,175 @@
+"""Minimal Prometheus text-exposition parser (test helper, no deps).
+
+Just enough of the text format 0.0.4 to *validate* what
+:func:`repro.obs.export.to_prometheus` writes: ``# HELP`` / ``# TYPE``
+comment lines, sample lines with optional ``{label="value"}`` sets
+(with ``\\``, ``\"`` and ``\n`` escapes), and the special values
+``+Inf`` / ``-Inf`` / ``NaN``.  Raises :class:`ValueError` on anything
+malformed, so the CI obs-smoke step fails loudly if the exposition
+ever stops parsing.
+
+Used by ``tests/test_obs_export.py`` and by the CI obs-smoke steps,
+which run a checked workload with ``--metrics out.prom`` and parse the
+result with this module.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+@dataclass
+class Exposition:
+    """Parsed exposition: family types/helps plus every sample line."""
+
+    types: dict[str, str] = field(default_factory=dict)
+    helps: dict[str, str] = field(default_factory=dict)
+    #: ``(name, labels, value)`` per sample line, in file order.
+    samples: list[tuple[str, dict[str, str], float]] = field(default_factory=list)
+
+    def value(self, name: str, **labels: str) -> float:
+        """The unique sample matching ``name`` and a label subset."""
+        matches = [
+            v
+            for n, l, v in self.samples
+            if n == name and all(l.get(k) == want for k, want in labels.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(f"{name}{labels}: {len(matches)} matches")
+        return matches[0]
+
+    def names(self) -> set[str]:
+        return {name for name, _labels, _value in self.samples}
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on junk
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = _NAME.match(text, i)
+        if match is None:
+            raise ValueError(f"bad label name at {text[i:]!r}")
+        key = match.group(0)
+        i = match.end()
+        if text[i : i + 2] != '="':
+            raise ValueError(f"expected '=\"' after label {key!r}")
+        i += 2
+        chars: list[str] = []
+        while True:
+            if i >= len(text):
+                raise ValueError(f"unterminated label value for {key!r}")
+            ch = text[i]
+            if ch == "\\":
+                esc = text[i + 1 : i + 2]
+                if esc not in _ESCAPES:
+                    raise ValueError(f"bad escape \\{esc} in label {key!r}")
+                chars.append(_ESCAPES[esc])
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                chars.append(ch)
+                i += 1
+        labels[key] = "".join(chars)
+        if i < len(text):
+            if text[i] != ",":
+                raise ValueError(f"expected ',' between labels at {text[i:]!r}")
+            i += 1
+    return labels
+
+
+def parse(text: str) -> Exposition:
+    """Parse exposition ``text``; raise :class:`ValueError` if malformed."""
+    out = Exposition()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in _KINDS:
+                raise ValueError(f"bad TYPE line: {line!r}")
+            out.types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                raise ValueError(f"bad HELP line: {line!r}")
+            out.helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        match = _NAME.match(line)
+        if match is None:
+            raise ValueError(f"bad sample line: {line!r}")
+        name = match.group(0)
+        rest = line[match.end() :]
+        labels: dict[str, str] = {}
+        if rest.startswith("{"):
+            end = rest.rindex("}")
+            labels = _parse_labels(rest[1:end])
+            rest = rest[end + 1 :]
+        fields = rest.split()
+        if not fields:
+            raise ValueError(f"sample line without a value: {line!r}")
+        out.samples.append((name, labels, _parse_value(fields[0])))
+    return out
+
+
+def validate(exposition: Exposition) -> None:
+    """Structural invariants of a well-formed exposition.
+
+    Every sample belongs to a typed family, and each histogram series
+    has cumulative non-decreasing buckets whose ``+Inf`` bucket equals
+    its ``_count``.
+    """
+    hist = {n for n, kind in exposition.types.items() if kind == "histogram"}
+
+    def family(name: str) -> str:
+        for base in hist:
+            if name in (f"{base}_bucket", f"{base}_sum", f"{base}_count"):
+                return base
+        return name
+
+    for name, _labels, _value in exposition.samples:
+        if family(name) not in exposition.types:
+            raise ValueError(f"sample {name!r} has no TYPE line")
+
+    for base in hist:
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        counts: dict[tuple, float] = {}
+        for name, labels, value in exposition.samples:
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name == f"{base}_bucket":
+                series.setdefault(key, []).append(
+                    (_parse_value(labels["le"]), value)
+                )
+            elif name == f"{base}_count":
+                counts[key] = value
+        for key, buckets in series.items():
+            buckets.sort()
+            cum = [c for _le, c in buckets]
+            if cum != sorted(cum):
+                raise ValueError(f"{base}{key}: buckets not cumulative")
+            if not math.isinf(buckets[-1][0]):
+                raise ValueError(f"{base}{key}: missing +Inf bucket")
+            if key in counts and buckets[-1][1] != counts[key]:
+                raise ValueError(f"{base}{key}: +Inf bucket != _count")

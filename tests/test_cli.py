@@ -95,3 +95,47 @@ def test_check_accepts_runtime_flag(capsys):
 def test_parser_rejects_unknown_runtime():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--runtime", "telepathy"])
+
+
+def test_run_metrics_export(tmp_path, capsys):
+    from tests.prom_parser import parse, validate
+
+    prom = tmp_path / "out.prom"
+    jsonl = tmp_path / "out.jsonl"
+    assert main(["run", "--sites", "3", "--seed", "6", "--duration", "150",
+                 "--metrics", str(prom), "--metrics-jsonl", str(jsonl)]) == 0
+    out = capsys.readouterr().out
+    assert "exported metrics (Prometheus text)" in out
+    assert "exported metrics (JSONL)" in out
+    exposition = parse(prom.read_text())
+    validate(exposition)
+    assert "view_changes_total" in exposition.names()
+    assert jsonl.read_text().count("\n") > 1
+
+
+def test_obs_report_command(tmp_path, capsys):
+    from tests.prom_parser import parse, validate
+
+    prom = tmp_path / "fig2.prom"
+    assert main(["obs", "report", "--runtime", "sim",
+                 "--metrics", str(prom)]) == 0
+    out = capsys.readouterr().out
+    assert "observability report" in out
+    assert "trace vs live metrics" in out
+    assert "multicast_delivery_latency" in out
+    exposition = parse(prom.read_text())
+    validate(exposition)
+    assert exposition.helps  # registry help texts travel into the export
+
+
+def test_obs_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["obs"])
+
+
+def test_obs_watch_parses_targets():
+    args = build_parser().parse_args(
+        ["obs", "watch", "127.0.0.1:7400", ":7401", "--count", "1"]
+    )
+    assert args.func.__name__ == "cmd_obs_watch"
+    assert args.targets == ["127.0.0.1:7400", ":7401"]

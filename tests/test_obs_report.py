@@ -1,0 +1,127 @@
+"""Report rendering + merged-trace overflow attribution.
+
+* :func:`repro.obs.report.render_report` puts the live registry values
+  side by side with the trace-derived aggregates of
+  :mod:`repro.trace.stats`, and the two columns agree on a real run;
+* a ring-buffer overflow surfaces as a ``dropped_events`` warning with
+  per-node attribution;
+* :meth:`TraceRecorder.merge` sums per-node overflow into
+  ``dropped_by_source`` without double counting on re-merge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.report import quantile, render_report
+from repro.obs.registry import MetricsRegistry
+from repro.obs.snapshot import MetricSample, MetricsSnapshot
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.trace.events import AppEvent
+from repro.trace.recorder import TraceRecorder
+from repro.trace.stats import summarize
+from repro.types import ProcessId
+
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def run() -> Cluster:
+    cluster = Cluster(4, config=ClusterConfig(seed=9))
+    assert cluster.settle()
+    cluster.partition([[0, 1], [2, 3]])
+    assert cluster.settle()
+    cluster.heal()
+    assert cluster.settle()
+    for stack in cluster.live_stacks():
+        stack.multicast(("w", stack.pid.site))
+    cluster.run_for(50.0)
+    return cluster
+
+
+def test_report_trace_and_live_columns_agree(run):
+    trace = run.gather_trace()
+    text = render_report(run.metrics_snapshot(), trace=trace)
+    stats = summarize(trace)
+    assert "trace vs live metrics" in text
+    for line in text.splitlines():
+        if line.strip().startswith("view installs"):
+            trace_col, live_col = line.split()[-2:]
+            assert trace_col == live_col == str(stats.view_installs)
+            break
+    else:
+        pytest.fail("view installs row missing")
+    assert "mode residency N" in text
+    assert "spans (histograms" in text
+    assert "multicast_delivery_latency" in text
+    assert "WARNING" not in text  # nothing dropped in this run
+
+
+def test_report_without_trace_renders_metrics_only():
+    reg = MetricsRegistry(clock=lambda: 10.0, runtime="realnet")
+    reg.counter("c_total", "test").labels().inc(4)
+    text = render_report(reg.snapshot("node"), trace=None)
+    assert "c_total" in text
+    assert "trace vs live metrics" not in text
+
+
+def test_quantile_reads_bucket_upper_bounds():
+    sample = MetricSample(
+        name="h", kind="histogram", labels=(), value=10.0, count=4,
+        buckets=((1.0, 1), (2.0, 3), (4.0, 4), (INF, 4)),
+    )
+    assert quantile(sample, 0.25) == 1.0
+    assert quantile(sample, 0.5) == 2.0
+    assert quantile(sample, 0.95) == 4.0
+    empty = MetricSample(name="h", kind="histogram", labels=(), value=0.0)
+    assert quantile(empty, 0.5) == 0.0
+
+
+# -- dropped-event attribution (TraceRecorder.merge fix) -------------------
+
+
+def _overflowed(label: str, events: int, capacity: int) -> TraceRecorder:
+    recorder = TraceRecorder(capacity=capacity, label=label)
+    pid = ProcessId(0, 0)
+    for i in range(events):
+        recorder.record(AppEvent(time=float(i), pid=pid, tag="t"))
+    assert recorder.dropped == max(0, events - capacity)
+    return recorder
+
+
+def test_merge_attributes_dropped_events_per_source():
+    a = _overflowed("site0", events=7, capacity=4)  # drops 3
+    b = _overflowed("site1", events=2, capacity=4)  # drops 0
+    c = _overflowed("site2", events=9, capacity=4)  # drops 5
+    merged = TraceRecorder.merge(a, b, c)
+    assert merged.dropped == 8
+    assert merged.dropped_by_source == {"site0": 3, "site2": 5}
+
+
+def test_remerge_does_not_double_count():
+    a = _overflowed("site0", events=7, capacity=4)
+    b = _overflowed("site1", events=6, capacity=4)
+    once = TraceRecorder.merge(a, b)
+    env = _overflowed("env", events=5, capacity=4)
+    twice = TraceRecorder.merge(once, env)
+    assert twice.dropped == 3 + 2 + 1
+    assert twice.dropped_by_source == {"site0": 3, "site1": 2, "env": 1}
+
+
+def test_merge_unlabeled_source_gets_positional_name():
+    a = _overflowed("", events=6, capacity=4)
+    a.label = None
+    merged = TraceRecorder.merge(a)
+    assert merged.dropped_by_source == {"source0": 2}
+
+
+def test_report_warns_on_dropped_events():
+    merged = TraceRecorder.merge(
+        _overflowed("site0", events=7, capacity=4),
+        _overflowed("site1", events=2, capacity=4),
+    )
+    snap = MetricsSnapshot(source="x", runtime="sim", time=1.0, samples=())
+    text = render_report(snap, trace=merged)
+    assert "WARNING: dropped_events=3" in text
+    assert "site0: 3" in text
+    assert "site1" not in text  # clean nodes are not blamed

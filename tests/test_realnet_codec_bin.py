@@ -25,6 +25,7 @@ from repro.core.settlement import StateAdopt, StateOffer, StateRequest
 from repro.core.state_transfer import TAck, TChunk, TSmallPiece
 from repro.errors import CodecError
 from repro.evs.eview import EvDelta, EView, EViewStructure, Subview, SvSet
+from repro.obs.snapshot import MetricSample, MetricsSnapshot
 from repro.evs.messages import EvChange, EvRepairReq, EvReq
 from repro.fd.heartbeat import Heartbeat
 from repro.gms.messages import (
@@ -145,6 +146,27 @@ def _samples():
         _LookupRequest(query_id=3, origin=p1, predicate_name="all"),
         _LookupReply(query_id=3, matches=frozenset({("k1", 1)})),
         _WriteAck(MessageId(p1, vid, 7)),
+        MetricSample(
+            name="multicast_delivery_latency",
+            kind="histogram",
+            labels=(("pid", "p1.0"),),
+            value=3.5,
+            count=2,
+            buckets=((1.0, 1), (2.0, 2), (float("inf"), 2)),
+        ),
+        MetricsSnapshot(
+            source="site1",
+            runtime="realnet",
+            time=12.5,
+            samples=(
+                MetricSample(
+                    name="view_changes_total",
+                    kind="counter",
+                    labels=(("pid", "p1.0"),),
+                    value=4.0,
+                ),
+            ),
+        ),
     ]
 
 
