@@ -1,0 +1,67 @@
+"""Named application factories shared by the CLI and the proc runtime.
+
+A process-spawning cluster cannot ship a Python closure across an OS
+process boundary, so applications are selected *by name*: the parent
+passes ``--app <name>`` on the child's command line and both sides
+resolve the same factory from this table.  The in-process CLI paths use
+it too, so ``repro run --app file`` means the same thing on every
+runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.types import ProcessId
+
+#: name -> builder(n_sites) -> (per-pid app factory | None).
+_BUILDERS: dict[str, Callable[[int], Any]] = {}
+
+
+def _register(name: str) -> Callable[[Callable[[int], Any]], Callable[[int], Any]]:
+    def deco(builder: Callable[[int], Any]) -> Callable[[int], Any]:
+        _BUILDERS[name] = builder
+        return builder
+
+    return deco
+
+
+@_register("none")
+def _none(n_sites: int) -> None:
+    return None
+
+
+@_register("file")
+def _file(n_sites: int) -> Callable[[ProcessId], Any]:
+    from repro.apps.replicated_file import ReplicatedFile
+
+    return lambda pid: ReplicatedFile({s: 1 for s in range(n_sites)})
+
+
+@_register("db")
+def _db(n_sites: int) -> Callable[[ProcessId], Any]:
+    from repro.apps.replicated_db import ParallelLookupDatabase
+
+    return lambda pid: ParallelLookupDatabase({"all": lambda k, v: True})
+
+
+@_register("lock")
+def _lock(n_sites: int) -> Callable[[ProcessId], Any]:
+    from repro.apps.lock_manager import MajorityLockManager
+
+    return lambda pid: MajorityLockManager(range(n_sites))
+
+
+#: The selectable application names, for argparse choices.
+APP_NAMES: tuple[str, ...] = tuple(sorted(_BUILDERS))
+
+
+def app_factory(name: str, n_sites: int) -> Callable[[ProcessId], Any] | None:
+    """Resolve ``name`` to a per-pid app factory (None for ``"none"``)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; pick one of {APP_NAMES}"
+        ) from None
+    return builder(n_sites)

@@ -44,6 +44,9 @@ from pathlib import Path
 from typing import Any
 
 from repro.bench.harness import Table
+from repro.obs.report import quantile
+from repro.obs.snapshot import MetricSample
+from repro.realnet import wallclock
 from repro.realnet.cluster import RealCluster, RealClusterConfig
 from repro.types import MessageId, ProcessId, ViewId
 from repro.vsync.events import GroupApplication
@@ -155,6 +158,147 @@ async def _steady(n: int, rounds: int, burst: int, codec: str) -> dict[str, Any]
         }
 
 
+def _steady_proc(n: int, rounds: int, burst: int, codec: str) -> dict[str, Any]:
+    """Steady multicast over the process-per-site cluster driver.
+
+    Same burst-and-barrier workload as :func:`_steady`, but injected and
+    measured across OS process boundaries (control-frame injection, a
+    polled cluster-wide delivery counter as the barrier).  On a
+    multi-core machine this is the scaling configuration; on a single
+    core it mostly prices the process-hop overhead — both are worth a
+    row in the bench file.
+    """
+    from repro.realnet.proc_driver import ProcClusterConfig, ProcRealClusterDriver
+
+    config = ProcClusterConfig(
+        seed=SEED, scale=TIMER_SCALE, trace_level="none", codec=codec
+    )
+    driver = ProcRealClusterDriver(n, config).start()
+    try:
+        assert driver.settle(timeout=SETTLE_TIMEOUT), driver.views()
+        sites = sorted(s.site for s in driver.live_stacks())
+        expected = 0
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            for site in sites:
+                sent = 0
+                while sent < burst:
+                    accepted = driver.mcast_many(site, burst - sent, _payload(sent))
+                    sent += accepted
+                    if sent < burst:  # stack was flushing; wait it out
+                        time.sleep(0.005)
+            expected += n * n * burst
+            deadline = time.perf_counter() + ROUND_TIMEOUT
+            while driver.delivered_total() < expected:
+                assert time.perf_counter() < deadline, (
+                    f"{driver.delivered_total()}/{expected} delivered"
+                )
+                time.sleep(0.003)
+        wall = time.perf_counter() - t0
+        delivered = driver.delivered_total()
+        wire = driver.transport_stats()
+        return {
+            "n": n,
+            "codec": codec,
+            "rounds": rounds,
+            "burst": burst,
+            "wall_s": round(wall, 4),
+            "delivered": delivered,
+            "msgs_per_s": int(delivered / wall) if wall > 0 else 0,
+            "frames_sent": wire["frames_sent"],
+            "bytes_sent": wire["bytes_sent"],
+            "codecs": wire["codecs"],
+            "processes": n,
+        }
+    finally:
+        driver.close()
+
+
+# ---------------------------------------------------------------------------
+# Latency under load (open-loop offered rate)
+# ---------------------------------------------------------------------------
+
+
+async def _latency(n: int, rate: int, duration: float, codec: str) -> dict[str, Any]:
+    """Open-loop latency cell: offer ``rate`` multicasts/s cluster-wide
+    for ``duration`` seconds and read p50/p99 delivery latency from the
+    ``multicast_delivery_latency`` obs histogram.
+
+    Open loop means the send grid is fixed in advance (send k happens at
+    ``t0 + k/rate`` regardless of how the cluster is coping), so queue
+    buildup shows up as latency — the honest way to measure a system
+    under offered load, where a closed loop would self-throttle.
+    """
+    config = RealClusterConfig(
+        seed=SEED,
+        scale=TIMER_SCALE,
+        trace_level="none",
+        detailed_stats=False,
+        codec=codec,
+    )
+    async with RealCluster(n, config=config) as cluster:
+        assert await cluster.settle(timeout=SETTLE_TIMEOUT), cluster.views()
+        stacks = cluster.live_stacks()
+        total = int(rate * duration)
+        dt = 1.0 / rate
+        late = 0
+        t0 = time.perf_counter()
+        sent = 0
+        while sent < total:
+            target = t0 + sent * dt
+            now = time.perf_counter()
+            if now < target:
+                await asyncio.sleep(target - now)
+            elif now - target > dt:
+                late += 1
+            if stacks[sent % len(stacks)].multicast(_payload(sent)) is not None:
+                sent += 1
+            else:  # flushing a view change; keep the grid, retry the slot
+                await asyncio.sleep(0.005)
+        expected = total * n
+        done = await cluster.wait_until(
+            lambda c: c.metrics_snapshot().total("deliveries_total") >= expected,
+            timeout=ROUND_TIMEOUT,
+            poll=0.01,
+        )
+        assert done, (
+            f"delivery barrier: "
+            f"{cluster.metrics_snapshot().total('deliveries_total')}/{expected}"
+        )
+        drain_s = time.perf_counter() - (t0 + total * dt)
+        snap = cluster.metrics_snapshot()
+        buckets: dict[float, int] = {}
+        count = 0
+        total_sum = 0.0
+        for s in snap.samples:
+            if s.name == "multicast_delivery_latency":
+                count += s.count
+                total_sum += s.value
+                for le, c in s.buckets:
+                    buckets[le] = buckets.get(le, 0) + c
+        merged = MetricSample(
+            "multicast_delivery_latency",
+            "histogram",
+            (),
+            total_sum,
+            count,
+            tuple(sorted(buckets.items())),
+        )
+        return {
+            "n": n,
+            "codec": codec,
+            "offered_rate": rate,
+            "duration_s": duration,
+            "sent": total,
+            "late_sends": late,
+            "drain_s": round(max(0.0, drain_s), 4),
+            "deliveries": count,
+            "mean_ms": round(1000.0 * total_sum / count, 3) if count else 0.0,
+            "p50_ms": round(1000.0 * quantile(merged, 0.50), 3),
+            "p99_ms": round(1000.0 * quantile(merged, 0.99), 3),
+        }
+
+
 # ---------------------------------------------------------------------------
 # Codec micro-bench
 # ---------------------------------------------------------------------------
@@ -237,6 +381,12 @@ def bench_codec(loops: int = 2000) -> dict[str, Any]:
 #: send-queue cap so the barrier, not loss repair, ends each round.
 FULL_MATRIX = ((4, 10, 48), (8, 8, 32), (16, 5, 12))
 QUICK_MATRIX = ((3, 2, 8),)
+#: (n, offered multicasts/s, seconds) for the latency-under-load cells.
+LATENCY_MATRIX = ((8, 400, 4.0), (8, 1200, 4.0))
+LATENCY_QUICK = ((3, 200, 1.0),)
+#: (n, rounds, burst) for the process-per-site cells (bin codec).
+PROC_MATRIX = ((4, 4, 24), (8, 3, 16))
+PROC_QUICK = ((3, 1, 8),)
 
 
 def run_matrix(quick: bool = False, reps: int = 3) -> dict[str, Any]:
@@ -251,7 +401,7 @@ def run_matrix(quick: bool = False, reps: int = 3) -> dict[str, Any]:
         # shows up as a slow outlier rep, not a phantom (anti-)speedup.
         for rep in range(reps):
             for codec in ("json", "bin"):
-                row = asyncio.run(
+                row = wallclock.run(
                     asyncio.wait_for(_steady(n, rounds, burst, codec), 300)
                 )
                 best = rows.get(codec)
@@ -262,10 +412,24 @@ def run_matrix(quick: bool = False, reps: int = 3) -> dict[str, Any]:
         base = rows["json"]["msgs_per_s"]
         rows["speedup"] = round(rows["bin"]["msgs_per_s"] / base, 2) if base else 0.0
         steady[f"n{n}"] = rows
+    latency: dict[str, Any] = {}
+    for n, rate, duration in (LATENCY_QUICK if quick else LATENCY_MATRIX):
+        cell: dict[str, Any] = {}
+        for codec in ("json", "bin"):
+            cell[codec] = wallclock.run(
+                asyncio.wait_for(_latency(n, rate, duration, codec), 300)
+            )
+        latency[f"n{n}_r{rate}"] = cell
+    proc: dict[str, Any] = {}
+    for n, rounds, burst in (PROC_QUICK if quick else PROC_MATRIX):
+        proc[f"n{n}"] = {"bin": _steady_proc(n, rounds, burst, "bin")}
     return {
         "workload": "burst-and-barrier steady multicast (see repro.bench.realnet_perf)",
         "baseline": "json codec, unbatched (the PR-2 data path)",
+        "uvloop": wallclock.HAVE_UVLOOP,
         "steady_multicast": steady,
+        "steady_multicast_proc": proc,
+        "latency_under_load": latency,
         "codec_micro": bench_codec(loops=200 if quick else 2000),
     }
 
@@ -288,6 +452,32 @@ def report(results: dict[str, Any]) -> None:
                 f"{rows['speedup']:.2f}x" if codec == "bin" else "-",
             )
     table.show()
+    proc = results.get("steady_multicast_proc") or {}
+    if proc:
+        ptable = Table(
+            "realnet steady multicast, process per site (bin codec)",
+            ["workload", "procs", "wall s", "msgs/s"],
+        )
+        for key, rows in proc.items():
+            row = rows["bin"]
+            ptable.add(
+                f"proc_{key}", row["processes"], row["wall_s"], row["msgs_per_s"]
+            )
+        ptable.show()
+    lat = results.get("latency_under_load") or {}
+    if lat:
+        ltable = Table(
+            "latency under open-loop load (delivery latency, ms)",
+            ["cell", "codec", "offered/s", "p50", "p99", "mean", "drain s"],
+        )
+        for key, cell in lat.items():
+            for codec in ("json", "bin"):
+                row = cell[codec]
+                ltable.add(
+                    key, codec, row["offered_rate"], row["p50_ms"],
+                    row["p99_ms"], row["mean_ms"], row["drain_s"],
+                )
+        ltable.show()
     micro = Table(
         "codec micro-bench (ops/sec over the sample frame mix)",
         ["codec", "encode/s", "decode/s", "avg frame bytes"],
@@ -298,8 +488,12 @@ def report(results: dict[str, Any]) -> None:
 
 
 def update_bench_file(results: dict[str, Any], path: str = "BENCH_PERF.json") -> None:
-    """Merge the realnet section into BENCH_PERF.json, preserving the
-    simulator sections owned by :mod:`repro.bench.perf`."""
+    """Merge the realnet section into BENCH_PERF.json key-wise.
+
+    Preserves the simulator sections owned by :mod:`repro.bench.perf`
+    AND any realnet keys this harness didn't recompute (so a partial
+    rerun — e.g. only the latency cells — doesn't wipe the steady
+    matrix recorded by an earlier full run)."""
     out = Path(path)
     payload: dict[str, Any] = {}
     if out.exists():
@@ -307,8 +501,23 @@ def update_bench_file(results: dict[str, Any], path: str = "BENCH_PERF.json") ->
             payload = json.loads(out.read_text())
         except ValueError:
             payload = {}
-    payload["realnet"] = results
+    realnet = payload.get("realnet")
+    if not isinstance(realnet, dict):
+        realnet = {}
+    realnet.update(results)
+    payload["realnet"] = realnet
     out.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def _previous_bin_n8(path: str) -> int | None:
+    """The last recorded bin n=8 steady throughput, for vs_prev."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        return int(
+            payload["realnet"]["steady_multicast"]["n8"]["bin"]["msgs_per_s"]
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -327,7 +536,9 @@ def main(argv: list[str] | None = None) -> int:
 
     print("== realnet perf harness ==")
     print("baseline: json codec, unbatched (PR-2 data path); "
-          "current: bin1 codec, micro-batching on")
+          "current: bin1 codec, zero-copy framing, micro-batching on"
+          + (", uvloop" if wallclock.HAVE_UVLOOP else ""))
+    prev_bin_n8 = None if args.quick else _previous_bin_n8(args.out)
     t0 = time.perf_counter()
     results = run_matrix(quick=args.quick)
     total = time.perf_counter() - t0
@@ -339,6 +550,18 @@ def main(argv: list[str] | None = None) -> int:
         speedup = results["steady_multicast"][headline_key]["speedup"]
         results["headline_speedup_n8"] = speedup
         print(f"n=8 steady multicast: bin+batching is {speedup:.2f}x the JSON baseline")
+        if prev_bin_n8:
+            now_bin = results["steady_multicast"][headline_key]["bin"]["msgs_per_s"]
+            vs_prev = round(now_bin / prev_bin_n8, 2)
+            results["vs_prev_bin_n8"] = {
+                "prev_msgs_per_s": prev_bin_n8,
+                "now_msgs_per_s": now_bin,
+                "ratio": vs_prev,
+            }
+            print(
+                f"n=8 bin vs previously recorded bin ({prev_bin_n8} msgs/s): "
+                f"{vs_prev:.2f}x"
+            )
     if not args.quick:
         update_bench_file(results, args.out)
         print(f"updated {args.out} (realnet section)")

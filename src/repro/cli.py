@@ -35,9 +35,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.apps.lock_manager import MajorityLockManager
-from repro.apps.replicated_db import ParallelLookupDatabase
-from repro.apps.replicated_file import ReplicatedFile
+from repro.apps.factories import APP_NAMES, app_factory
 from repro.bench.harness import Table
 from repro.ports import RUNTIMES, ClusterPort, make_cluster
 from repro.trace.checks import (
@@ -62,14 +60,6 @@ EXPERIMENTS = [
     ("E10", "Section 3: example-object invariants", "bench_e10_apps.py"),
     ("A1-A3", "ablations of load-bearing mechanisms", "bench_ablations.py"),
 ]
-
-_APP_FACTORIES = {
-    "none": lambda n: None,
-    "file": lambda n: (lambda pid: ReplicatedFile({s: 1 for s in range(n)})),
-    "db": lambda n: (lambda pid: ParallelLookupDatabase({"all": lambda k, v: True})),
-    "lock": lambda n: (lambda pid: MajorityLockManager(range(n))),
-}
-
 
 def _print_reports(reports: list[CheckReport]) -> int:
     violations = 0
@@ -111,8 +101,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         n_sites=args.sites, seed=args.seed, duration=args.duration
     )
     schedule = generator.generate()
-    factory = _APP_FACTORIES[args.app](args.sites)
-    knobs = {"scale": args.scale} if args.runtime == "realnet" else {}
+    if args.runtime == "realnet-proc":
+        # Applications travel by name: the driver passes --app on each
+        # child's command line instead of shipping a closure.
+        factory = None
+        knobs = {"scale": args.scale, "app": args.app, "codec": args.codec}
+    elif args.runtime == "realnet":
+        factory = app_factory(args.app, args.sites)
+        knobs = {"scale": args.scale, "codec": args.codec}
+    else:
+        factory = app_factory(args.app, args.sites)
+        knobs = {}
     cluster = make_cluster(
         args.runtime, args.sites, app_factory=factory,
         seed=args.seed, loss_prob=args.loss, **knobs,
@@ -224,12 +223,40 @@ def cmd_realnet_demo(args: argparse.Namespace) -> int:
     return 1 if result.property_violations else 0
 
 
+def _parse_book(spec: str) -> dict[int, tuple[str, int]]:
+    """Parse a ``site:host:port,...`` address book (proc-driver children)."""
+    book: dict[int, tuple[str, int]] = {}
+    for entry in spec.split(","):
+        site, host, port = entry.rsplit(":", 2)
+        book[int(site)] = (host, int(port))
+    return book
+
+
 def cmd_realnet_node(args: argparse.Namespace) -> int:
     """One standalone node of a fixed-port multi-process deployment."""
     import asyncio
 
     from repro.realnet.node import realnet_stack_config, run_standalone
 
+    if args.supervised:
+        from repro.realnet import wallclock
+        from repro.realnet.procnode import run_supervised
+
+        if not args.book:
+            raise SystemExit("--supervised requires --book site:host:port,...")
+        wallclock.run(
+            run_supervised(
+                args.site,
+                _parse_book(args.book),
+                app=args.app,
+                scale=args.scale,
+                loss_prob=args.loss,
+                seed=args.seed,
+                codec=args.codec,
+                trace_level=args.trace_level,
+            )
+        )
+        return 0
     book = {
         site: (args.host, args.base_port + site) for site in range(args.sites)
     }
@@ -257,11 +284,9 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.workload.clients import MulticastClient, QueryClient
     from repro.workload.scenarios import figure2_scenario
 
-    def db_factory(pid):
-        return ParallelLookupDatabase({"all": lambda k, v: True})
-
     cluster = make_cluster(
-        args.runtime, args.sites, app_factory=db_factory, seed=args.seed
+        args.runtime, args.sites,
+        app_factory=app_factory("db", args.sites), seed=args.seed,
     )
     try:
         report = run_checked_workload(
@@ -340,10 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--duration", type=float, default=400.0)
     run.add_argument("--loss", type=float, default=0.0)
-    run.add_argument("--app", choices=sorted(_APP_FACTORIES), default="none")
+    run.add_argument("--app", choices=APP_NAMES, default="none")
     run.add_argument("--scale", type=float, default=1.0,
                      help="realnet only: stretch protocol timers (and the "
                           "schedule with them) by this factor")
+    run.add_argument("--codec", choices=("bin", "json"), default="bin",
+                     help="realnet runtimes: preferred wire codec")
     run.add_argument("--export", metavar="FILE", default=None,
                      help="write the trace as JSON lines to FILE")
     run.add_argument("--metrics", metavar="FILE", default=None,
@@ -400,6 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
     rnode.add_argument("--scale", type=float, default=1.0)
     rnode.add_argument("--codec", choices=("bin", "json"), default="bin",
                        help="preferred wire codec (negotiated per link)")
+    rnode.add_argument("--supervised", action="store_true",
+                       help="run under a ProcRealClusterDriver parent: serve "
+                            "control ops and wait for the boot op instead of "
+                            "starting the stack immediately")
+    rnode.add_argument("--book", default=None, metavar="SITE:HOST:PORT,...",
+                       help="explicit address book (supervised mode); "
+                            "overrides --sites/--base-port")
+    rnode.add_argument("--app", choices=APP_NAMES, default="none",
+                       help="supervised mode: application to run on the stack")
+    rnode.add_argument("--loss", type=float, default=0.0,
+                       help="supervised mode: simulated send loss probability")
+    rnode.add_argument("--trace-level", default="full",
+                       help="supervised mode: trace recorder level")
     rnode.set_defaults(func=cmd_realnet_node)
 
     obs = sub.add_parser(
@@ -411,7 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the figure-2 checked workload and print the unified "
              "metrics report (live registry vs trace aggregates)",
     )
-    oreport.add_argument("--runtime", choices=RUNTIMES, default="sim")
+    oreport.add_argument("--runtime", choices=("sim", "realnet"), default="sim",
+                         help="realnet-proc is excluded: the report's query "
+                              "client needs in-process application access")
     oreport.add_argument("--sites", type=int, default=6)
     oreport.add_argument("--seed", type=int, default=7)
     oreport.add_argument("--metrics", metavar="FILE", default=None,

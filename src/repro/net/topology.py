@@ -110,6 +110,37 @@ class Topology:
         self._component[site] = new_cid
         self._changes += 1
 
+    def restore(
+        self,
+        components: Sequence[Iterable[SiteId]],
+        oneway_cuts: Iterable[Sequence[SiteId]] = (),
+        sites: Iterable[SiteId] | None = None,
+    ) -> None:
+        """Install an externally computed connectivity state wholesale.
+
+        The multi-process cluster driver serializes its topology as
+        ``(components, oneway_cuts, sites)`` and pushes it to every node
+        process; this is the receiving end.  ``sites`` defaults to the
+        union of the components.
+        """
+        groups = [set(group) for group in components]
+        universe = set(sites) if sites is not None else set().union(*groups)
+        if not universe:
+            raise NetworkError("topology needs at least one site")
+        self.sites = universe
+        assigned: dict[SiteId, int] = {}
+        for index, group in enumerate(groups):
+            for site in group:
+                assigned[site] = index
+        next_cid = len(groups)
+        for site in self.sites:
+            if site not in assigned:
+                assigned[site] = next_cid
+                next_cid += 1
+        self._component = assigned
+        self._oneway_cuts = {(src, dst) for src, dst in oneway_cuts}
+        self._changes += 1
+
     def add_site(self, site: SiteId) -> None:
         """Grow the universe by a new site.
 

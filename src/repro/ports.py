@@ -241,7 +241,7 @@ class ClusterPort(Protocol):
 
 
 #: Names accepted by :func:`make_cluster`.
-RUNTIMES = ("sim", "realnet")
+RUNTIMES = ("sim", "realnet", "realnet-proc")
 
 
 def make_cluster(
@@ -289,4 +289,16 @@ def make_cluster(
         return RealClusterDriver(
             n_sites, app_factory=app_factory, config=real_config
         ).start()
+    if runtime == "realnet-proc":
+        from repro.realnet.proc_driver import ProcClusterConfig, ProcRealClusterDriver
+
+        if app_factory is not None:
+            raise ValueError(
+                "realnet-proc selects applications by name (the 'app' knob); "
+                "a factory closure cannot cross the process boundary"
+            )
+        proc_config = ProcClusterConfig(
+            seed=seed, loss_prob=loss_prob, trace_level=trace_level, **knobs
+        )
+        return ProcRealClusterDriver(n_sites, config=proc_config).start()
     raise ValueError(f"unknown runtime {runtime!r}; pick one of {RUNTIMES}")

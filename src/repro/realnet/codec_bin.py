@@ -135,6 +135,16 @@ def schema_fingerprint() -> str:
 
 
 # -- encoder --------------------------------------------------------------
+#
+# One precomputed **packer table** maps ``type(value)`` straight to a
+# packing function: builtins get module-level packers, every registered
+# dataclass gets a closure whose tag + class-id + arity header bytes
+# were rendered once at table-build time.  The hot path is therefore a
+# single dict lookup per value — no isinstance chain, no per-value
+# varint rendering for the class header.  Values whose exact type is
+# not in the table (bool/int/str subclasses, unregistered classes) take
+# the slow fallback, which defers to the JSON codec's vocabulary check
+# so both codecs accept and reject exactly the same values.
 
 
 def _enc_uvarint(out: bytearray, value: int) -> None:
@@ -153,70 +163,105 @@ def _enc_int(out: bytearray, value: int) -> None:
     _enc_uvarint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
 
 
-def _enc(out: bytearray, value: Any) -> None:
-    if value is None:
-        out.append(_T_NONE)
-        return
-    if value is True:
-        out.append(_T_TRUE)
-        return
-    if value is False:
-        out.append(_T_FALSE)
-        return
-    cls = type(value)
-    if cls is int:
-        _enc_int(out, value)
-        return
-    if cls is str:
-        raw = value.encode("utf-8")
-        out.append(_T_STR)
-        _enc_uvarint(out, len(raw))
-        out += raw
-        return
-    if cls is float:
-        out.append(_T_FLOAT)
-        out += _F64.pack(value)
-        return
-    if cls is tuple:
-        out.append(_T_TUPLE)
+def _enc_none(out: bytearray, value: Any) -> None:
+    out.append(_T_NONE)
+
+
+def _enc_bool(out: bytearray, value: Any) -> None:
+    out.append(_T_TRUE if value else _T_FALSE)
+
+
+def _enc_str(out: bytearray, value: str) -> None:
+    raw = value.encode("utf-8")
+    out.append(_T_STR)
+    _enc_uvarint(out, len(raw))
+    out += raw
+
+
+def _enc_float(out: bytearray, value: float) -> None:
+    out.append(_T_FLOAT)
+    out += _F64.pack(value)
+
+
+def _make_container_packer(tag: int) -> Callable[[bytearray, Any], None]:
+    def pack(out: bytearray, value: Any) -> None:
+        out.append(tag)
         _enc_uvarint(out, len(value))
         for item in value:
             _enc(out, item)
-        return
-    if cls is list:
-        out.append(_T_LIST)
-        _enc_uvarint(out, len(value))
-        for item in value:
-            _enc(out, item)
-        return
-    if cls is frozenset or cls is set:
-        out.append(_T_FROZENSET if cls is frozenset else _T_SET)
-        _enc_uvarint(out, len(value))
-        for item in value:
-            _enc(out, item)
-        return
-    if cls is dict:
-        out.append(_T_DICT)
-        _enc_uvarint(out, len(value))
-        for k, v in value.items():
-            _enc(out, k)
-            _enc(out, v)
-        return
-    entry = class_table().by_class.get(cls)
-    if entry is not None:
-        class_id, getter, arity = entry
-        out.append(_T_CLASS)
-        _enc_uvarint(out, class_id)
-        _enc_uvarint(out, arity)
-        if arity == 1:
+
+    return pack
+
+
+def _enc_dict(out: bytearray, value: dict) -> None:
+    out.append(_T_DICT)
+    _enc_uvarint(out, len(value))
+    for k, v in value.items():
+        _enc(out, k)
+        _enc(out, v)
+
+
+def _make_class_packer(
+    header: bytes, getter: Callable[[Any], Any], arity: int
+) -> Callable[[bytearray, Any], None]:
+    """Packer for one registered class: precomputed tag+id+arity bytes."""
+    if arity == 1:
+
+        def pack1(out: bytearray, value: Any) -> None:
+            out += header
             _enc(out, getter(value)[0])
-        else:
-            for item in getter(value):
-                _enc(out, item)
-        return
-    # Uncommon shapes (bool/int/str subclasses, unregistered classes):
-    # defer to the JSON codec's vocabulary check so both codecs accept
-    # and reject exactly the same values.
+
+        return pack1
+
+    def pack(out: bytearray, value: Any) -> None:
+        out += header
+        for item in getter(value):
+            _enc(out, item)
+
+    return pack
+
+
+def _build_packers(table: _ClassTable) -> dict[type, Callable[[bytearray, Any], None]]:
+    packers: dict[type, Callable[[bytearray, Any], None]] = {
+        type(None): _enc_none,
+        bool: _enc_bool,
+        int: _enc_int,
+        str: _enc_str,
+        float: _enc_float,
+        tuple: _make_container_packer(_T_TUPLE),
+        list: _make_container_packer(_T_LIST),
+        frozenset: _make_container_packer(_T_FROZENSET),
+        set: _make_container_packer(_T_SET),
+        dict: _enc_dict,
+    }
+    for cls, (class_id, getter, arity) in table.by_class.items():
+        header = bytearray([_T_CLASS])
+        _enc_uvarint(header, class_id)
+        _enc_uvarint(header, arity)
+        packers[cls] = _make_class_packer(bytes(header), getter, arity)
+    return packers
+
+
+_PACKERS: dict[type, Callable[[bytearray, Any], None]] = {}
+_PACKERS_VERSION = -1
+
+
+def packer_table() -> dict[type, Callable[[bytearray, Any], None]]:
+    """The current registry's type -> packer dispatch table.
+
+    Entry points call this once per encode; :func:`_enc` then reads the
+    module-level table directly (registrations only happen at import
+    time, never mid-encode).
+    """
+    global _PACKERS, _PACKERS_VERSION
+    if _PACKERS_VERSION != len(_REGISTRY):
+        _PACKERS = _build_packers(class_table())
+        _PACKERS_VERSION = len(_REGISTRY)
+    return _PACKERS
+
+
+def _enc_fallback(out: bytearray, value: Any) -> None:
+    """Uncommon shapes: subclasses of the scalar builtins, or garbage."""
     if isinstance(value, bool):
         out.append(_T_TRUE if value else _T_FALSE)
         return
@@ -224,14 +269,23 @@ def _enc(out: bytearray, value: Any) -> None:
         _enc_int(out, int(value))
         return
     if isinstance(value, str):
-        _enc(out, str(value))
+        _enc_str(out, str(value))
         return
     _json_codec.encode_value(value)  # raises CodecError with the canonical message
-    raise CodecError(f"cannot binary-encode {cls.__name__} value: {value!r}")
+    raise CodecError(f"cannot binary-encode {type(value).__name__} value: {value!r}")
+
+
+def _enc(out: bytearray, value: Any) -> None:
+    packer = _PACKERS.get(type(value))
+    if packer is not None:
+        packer(out, value)
+    else:
+        _enc_fallback(out, value)
 
 
 def encode_value_bin(value: Any) -> bytes:
     """Encode one value to ``bin1`` bytes (no framing)."""
+    packer_table()
     out = bytearray()
     _enc(out, value)
     return bytes(out)
@@ -427,6 +481,27 @@ class JsonWireFormat:
             }
         )
 
+    def frame_msg_into(
+        self,
+        out: bytearray,
+        src: tuple[int, int],
+        dst_site: int,
+        dst_inc: int | None,
+        encoded_payload: Any,
+    ) -> None:
+        """Append one framed msg to ``out`` (JSON has no zero-copy path)."""
+        out += self.frame_msg(src, dst_site, dst_inc, encoded_payload)
+
+    def parse_msg_at(
+        self, buf: bytes | bytearray, start: int, end: int
+    ) -> ParsedMsg | None:
+        """Parse the frame body occupying ``buf[start:end]``.
+
+        JSON bodies need a contiguous ``bytes`` for the decoder anyway,
+        so this copies the slice; the zero-copy win is binary-only.
+        """
+        return self.parse_msg(bytes(buf[start:end]))
+
     def parse_msg(self, body: bytes) -> ParsedMsg | None:
         frame = _json_codec.decode_frame_body(body)
         if frame.get("k") != "msg":
@@ -462,8 +537,36 @@ class BinWireFormat:
     name = FORMAT_BIN
     binary = True
 
+    def __init__(self) -> None:
+        # (src, dst_site, dst_inc) -> rendered header bytes.  A node
+        # talks to a small, stable set of (peer, incarnation) pairs, so
+        # the header — kind byte + four varints — is rendered once per
+        # pair, not once per frame.  Bounded defensively: incarnation
+        # churn grows the key space, never the steady-state set.
+        self._head_cache: dict[tuple, bytes] = {}
+
     def encode_payload(self, payload: Any) -> bytes:
         return encode_value_bin(payload)
+
+    def _header(
+        self, src: tuple[int, int], dst_site: int, dst_inc: int | None
+    ) -> bytes:
+        key = (src, dst_site, dst_inc)
+        head = self._head_cache.get(key)
+        if head is None:
+            out = bytearray((MSG_KIND,))
+            _enc_int(out, src[0])
+            _enc_int(out, src[1])
+            _enc_int(out, dst_site)
+            if dst_inc is None:
+                out.append(0x00)
+            else:
+                out.append(0x01)
+                _enc_int(out, dst_inc)
+            if len(self._head_cache) >= 4096:
+                self._head_cache.clear()
+            head = self._head_cache[key] = bytes(out)
+        return head
 
     def frame_msg(
         self,
@@ -472,45 +575,82 @@ class BinWireFormat:
         dst_inc: int | None,
         encoded_payload: bytes,
     ) -> bytes:
-        head = bytearray()
-        head.append(MSG_KIND)
-        _enc_int(head, src[0])
-        _enc_int(head, src[1])
-        _enc_int(head, dst_site)
-        if dst_inc is None:
-            head.append(0x00)
-        else:
-            head.append(0x01)
-            _enc_int(head, dst_inc)
-        length = len(head) + len(encoded_payload)
+        out = bytearray()
+        self.frame_msg_into(out, src, dst_site, dst_inc, encoded_payload)
+        return bytes(out)
+
+    def frame_msg_into(
+        self,
+        out: bytearray,
+        src: tuple[int, int],
+        dst_site: int,
+        dst_inc: int | None,
+        encoded_payload: bytes,
+    ) -> None:
+        """Append one framed msg directly to the batch buffer ``out``.
+
+        Writes a 4-byte length placeholder, appends the (cached) header
+        and the payload, then patches the length in place with
+        ``pack_into`` — no per-frame ``bytes`` object is ever built.  On
+        a cap violation the partial frame is rolled back so ``out``
+        still holds only whole frames.
+        """
+        base = len(out)
+        out += b"\x00\x00\x00\x00"
+        out += self._header(src, dst_site, dst_inc)
+        out += encoded_payload
+        length = len(out) - base - 4
         if length > MAX_FRAME_BYTES:
+            del out[base:]
             raise CodecError(f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}")
-        return _LEN.pack(length) + bytes(head) + encoded_payload
+        _LEN.pack_into(out, base, length)
 
     def parse_msg(self, body: bytes) -> ParsedMsg | None:
+        return self.parse_msg_at(body, 0, len(body))
+
+    def parse_msg_at(
+        self, buf: bytes | bytearray, start: int, end: int
+    ) -> ParsedMsg | None:
+        """Parse the frame body occupying ``buf[start:end]`` in place.
+
+        The receive path hands frame extents straight out of the read
+        buffer — no per-frame body copy.  All decoding is offset-walking
+        on ``buf`` itself; only leaf values (strings) copy out.  The
+        payload thunk closes over ``(buf, pos, end)``, so it must be
+        consumed before the caller compacts or reuses the buffer — the
+        receive loop dispatches synchronously, which guarantees that.
+        """
+        if start >= end:
+            raise CodecError("truncated binary frame")
         by_id = class_table().by_id
         try:
-            if body[0] != MSG_KIND:
+            if buf[start] != MSG_KIND:
                 return None  # future frame kinds: ignore, don't kill the link
-            src_site, pos = _dec_at(body, 1, by_id)
-            src_inc, pos = _dec_at(body, pos, by_id)
-            dst_site, pos = _dec_at(body, pos, by_id)
-            if body[pos]:
-                dst_inc, pos = _dec_at(body, pos + 1, by_id)
+            src_site, pos = _dec_at(buf, start + 1, by_id)
+            src_inc, pos = _dec_at(buf, pos, by_id)
+            dst_site, pos = _dec_at(buf, pos, by_id)
+            if buf[pos]:
+                dst_inc, pos = _dec_at(buf, pos + 1, by_id)
             else:
                 dst_inc = None
                 pos += 1
         except (IndexError, struct.error):
             raise CodecError("truncated binary frame") from None
+        if pos > end:
+            raise CodecError("truncated binary frame")
 
         def thunk(start: int = pos) -> Any:
             try:
-                value, end = _dec_at(body, start, by_id)
+                value, stop = _dec_at(buf, start, by_id)
             except (IndexError, struct.error):
                 raise CodecError("truncated binary frame") from None
-            if end != len(body):
+            if stop > end:
+                # Ran into bytes beyond this frame (shared buffer): the
+                # frame itself was short.
+                raise CodecError("truncated binary frame")
+            if stop != end:
                 raise CodecError(
-                    f"{len(body) - end} trailing bytes after msg payload"
+                    f"{end - stop} trailing bytes after msg payload"
                 )
             return value
 

@@ -42,6 +42,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import SimulationError
 from repro.realnet.cluster import AppFactory, RealCluster, RealClusterConfig
+from repro.realnet.wallclock import new_event_loop
 from repro.trace.recorder import TraceRecorder
 from repro.types import ProcessId, SiteId
 from repro.vsync.stack import GroupStack
@@ -100,7 +101,7 @@ class RealClusterDriver:
         to call once.  Returns ``self`` for chaining."""
         if self._loop is not None:
             raise SimulationError("driver already started")
-        self._loop = asyncio.new_event_loop()
+        self._loop = new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="realnet-driver", daemon=True
         )

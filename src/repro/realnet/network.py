@@ -104,6 +104,10 @@ class RealNetwork:
         #: metrics registry exists; serves ``repro obs watch`` requests
         #: arriving on the normal listening socket.
         self.snapshot_provider: Any = None
+        #: Optional second-stage control hook ``(fmt, body) -> bytes |
+        #: None`` consulted after the obs handler: the supervised node's
+        #: lifecycle control protocol (see repro.realnet.procnode).
+        self.control_handler: Any = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -134,11 +138,21 @@ class RealNetwork:
             await server.stop()
 
     def register(self, process: ProcessPort) -> None:
-        """Attach the (single) local protocol stack."""
-        if self._proc is not None:
+        """Attach the (single) local protocol stack.
+
+        A *dead* registered stack may be replaced — the in-process
+        recover path of the multi-process node boots a fresh incarnation
+        on the same transport (same port, same live connections) after
+        the previous stack crashed.  Replacing a live stack stays an
+        error.
+        """
+        if self._proc is not None and self._proc.alive:
             raise TransportError(f"site {self.site}: a process is already registered")
         self._proc = process
         process.attach(self)
+        pid = process.pid
+        for link in self._links.values():
+            link.rebind_src((pid.site, pid.incarnation))
 
     # -- NetworkPort: transmission -------------------------------------
 
@@ -294,10 +308,16 @@ class RealNetwork:
         proc.deliver_network(ProcessId(msg.src_site, msg.src_inc), payload)
 
     def _on_control(self, fmt: Any, body: bytes) -> bytes | None:
-        """Serve non-``msg`` frames: currently only obs snapshot polls."""
+        """Serve non-``msg`` frames: obs snapshot polls, then the
+        node's control protocol (when one is installed)."""
         from repro.obs.watch import handle_obs_control
 
-        return handle_obs_control(fmt, body, self.snapshot_provider)
+        reply = handle_obs_control(fmt, body, self.snapshot_provider)
+        if reply is not None:
+            return reply
+        if self.control_handler is not None:
+            return self.control_handler(fmt, body)
+        return None
 
     # -- introspection -------------------------------------------------
 

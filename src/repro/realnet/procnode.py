@@ -1,0 +1,401 @@
+"""Supervised node process: the child side of the multi-core cluster.
+
+One OS process per site.  The parent (:class:`~repro.realnet.
+proc_driver.ProcRealClusterDriver`) spawns ``repro realnet node
+--supervised`` children and steers them over their *normal listening
+sockets* with **control frames** — a third frame kind (:data:`CTL_KIND`,
+``0x03``) next to ``msg`` (``0x01``) and the obs snapshot kind
+(``0x02``).  A control request carries one ``(op, arg)`` value in the
+connection's negotiated codec; the reply carries ``(ok, result)``.
+Lifecycle (crash / recover / boot / topology pushes / join bookkeeping),
+workload injection, trace collection and wire-stat scraping all travel
+through this one protocol, so the parent needs no side channels: the
+same port that serves protocol traffic and ``repro obs watch`` serves
+the cluster driver.
+
+Design decisions worth naming:
+
+* **Crash is a control op, not a SIGKILL.**  Killing the process would
+  destroy its :class:`~repro.trace.recorder.TraceRecorder`, and the
+  property checkers need every node's history (a delivery whose
+  multicast was never recorded reads as a violation).  So ``crash``
+  kills the *stack* — the transport and control surface stay up, frames
+  addressed to the dead incarnation are dropped exactly as the
+  simulator drops them — and ``recover`` boots a fresh incarnation in
+  the same process.
+* **Connectivity is pushed, not shared.**  Each child owns a local
+  :class:`~repro.net.topology.Topology`; the parent mirrors every
+  mutation (partition / heal / isolate / one-way cuts / joins) to all
+  children wholesale via the ``topology`` op, so fault schedules
+  written against the parent apply to real sockets across processes.
+* **Clocks are aligned by wall epoch.**  Every ``status`` / ``trace``
+  reply includes ``epoch = time.time() - scheduler.now`` (the wall time
+  of the child's t=0); the parent shifts child event times by the epoch
+  difference before merging, putting all recorders on one comparable
+  time base.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from typing import Any
+
+from repro.apps.factories import app_factory
+from repro.errors import CodecError, SimulationError
+from repro.net.topology import Topology
+from repro.obs.instrument import ClusterObs
+from repro.obs.registry import MetricsRegistry
+from repro.realnet.network import RealNetwork
+from repro.realnet.node import realnet_stack_config
+from repro.realnet.codec import _LEN, decode_frame_body, decode_value, encode_frame, encode_value
+from repro.realnet.codec_bin import decode_value_bin, encode_value_bin
+from repro.realnet.wallclock import WallClockScheduler
+from repro.sim.rng import RngStreams
+from repro.sim.stable_storage import StableStore
+from repro.trace.events import CrashEvent, RecoverEvent
+from repro.trace.export import event_to_json
+from repro.trace.recorder import TraceRecorder
+from repro.types import ProcessId, SiteId
+from repro.vsync.events import GroupApplication
+from repro.vsync.stack import GroupStack, StackConfig
+
+#: Frame-kind byte for bin1 control frames (``msg`` 0x01, obs 0x02).
+CTL_KIND = 0x03
+
+
+# -- control frames (both codecs) ------------------------------------------
+
+
+def ctl_request_frame(fmt: Any, op: str, arg: Any = None) -> bytes:
+    """One framed ``(op, arg)`` control request in ``fmt``."""
+    if fmt.binary:
+        body = bytes([CTL_KIND]) + encode_value_bin((op, arg))
+        return _LEN.pack(len(body)) + body
+    return encode_frame({"k": "ctl", "p": encode_value((op, arg))})
+
+
+def ctl_reply_frame(fmt: Any, ok: bool, result: Any) -> bytes:
+    """One framed ``(ok, result)`` control reply in ``fmt``."""
+    if fmt.binary:
+        body = bytes([CTL_KIND]) + encode_value_bin((ok, result))
+        return _LEN.pack(len(body)) + body
+    return encode_frame({"k": "ctl_r", "p": encode_value((ok, result))})
+
+
+def _parse_pair(fmt: Any, body: bytes, json_kind: str) -> tuple | None:
+    if fmt.binary:
+        if not body or body[0] != CTL_KIND:
+            return None
+        value = decode_value_bin(bytes(body[1:]))
+    else:
+        try:
+            frame = decode_frame_body(body)
+        except CodecError:
+            return None
+        if frame.get("k") != json_kind:
+            return None
+        value = decode_value(frame.get("p"))
+    if not isinstance(value, tuple) or len(value) != 2:
+        raise CodecError("malformed control frame body")
+    return value
+
+
+def parse_ctl_request(fmt: Any, body: bytes) -> tuple[str, Any] | None:
+    """``(op, arg)`` if this non-``msg`` body is a control request."""
+    return _parse_pair(fmt, body, "ctl")
+
+
+def parse_ctl_reply(fmt: Any, body: bytes) -> tuple[bool, Any] | None:
+    """``(ok, result)`` if this body is a control reply."""
+    return _parse_pair(fmt, body, "ctl_r")
+
+
+# -- the supervised node ---------------------------------------------------
+
+
+class NodeSupervisor:
+    """One site's transport + (re)bootable stack + control dispatcher.
+
+    Owns everything the in-process :class:`~repro.realnet.cluster.
+    RealCluster` wires per site, but for exactly one site in its own
+    process: a wall-clock scheduler, a metrics registry + ClusterObs, a
+    local topology mirror, per-incarnation trace recorders (retired
+    recorders are kept for ``gather_trace``) and one
+    :class:`~repro.realnet.network.RealNetwork` on a fixed port.  The
+    stack is **not** booted at construction — the parent issues ``boot``
+    once every child's transport is up, the same two-phase start the
+    in-process orchestrator uses.
+    """
+
+    def __init__(
+        self,
+        site: SiteId,
+        address_book: dict[SiteId, tuple[str, int]],
+        *,
+        app: str = "none",
+        scale: float = 1.0,
+        stack_config: StackConfig | None = None,
+        loss_prob: float = 0.0,
+        seed: int = 0,
+        codec: str = "bin",
+        trace_level: str = "full",
+        quiet: bool = True,
+    ) -> None:
+        if site not in address_book:
+            raise ValueError(f"site {site} missing from the address book")
+        self.site = site
+        self.address_book = dict(address_book)
+        self.scheduler = WallClockScheduler()
+        self.registry = MetricsRegistry(
+            clock=lambda: self.scheduler.now, runtime="realnet"
+        )
+        self.obs = ClusterObs(self.registry)
+        self.topology = Topology(sorted(self.address_book))
+        self.store = StableStore()
+        self.trace_level = trace_level
+        self.env_recorder = TraceRecorder(level=trace_level, label=f"env{site}")
+        self._retired: list[TraceRecorder] = []
+        self.recorder: TraceRecorder | None = None
+        self.app_name = app
+        self.stack_config = (
+            stack_config if stack_config is not None else realnet_stack_config(scale)
+        )
+        self.stack: GroupStack | None = None
+        self.app: Any = None
+        self._incarnation = -1
+        self.stop_event: asyncio.Event = asyncio.Event()
+        host, port = self.address_book[site]
+        self.network = RealNetwork(
+            self.scheduler,
+            site,
+            self.address_book,
+            host=host,
+            port=port,
+            connectivity=self.topology.allows,
+            loss_prob=loss_prob,
+            rng=RngStreams(seed),
+            codec=codec,
+            quiet=quiet,
+        )
+        self.network.snapshot_provider = lambda: self.registry.snapshot(
+            f"site{site}"
+        )
+        self.network.control_handler = self._handle_ctl
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start_transport(self) -> tuple[str, int]:
+        return await self.network.start()
+
+    async def shutdown(self) -> None:
+        if self.stack is not None and self.stack.alive:
+            self.stack.crash()
+        await self.network.stop()
+
+    @property
+    def epoch(self) -> float:
+        """Wall time of this scheduler's t=0 (for cross-process merge)."""
+        return time.time() - self.scheduler.now
+
+    def boot(self) -> ProcessId:
+        """(Re)start the stack under a fresh incarnation."""
+        if self.stack is not None and self.stack.alive:
+            raise SimulationError(f"site {self.site} is up; cannot boot")
+        if self.recorder is not None:
+            self._retired.append(self.recorder)
+        self._incarnation += 1
+        pid = ProcessId(self.site, self._incarnation)
+        self.recorder = TraceRecorder(
+            level=self.trace_level,
+            label=f"site{self.site}/inc{self._incarnation}",
+        )
+        factory = app_factory(self.app_name, len(self.address_book))
+        self.app = factory(pid) if factory is not None else GroupApplication()
+        stack = GroupStack(
+            pid,
+            self.scheduler,
+            self.store.site(self.site),
+            self.app,
+            self.recorder,
+            universe=lambda: set(self.topology.sites),
+            config=self.stack_config,
+            obs=self.obs,
+        )
+        self.network.register(stack)
+        self.stack = stack
+        if self._incarnation > 0:
+            self.env_recorder.record(
+                RecoverEvent(time=self.scheduler.now, pid=pid, site=self.site)
+            )
+        return pid
+
+    def crash(self) -> bool:
+        """Kill the stack; transport and control surface stay up."""
+        stack = self.stack
+        if stack is None or not stack.alive:
+            return False
+        stack.crash()
+        self.env_recorder.record(
+            CrashEvent(time=self.scheduler.now, pid=stack.pid)
+        )
+        self.obs.process_crashed(stack.pid, self.scheduler.now)
+        return True
+
+    # -- control dispatch ----------------------------------------------
+
+    def _handle_ctl(self, fmt: Any, body: bytes) -> bytes | None:
+        request = parse_ctl_request(fmt, body)
+        if request is None:
+            return None
+        op, arg = request
+        try:
+            result = self._dispatch(op, arg)
+        except Exception as exc:  # noqa: BLE001 - reply, don't kill the link
+            return ctl_reply_frame(fmt, False, f"{type(exc).__name__}: {exc}")
+        return ctl_reply_frame(fmt, True, result)
+
+    def _dispatch(self, op: str, arg: Any) -> Any:
+        if op == "status":
+            return self._status()
+        if op == "mcast":
+            return self._mcast(arg)
+        if op == "mcast_many":
+            count, payload = arg
+            accepted = 0
+            for _ in range(count):
+                if not self._mcast(payload):
+                    break
+                accepted += 1
+            return accepted
+        if op == "counts":
+            snap = self.registry.snapshot(f"site{self.site}")
+            return (
+                int(snap.total("multicasts_total")),
+                int(snap.total("deliveries_total")),
+            )
+        if op == "ping":
+            return "pong"
+        if op == "boot":
+            pid = self.boot()
+            return (pid.site, pid.incarnation)
+        if op == "crash":
+            return self.crash()
+        if op == "topology":
+            components, oneway_cuts, sites = arg
+            self.topology.restore(components, oneway_cuts, sites)
+            return True
+        if op == "add_site":
+            site, host, port = arg
+            self.address_book[site] = (host, port)
+            return True
+        if op == "trace":
+            return self._trace()
+        if op == "net_stats":
+            return self._net_stats()
+        if op == "shutdown":
+            # Reply first; the event loop flushes the reply before the
+            # scheduler callback tears the transport down.
+            self.scheduler.after(0.1, self.stop_event.set)
+            return True
+        raise SimulationError(f"unknown control op {op!r}")
+
+    def _mcast(self, payload: Any) -> bool:
+        stack = self.stack
+        if stack is None or not stack.alive or stack.is_flushing:
+            return False
+        stack.multicast(payload)
+        return True
+
+    def _status(self) -> dict[str, Any]:
+        stack = self.stack
+        alive = stack is not None and stack.alive
+        view = stack.view if alive else None
+        return {
+            "site": self.site,
+            "inc": self._incarnation,
+            "alive": alive,
+            "view": view.view_id if view is not None else None,
+            "view_str": str(view) if view is not None else "",
+            "members": (
+                tuple(
+                    sorted(view.members, key=lambda p: (p.site, p.incarnation))
+                )
+                if view is not None
+                else ()
+            ),
+            "flushing": bool(stack.is_flushing) if alive else False,
+            "now": self.scheduler.now,
+            "epoch": self.epoch,
+        }
+
+    def _trace(self) -> tuple[float, tuple]:
+        recorders = [self.env_recorder, *self._retired]
+        if self.recorder is not None:
+            recorders.append(self.recorder)
+        dumped = tuple(
+            (rec.label, tuple(event_to_json(event) for event in rec.events))
+            for rec in recorders
+        )
+        return (self.epoch, dumped)
+
+    def _net_stats(self) -> dict[str, Any]:
+        stats = self.network.stats
+        return {
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "dropped_partition": stats.dropped_partition,
+            "dropped_loss": stats.dropped_loss,
+            "dropped_dead": stats.dropped_dead,
+            "by_type": dict(stats.by_type),
+            "transport": self.network.transport_stats(),
+        }
+
+
+async def run_supervised(
+    site: SiteId,
+    address_book: dict[SiteId, tuple[str, int]],
+    *,
+    app: str = "none",
+    scale: float = 1.0,
+    loss_prob: float = 0.0,
+    seed: int = 0,
+    codec: str = "bin",
+    trace_level: str = "full",
+    quiet: bool = True,
+    stop_event: asyncio.Event | None = None,
+) -> NodeSupervisor:
+    """Run one supervised node until ``shutdown`` (or SIGINT/SIGTERM).
+
+    The transport comes up immediately so the parent can connect its
+    control client; the *stack* waits for the parent's ``boot`` op, the
+    same two-phase start the in-process orchestrator performs, so no
+    child heartbeats into the void while its siblings are still
+    importing Python.
+    """
+    supervisor = NodeSupervisor(
+        site,
+        address_book,
+        app=app,
+        scale=scale,
+        loss_prob=loss_prob,
+        seed=seed,
+        codec=codec,
+        trace_level=trace_level,
+        quiet=quiet,
+    )
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    supervisor.stop_event = stop
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    await supervisor.start_transport()
+    try:
+        await stop.wait()
+    finally:
+        await supervisor.shutdown()
+    return supervisor

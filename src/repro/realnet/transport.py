@@ -169,6 +169,16 @@ class PeerLink:
                 self._run(), name=f"peerlink-{self.name}"
             )
 
+    def rebind_src(self, src: tuple[int, int]) -> None:
+        """Stamp subsequent frames with a new local incarnation.
+
+        The in-place recover path boots a fresh stack on an existing
+        transport; its cached links must not keep framing messages as
+        the dead incarnation (receivers identify senders per *frame*,
+        so the connection and its original hello can stay up).
+        """
+        self._src = src
+
     def offer(self, msg: OutMessage) -> bool:
         """Enqueue a message for transmission; False (dropped) when full."""
         try:
@@ -231,40 +241,47 @@ class PeerLink:
         queue = self._queue
         flush_tick = self._flush_tick
         batch_bytes = self._batch_bytes
+        frame_into = fmt.frame_msg_into
+        dst_site = self._dst_site
         while True:
             msg = await queue.get()
+            # Re-read per flush: rebind_src may have moved the link to a
+            # fresh local incarnation mid-connection.
+            src = self._src
             if flush_tick > 0.0 and queue.empty():
                 # Sub-millisecond pause: let a fan-out or protocol round
                 # land its siblings in the queue, then flush once.
                 await asyncio.sleep(flush_tick)
-            chunks: list[bytes] = []
-            nbytes = 0
+            # One batch buffer per flush, packed in place (length prefix
+            # patched via pack_into) and written with a single write().
+            # The buffer must be *fresh* each flush: uvloop's transport
+            # keeps a reference to the object it was handed, so reusing
+            # it would corrupt in-flight data.
+            batch = bytearray()
+            frames = 0
             while True:
                 try:
-                    chunk = fmt.frame_msg(
-                        self._src, self._dst_site, msg.dst_inc, msg.encoded(fmt)
-                    )
+                    frame_into(batch, src, dst_site, msg.dst_inc, msg.encoded(fmt))
                 except CodecError as exc:
                     self.encode_errors += 1
                     logger.warning("link %s: cannot encode frame: %s", self.name, exc)
                 else:
-                    chunks.append(chunk)
-                    nbytes += len(chunk)
-                if nbytes >= batch_bytes:
+                    frames += 1
+                if len(batch) >= batch_bytes:
                     break
                 try:
                     msg = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     break
-            if not chunks:
+            if not frames:
                 continue
-            writer.writelines(chunks)
+            writer.write(batch)
             await writer.drain()
-            self.frames_sent += len(chunks)
-            self.bytes_sent += nbytes
+            self.frames_sent += frames
+            self.bytes_sent += len(batch)
             self.flushes += 1
-            if len(chunks) > self.max_batch:
-                self.max_batch = len(chunks)
+            if frames > self.max_batch:
+                self.max_batch = frames
 
     async def _run(self) -> None:
         rng = random.Random()
@@ -360,7 +377,12 @@ class FrameServer:
         self._conn_tasks.clear()
 
     def _split_frames(self, buf: bytearray) -> list[bytes]:
-        """Carve every complete ``length + body`` frame off ``buf``."""
+        """Carve every complete ``length + body`` frame off ``buf``.
+
+        Retained as the copying reference implementation (and for the
+        framing unit tests); the live receive loop in :meth:`_handle`
+        walks frame extents in place instead.
+        """
         bodies: list[bytes] = []
         pos = 0
         end = len(buf)
@@ -400,44 +422,70 @@ class FrameServer:
                     return
                 buf += chunk
                 self.bytes_received += len(chunk)
-                bodies = self._split_frames(buf)
-                if not bodies:
-                    continue
-                if fmt is None:
-                    # First frame must be the JSON hello; answer with a
-                    # welcome naming the format the rest of the stream
-                    # (and any later frames already in this batch) uses.
-                    hello = decode_frame_body(bodies[0])
-                    if hello.get("k") != "hello":
-                        self.bad_connections += 1
-                        return
-                    chosen = choose_format(
-                        hello.get("codecs"), hello.get("schema"), self._accept
-                    )
-                    writer.write(encode_frame({"k": "welcome", "codec": chosen}))
-                    await writer.drain()
-                    fmt = WIRE_FORMATS[chosen]
-                    self.format_counts[chosen] = self.format_counts.get(chosen, 0) + 1
-                    bodies = bodies[1:]
-                    if not bodies:
+                # Walk complete frames in place: each body is parsed at
+                # its (start, end) extent inside the read buffer, no
+                # per-frame slice.  Dispatch is synchronous, so every
+                # payload thunk is consumed before the buffer is
+                # compacted below.  Rare paths (hello, control frames)
+                # still copy their body out.
+                pos = 0
+                end = len(buf)
+                walked = 0
+                msgs = 0
+                while end - pos >= _LEN.size:
+                    (length,) = _LEN.unpack_from(buf, pos)
+                    if length > MAX_FRAME_BYTES:
+                        raise CodecError(
+                            f"frame length {length} exceeds cap {MAX_FRAME_BYTES}"
+                        )
+                    body_start = pos + _LEN.size
+                    frame_end = body_start + length
+                    if frame_end > end:
+                        break
+                    if fmt is None:
+                        # First frame must be the JSON hello; answer
+                        # with a welcome naming the format the rest of
+                        # the stream (and any later frames already in
+                        # this batch) uses.
+                        hello = decode_frame_body(bytes(buf[body_start:frame_end]))
+                        if hello.get("k") != "hello":
+                            self.bad_connections += 1
+                            return
+                        chosen = choose_format(
+                            hello.get("codecs"), hello.get("schema"), self._accept
+                        )
+                        writer.write(encode_frame({"k": "welcome", "codec": chosen}))
+                        await writer.drain()
+                        fmt = WIRE_FORMATS[chosen]
+                        self.format_counts[chosen] = (
+                            self.format_counts.get(chosen, 0) + 1
+                        )
+                        pos = frame_end
                         continue
-                self.reads += 1
-                if len(bodies) > self.max_frames_per_read:
-                    self.max_frames_per_read = len(bodies)
-                for body in bodies:
-                    parsed = fmt.parse_msg(body)
+                    walked += 1
+                    parsed = fmt.parse_msg_at(buf, body_start, frame_end)
                     if parsed is None:
                         # Not a msg frame: offer it to the control hook
                         # (obs snapshot polls); unknown kinds stay
                         # ignored so future frames don't kill the link.
                         if self._on_control is not None:
-                            reply = self._on_control(fmt, body)
+                            reply = self._on_control(
+                                fmt, bytes(buf[body_start:frame_end])
+                            )
                             if reply is not None:
                                 writer.write(reply)
                                 await writer.drain()
-                        continue
-                    self.frames_received += 1
-                    on_msg(parsed)
+                    else:
+                        msgs += 1
+                        on_msg(parsed)
+                    pos = frame_end
+                if pos:
+                    del buf[:pos]
+                if walked:
+                    self.reads += 1
+                    self.frames_received += msgs
+                    if walked > self.max_frames_per_read:
+                        self.max_frames_per_read = walked
         except CodecError as exc:
             self.bad_connections += 1
             logger.info("server %s:%s: bad peer frame: %s", self._host, self._port, exc)

@@ -35,9 +35,55 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Any, Callable
+from typing import Any, Awaitable, Callable, TypeVar
+
+try:  # pragma: no cover - depends on the environment
+    import uvloop  # type: ignore[import-not-found]
+except ImportError:  # stdlib fallback — uvloop is never a hard dependency
+    uvloop = None
 
 logger = logging.getLogger("repro.realnet.wallclock")
+
+#: True when uvloop is importable; every realnet loop entry point then
+#: runs on it.  The scheduler/transport code is loop-agnostic — the only
+#: uvloop-specific accommodation is that batch buffers are never reused
+#: across ``write()`` calls (uvloop keeps a reference to the object).
+HAVE_UVLOOP = uvloop is not None
+
+_T = TypeVar("_T")
+
+
+def new_event_loop() -> asyncio.AbstractEventLoop:
+    """A fresh event loop: uvloop when available, stdlib otherwise.
+
+    Realnet drivers that own a loop (background-thread drivers, the
+    standalone node) create theirs through here so they all pick up the
+    faster loop opportunistically.
+    """
+    if uvloop is not None:
+        return uvloop.new_event_loop()
+    return asyncio.new_event_loop()
+
+
+def run(main: Awaitable[_T]) -> _T:
+    """``asyncio.run`` equivalent on :func:`new_event_loop`."""
+    loop = new_event_loop()
+    try:
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(main)
+    finally:
+        try:
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
 
 
 class WallClockEvent:

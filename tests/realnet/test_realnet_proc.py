@@ -1,0 +1,165 @@
+"""Multi-process cluster driver: one OS process per site over real TCP.
+
+These scenarios spawn real ``python -m repro realnet node --supervised``
+child processes and drive them through :class:`ProcRealClusterDriver`'s
+synchronous :class:`~repro.ports.ClusterPort` surface, so they live in
+the ``realnet`` lane.  Every blocking step carries its own timeout
+(process startup, settle polls, control-channel requests), so a wedged
+cluster fails the test instead of hanging CI.
+
+Wall time per scenario is dominated by child interpreter startup
+(~0.5s per site); the settle budgets absorb loaded shared runners.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.net.faults import Crash, FaultSchedule, Recover
+from repro.ports import ClusterPort, make_cluster
+from repro.trace.checks import check_enriched_views, check_view_synchrony
+
+pytestmark = pytest.mark.realnet
+
+#: Budget for each individual settle inside a scenario.
+SETTLE = 25.0
+
+
+def proc_cluster(n_sites: int, **kwargs) -> ClusterPort:
+    return make_cluster("realnet-proc", n_sites, **kwargs)
+
+
+def assert_no_violations(cluster: ClusterPort) -> None:
+    merged = cluster.gather_trace()
+    assert len(merged) > 0
+    reports = check_view_synchrony(merged) + check_enriched_views(merged)
+    for report in reports:
+        assert report.ok, f"{report.name}: {report.violations[:5]}"
+
+
+def test_proc_cluster_boots_to_a_common_view():
+    with contextlib.closing(proc_cluster(3, seed=1)) as cluster:
+        assert isinstance(cluster, ClusterPort)
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        views = set(cluster.views().values())
+        assert len(views) == 1
+        assert len(cluster.live_pids()) == 3
+        # Real frames crossed real sockets between real processes.
+        stats = cluster.network_stats()
+        assert stats.delivered > 0
+        assert_no_violations(cluster)
+
+
+def test_proc_cluster_fault_cycle_stays_view_synchronous():
+    """crash -> recover -> partition -> heal across process boundaries,
+    with application traffic in flight; the merged per-process trace
+    passes every checker."""
+    with contextlib.closing(proc_cluster(4, seed=3)) as cluster:
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        accepted = cluster.mcast_many(0, 4, ("client", 0, 0))
+        assert accepted == 4
+
+        cluster.crash(2)
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        assert len(cluster.live_pids()) == 3
+
+        stack = cluster.recover(2)  # blocks until the fresh process rejoined
+        assert stack.pid.incarnation == 1
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        assert stack.pid in cluster.live_pids()
+
+        cluster.partition([(0, 1), (2, 3)])
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        assert len(set(cluster.views().values())) == 2
+        cluster.mcast_many(3, 4, ("client", 3, 0))
+
+        cluster.heal()
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        assert len(set(cluster.views().values())) == 1
+
+        assert cluster.wait_until(
+            lambda c: c.delivered_total() > 0, timeout=SETTLE
+        )
+        assert_no_violations(cluster)
+
+
+def test_proc_cluster_armed_schedule_and_metrics():
+    """FaultSchedule.arm drives the child processes on the wall clock,
+    and metrics_snapshot merges per-process registries."""
+    with contextlib.closing(proc_cluster(3, seed=5)) as cluster:
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        schedule = FaultSchedule()
+        schedule.add(Crash(20.0, 1))
+        schedule.add(Recover(120.0, 1))
+        cluster.arm(schedule)
+        assert cluster.wait_until(
+            lambda c: not c.stack_at(1).alive, timeout=SETTLE
+        )
+        assert cluster.wait_until(
+            lambda c: c.stack_at(1).alive, timeout=SETTLE
+        )
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        cluster.mcast_many(0, 3, ("client", 0, 0))
+        assert cluster.wait_until(
+            lambda c: c.delivered_total() >= 9, timeout=SETTLE
+        )
+        snapshot = cluster.metrics_snapshot()
+        assert snapshot.total("deliveries_total") >= 9
+        assert_no_violations(cluster)
+
+
+def test_proc_cluster_join_grows_the_group():
+    with contextlib.closing(proc_cluster(3, seed=2)) as cluster:
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        stack = cluster.join(3)
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        assert stack.pid in cluster.live_pids()
+        assert len(cluster.live_pids()) == 4
+        assert len(set(cluster.views().values())) == 1
+        assert_no_violations(cluster)
+
+
+def test_proc_cluster_json_codec_interops():
+    with contextlib.closing(proc_cluster(3, seed=4, codec="json")) as cluster:
+        assert cluster.settle(timeout=SETTLE), cluster.views()
+        assert len(set(cluster.views().values())) == 1
+        stats = cluster.transport_stats()
+        assert stats["codecs"].get("json", 0) > 0
+        assert_no_violations(cluster)
+
+
+def test_checked_workload_runs_over_processes():
+    """The acceptance scenario: the figure-2 schedule plus a multicast
+    client drives six OS processes through the port and the merged
+    trace passes every view-synchrony check."""
+    from repro.workload.clients import MulticastClient
+    from repro.workload.runner import run_checked_workload
+    from repro.workload.scenarios import figure2_scenario
+
+    with contextlib.closing(proc_cluster(6, seed=11)) as cluster:
+        report = run_checked_workload(
+            cluster,
+            figure2_scenario(),
+            client_factories=[lambda c: MulticastClient(c, interval=20.0)],
+        )
+        assert report.settled, cluster.views()
+        assert report.violations == [], report.violations[:5]
+        assert report.events_checked > 0
+        assert all(c.stats.succeeded > 0 for c in report.clients)
+        assert cluster.network_stats().delivered > 0
+
+
+def test_proc_runtime_rejects_factory_closures():
+    with pytest.raises(ValueError, match="process boundary"):
+        make_cluster("realnet-proc", 3, app_factory=lambda pid: object())
+
+
+def test_proc_runtime_app_at_is_unavailable():
+    from repro.errors import SimulationError
+
+    with contextlib.closing(proc_cluster(3, seed=6)) as cluster:
+        assert cluster.settle(timeout=SETTLE)
+        with pytest.raises(SimulationError, match="child process"):
+            cluster.app_at(0)

@@ -41,7 +41,7 @@ def test_sim_cluster_satisfies_the_port_protocol():
 def test_make_cluster_rejects_unknown_runtime():
     with pytest.raises(ValueError, match="unknown runtime"):
         make_cluster("carrier-pigeon", 3)
-    assert set(RUNTIMES) == {"sim", "realnet"}
+    assert set(RUNTIMES) == {"sim", "realnet", "realnet-proc"}
 
 
 def test_make_cluster_forwards_seed_and_knobs():
