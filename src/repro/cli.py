@@ -27,6 +27,12 @@ Commands:
     (live registry values side by side with trace-derived aggregates);
     ``obs watch`` polls running realnet nodes for metric snapshots over
     their normal listening sockets.
+``fuzz``
+    Coverage-guided protocol fuzzer (``docs/fuzzing.md``): ``fuzz run``
+    mutates fault schedules toward novel protocol coverage and shrinks
+    failures to minimal reproducers; ``fuzz replay`` re-runs a corpus
+    entry and verifies its verdict; ``fuzz shrink`` minimizes one
+    entry; ``fuzz corpus`` summarizes a corpus directory.
 """
 
 from __future__ import annotations
@@ -98,7 +104,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     generator = RandomFaultGenerator(
-        n_sites=args.sites, seed=args.seed, duration=args.duration
+        n_sites=args.sites, seed=args.seed, duration=args.duration,
+        asymmetric=args.asymmetric,
     )
     schedule = generator.generate()
     if args.runtime == "realnet-proc":
@@ -336,6 +343,137 @@ def cmd_obs_watch(args: argparse.Namespace) -> int:
     )
 
 
+def _fuzz_config(args: argparse.Namespace, **overrides):
+    """FuzzConfig from the shared ``fuzz`` argparse surface."""
+    from repro.fuzz.engine import FuzzConfig
+
+    iterations = args.iterations
+    if iterations is None:
+        # No explicit cap: bounded by the time budget if one was given,
+        # else a small default so a bare `repro fuzz run` terminates.
+        iterations = None if args.time_budget else 25
+    checkers = tuple(args.checkers.split(",")) if args.checkers else None
+    kwargs = dict(
+        runtime=args.runtime,
+        n_sites=args.sites,
+        app=args.app,
+        seed=args.seed,
+        loss_prob=args.loss,
+        iterations=iterations,
+        time_budget_s=args.time_budget,
+        checkers=checkers,
+        planted_bug=args.plant,
+        asymmetric=args.asymmetric,
+        shrink_budget=args.shrink_budget,
+        auto_shrink=not args.no_shrink,
+    )
+    kwargs.update(overrides)
+    return FuzzConfig(**kwargs)
+
+
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    """Coverage-guided campaign; exits non-zero if any checker fired."""
+    from repro.fuzz.corpus import Corpus
+    from repro.fuzz.engine import FuzzEngine
+
+    config = _fuzz_config(args)
+    engine = FuzzEngine(config, corpus=Corpus(args.corpus), log=print)
+    stats = engine.run()
+    table = Table(
+        f"fuzz campaign (runtime={config.runtime} sites={config.n_sites} "
+        f"app={config.app} seed={config.seed})",
+        ["metric", "value"],
+    )
+    table.add("iterations", stats.iterations)
+    table.add("wall seconds", f"{stats.wall_s:.1f}")
+    table.add("coverage features", stats.features)
+    table.add("novel runs", stats.novel)
+    table.add("failing runs", stats.failures)
+    table.add("shrunk reproducers", len(stats.shrunk))
+    table.add("corpus entries", len(engine.corpus.entries))
+    table.show()
+    if args.corpus:
+        print(f"corpus saved under {args.corpus}")
+    _export_metrics(
+        engine.metrics.snapshot(source="fuzz"),
+        args.metrics, args.metrics_jsonl,
+    )
+    if stats.first_failure is not None:
+        print("\nfirst failure:")
+        for violation in stats.first_failure.violations[:5]:
+            print(f"  {violation}")
+    return 1 if stats.failures else 0
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """Replay a corpus entry; exits 0 iff its verdict reproduces."""
+    from repro.fuzz.corpus import CorpusEntry
+    from repro.fuzz.engine import FuzzEngine
+
+    entry = CorpusEntry.load(args.entry)
+    engine = FuzzEngine(_fuzz_config(args, iterations=0))
+    ok, executed = engine.replay(entry)
+    expected = ",".join(entry.failing_checkers) or "clean"
+    got = ",".join(executed.failing_checkers) or "clean"
+    print(f"entry {entry.entry_id}: expected [{expected}] got [{got}]")
+    for violation in executed.violations[:5]:
+        print(f"  {violation}")
+    print("reproduced" if ok else "DID NOT reproduce")
+    return 0 if ok else 1
+
+
+def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    """Shrink a failing entry to a minimal reproducer."""
+    from repro.fuzz.corpus import CorpusEntry
+    from repro.fuzz.engine import FuzzEngine
+
+    entry = CorpusEntry.load(args.entry)
+    engine = FuzzEngine(_fuzz_config(args, iterations=0))
+    if not entry.failing_checkers:
+        print("entry records no failing checkers; executing it first...")
+        entry = engine.execute_entry(entry)
+        if not entry.failing_checkers:
+            print("entry does not fail: nothing to shrink")
+            return 1
+    before = len(entry.schedule.actions)
+    shrunk, result = engine.shrink(entry, max_oracle_calls=args.shrink_budget)
+    out = args.out or args.entry.replace(".json", "") + ".min.json"
+    shrunk.save(out)
+    print(
+        f"shrunk {before} -> {len(shrunk.schedule.actions)} actions "
+        f"in {result.oracle_calls} replays; wrote {out}"
+    )
+    for action in shrunk.schedule.actions:
+        print(f"  {action!r}")
+    return 0
+
+
+def cmd_fuzz_corpus(args: argparse.Namespace) -> int:
+    """Show what a corpus directory contains."""
+    from repro.fuzz.corpus import Corpus
+
+    corpus = Corpus(args.corpus)
+    stats = corpus.stats()
+    table = Table(f"fuzz corpus ({args.corpus})", ["metric", "value"])
+    table.add("entries", stats["entries"])
+    table.add("coverage features", stats["features"])
+    table.add("failing entries", stats["failing"])
+    for kind, count in sorted(stats["kinds"].items()):
+        table.add(f"  kind={kind}", count)
+    table.show()
+    if corpus.failing:
+        print("\nfailing entries:")
+        for entry in corpus.failing:
+            checkers = ",".join(entry.failing_checkers)
+            print(
+                f"  {entry.entry_id}: {checkers} "
+                f"({len(entry.schedule.actions)} actions"
+                + (f", bug={entry.planted_bug}" if entry.planted_bug else "")
+                + ")"
+            )
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     table = Table("paper experiments (pytest benchmarks/ --benchmark-only)",
                   ["id", "what it reproduces", "benchmark"])
@@ -366,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=400.0)
     run.add_argument("--loss", type=float, default=0.0)
     run.add_argument("--app", choices=APP_NAMES, default="none")
+    run.add_argument("--asymmetric", action="store_true",
+                     help="include one-way link cuts in the generated "
+                          "schedule (asymmetric failures)")
     run.add_argument("--scale", type=float, default=1.0,
                      help="realnet only: stretch protocol timers (and the "
                           "schedule with them) by this factor")
@@ -480,6 +621,73 @@ def build_parser() -> argparse.ArgumentParser:
     owatch.add_argument("--codec", choices=("bin", "json"), default="bin",
                         help="preferred wire codec for the obs frames")
     owatch.set_defaults(func=cmd_obs_watch)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="coverage-guided protocol fuzzer (see docs/fuzzing.md)"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    def _fuzz_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runtime", choices=RUNTIMES, default="sim",
+                       help="backend the runs execute on")
+        p.add_argument("--sites", type=int, default=5)
+        p.add_argument("--app", choices=APP_NAMES, default="file",
+                       help="application under test (file exercises "
+                            "versioned state transfer)")
+        p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed: same seed, same schedules")
+        p.add_argument("--loss", type=float, default=0.0)
+        p.add_argument("--iterations", type=int, default=None,
+                       help="iteration budget (default 25, or unbounded "
+                            "when --time-budget is given)")
+        p.add_argument("--time-budget", type=float, default=None,
+                       metavar="SECONDS", help="wall-clock budget")
+        p.add_argument("--checkers", default=None, metavar="NAME[,NAME...]",
+                       help="pluggable checkers to run (registry names or "
+                            "module:attr specs; default: all registered)")
+        p.add_argument("--plant", default=None, metavar="BUG",
+                       help="arm a planted protocol bug (test-only hook; "
+                            "see repro.fuzz.bugs.KNOWN_BUGS)")
+        p.add_argument("--asymmetric", action="store_true",
+                       help="generate one-way link cuts too")
+        p.add_argument("--shrink-budget", type=int, default=80,
+                       help="replay budget per automatic shrink")
+        p.add_argument("--no-shrink", action="store_true",
+                       help="collect failures without shrinking them")
+
+    frun = fuzz_sub.add_parser(
+        "run", help="fuzz until the iteration/time budget is spent"
+    )
+    _fuzz_common(frun)
+    frun.add_argument("--corpus", default=None, metavar="DIR",
+                      help="directory to persist/resume the corpus")
+    frun.add_argument("--metrics", metavar="FILE", default=None,
+                      help="write campaign metrics (Prometheus text) to FILE")
+    frun.add_argument("--metrics-jsonl", metavar="FILE", default=None,
+                      help="write campaign metrics as JSONL to FILE")
+    frun.set_defaults(func=cmd_fuzz_run)
+
+    freplay = fuzz_sub.add_parser(
+        "replay", help="re-run one corpus entry and verify its verdict"
+    )
+    freplay.add_argument("entry", help="corpus entry JSON file")
+    _fuzz_common(freplay)
+    freplay.set_defaults(func=cmd_fuzz_replay)
+
+    fshrink = fuzz_sub.add_parser(
+        "shrink", help="minimize a failing entry to a reproducer"
+    )
+    fshrink.add_argument("entry", help="corpus entry JSON file")
+    fshrink.add_argument("-o", "--out", default=None,
+                         help="output file (default: <entry>.min.json)")
+    _fuzz_common(fshrink)
+    fshrink.set_defaults(func=cmd_fuzz_shrink)
+
+    fcorpus = fuzz_sub.add_parser(
+        "corpus", help="summarize a corpus directory"
+    )
+    fcorpus.add_argument("corpus", help="corpus directory")
+    fcorpus.set_defaults(func=cmd_fuzz_corpus)
 
     experiments = sub.add_parser("experiments", help="list paper experiments")
     experiments.set_defaults(func=cmd_experiments)

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any
 from repro.core.classify import classify_enriched
 from repro.core.mode_functions import Capability
 from repro.evs.eview import EView
+from repro.fuzz import bugs as _fuzz_bugs
 from repro.trace.events import AppEvent
 from repro.types import ProcessId
 
@@ -154,6 +155,11 @@ class SettlementEngine:
         verdict = classify_enriched(
             eview, self.obj.automaton.mode_function.n_capable
         )
+        if verdict.donor_subviews and _fuzz_bugs.active("lost_settlement"):
+            # Planted bug (test-only): the leader silently never starts
+            # transfer/merge sessions, so a process that joined after
+            # the initial creation never reconciles back to N-mode.
+            return
         if verdict.donor_subviews:
             responders = frozenset(
                 min(sv.members) for sv in verdict.donor_subviews
@@ -227,7 +233,33 @@ class SettlementEngine:
             chosen = offers[0].snapshot
         else:
             chosen = self.obj.merge_states(offers)
-        self._record("settle_decide", {"kind": session.kind, "offers": len(offers)})
+        if _fuzz_bugs.active("stale_transfer") and session.kind != "creation":
+            # Planted bug (test-only): the leader ignores the donors and
+            # adopts its own state — stale whenever it was not a donor.
+            chosen = (
+                self.obj.snapshot_state(),
+                frozenset(getattr(self.obj, "_applied_ops", ())),
+                self.obj.version,
+            )
+        # The versions of every offer plus the adopted one go into the
+        # trace: the StaleStateTransfer detector (repro.fuzz.checkers)
+        # flags a transfer/merge that adopted less than the best offer.
+        chosen_version = (
+            chosen[2]
+            if isinstance(chosen, tuple)
+            and len(chosen) == 3
+            and isinstance(chosen[2], int)
+            else None
+        )
+        self._record(
+            "settle_decide",
+            {
+                "kind": session.kind,
+                "offers": len(offers),
+                "versions": tuple(sorted(o.version for o in offers)),
+                "chosen_version": chosen_version,
+            },
+        )
         return chosen
 
     def _offer_locally(self, request: StateRequest) -> None:

@@ -1,0 +1,250 @@
+"""Schedule mutations for the coverage-guided loop.
+
+Mutators are closed over :class:`~repro.net.faults.FaultSchedule`: each
+takes a parent schedule plus a seeded ``random.Random`` and returns a
+*candidate* child.  Candidates are then repaired by
+:func:`normalize_schedule`, which restores the well-formedness the
+simulator demands (crash/recover parity, a final heal after cuts) while
+preserving as much of the mutation as possible — so the fuzzer explores
+aggressively but never wastes a run on a schedule ``validate()`` would
+reject.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.faults import (
+    Crash,
+    FaultAction,
+    FaultSchedule,
+    Heal,
+    OneWayCut,
+    OneWayHeal,
+    Partition,
+    Recover,
+)
+
+
+def _sorted_actions(schedule: FaultSchedule) -> list[FaultAction]:
+    return sorted(schedule.actions, key=lambda a: (a.time, repr(a)))
+
+
+def _random_time(rng: random.Random, schedule: FaultSchedule) -> float:
+    horizon = max(schedule.horizon, 120.0)
+    return round(rng.uniform(60.0, horizon + 120.0), 1)
+
+
+def _random_split(
+    rng: random.Random, n_sites: int
+) -> tuple[tuple[int, ...], ...]:
+    sites = list(range(n_sites))
+    rng.shuffle(sites)
+    n_groups = rng.randint(2, max(2, min(3, n_sites)))
+    groups: list[list[int]] = [[] for _ in range(n_groups)]
+    for index, site in enumerate(sites):
+        groups[index % n_groups].append(site)
+    return tuple(tuple(sorted(g)) for g in groups if g)
+
+
+def _random_action(
+    rng: random.Random, time: float, n_sites: int
+) -> FaultAction:
+    kind = rng.choice(("crash", "recover", "partition", "heal", "oneway"))
+    if kind == "crash":
+        return Crash(time, rng.randrange(n_sites))
+    if kind == "recover":
+        return Recover(time, rng.randrange(n_sites))
+    if kind == "partition":
+        return Partition(time, _random_split(rng, n_sites))
+    if kind == "heal":
+        return Heal(time)
+    src = rng.randrange(n_sites)
+    dst = (src + 1 + rng.randrange(max(1, n_sites - 1))) % n_sites
+    return OneWayCut(time, src, dst)
+
+
+# -- the mutator library ----------------------------------------------------
+
+
+def drop_action(
+    schedule: FaultSchedule, rng: random.Random, n_sites: int
+) -> FaultSchedule:
+    """Remove one random action."""
+    actions = list(schedule.actions)
+    if actions:
+        actions.pop(rng.randrange(len(actions)))
+    return FaultSchedule(actions)
+
+
+def insert_action(
+    schedule: FaultSchedule, rng: random.Random, n_sites: int
+) -> FaultSchedule:
+    """Insert one fresh random action at a random time."""
+    actions = list(schedule.actions)
+    actions.append(_random_action(rng, _random_time(rng, schedule), n_sites))
+    return FaultSchedule(actions)
+
+
+def shift_time(
+    schedule: FaultSchedule, rng: random.Random, n_sites: int
+) -> FaultSchedule:
+    """Jitter one action's time — reorders it relative to its peers,
+    which is exactly what exercises view-change races."""
+    actions = list(schedule.actions)
+    if actions:
+        index = rng.randrange(len(actions))
+        action = actions[index]
+        delta = rng.choice((-80.0, -30.0, -10.0, 10.0, 30.0, 80.0))
+        actions[index] = type(action)(
+            **{
+                **{
+                    f: getattr(action, f)
+                    for f in action.__dataclass_fields__
+                },
+                "time": round(max(10.0, action.time + delta), 1),
+            }
+        )
+    return FaultSchedule(actions)
+
+
+def retarget_site(
+    schedule: FaultSchedule, rng: random.Random, n_sites: int
+) -> FaultSchedule:
+    """Point one site-bearing action at a different site."""
+    actions = list(schedule.actions)
+    sited = [i for i, a in enumerate(actions) if hasattr(a, "site")]
+    if sited:
+        index = rng.choice(sited)
+        action = actions[index]
+        actions[index] = type(action)(
+            time=action.time, site=rng.randrange(n_sites)
+        )
+    return FaultSchedule(actions)
+
+
+def reshape_partition(
+    schedule: FaultSchedule, rng: random.Random, n_sites: int
+) -> FaultSchedule:
+    """Replace one partition's groups with a fresh random split."""
+    actions = list(schedule.actions)
+    parts = [i for i, a in enumerate(actions) if isinstance(a, Partition)]
+    if parts:
+        index = rng.choice(parts)
+        actions[index] = Partition(
+            actions[index].time, _random_split(rng, n_sites)
+        )
+    else:
+        actions.append(
+            Partition(_random_time(rng, schedule), _random_split(rng, n_sites))
+        )
+    return FaultSchedule(actions)
+
+
+def splice(
+    first: FaultSchedule,
+    second: FaultSchedule,
+    rng: random.Random,
+    n_sites: int,
+) -> FaultSchedule:
+    """Crossover: the early prefix of one parent plus the late suffix of
+    the other."""
+    cut = _random_time(rng, first)
+    actions = [a for a in first.actions if a.time <= cut]
+    actions += [a for a in second.actions if a.time > cut]
+    return FaultSchedule(actions)
+
+
+MUTATORS = (
+    drop_action,
+    insert_action,
+    shift_time,
+    retarget_site,
+    reshape_partition,
+)
+
+
+def mutate(
+    schedule: FaultSchedule,
+    rng: random.Random,
+    n_sites: int,
+    other: FaultSchedule | None = None,
+) -> FaultSchedule:
+    """One mutation step: a random mutator (or a splice with ``other``),
+    then repair."""
+    if other is not None and other.actions and rng.random() < 0.2:
+        child = splice(schedule, other, rng, n_sites)
+    else:
+        mutator = rng.choice(MUTATORS)
+        child = mutator(schedule, rng, n_sites)
+    return normalize_schedule(child, n_sites)
+
+
+def normalize_schedule(schedule: FaultSchedule, n_sites: int) -> FaultSchedule:
+    """Repair a candidate into a well-formed, settleable schedule.
+
+    * actions sorted by time; site indices folded into the universe;
+    * crash/recover parity enforced (a crash of a down site or a recover
+      of an up site is dropped — mutations made it meaningless);
+    * every site left down gets a trailing recovery, and any surviving
+      partition or one-way cut gets a trailing heal, so the run can
+      settle and the property checks apply.
+
+    The repaired schedule passes :meth:`FaultSchedule.validate`.
+    """
+    down: set[int] = set()
+    open_cuts: set[tuple[int, int]] = set()
+    partitioned = False
+    repaired: list[FaultAction] = []
+    for action in _sorted_actions(schedule):
+        if isinstance(action, Crash):
+            site = action.site % n_sites
+            if site in down:
+                continue
+            down.add(site)
+            action = Crash(action.time, site)
+        elif isinstance(action, Recover):
+            site = action.site % n_sites
+            if site not in down:
+                continue
+            down.discard(site)
+            action = Recover(action.time, site)
+        elif isinstance(action, Partition):
+            groups = tuple(
+                tuple(sorted({s % n_sites for s in group}))
+                for group in action.groups
+                if group
+            )
+            covered = {s for g in groups for s in g}
+            missing = tuple(sorted(set(range(n_sites)) - covered))
+            if missing:
+                groups += (missing,)
+            if len(groups) < 2:
+                continue
+            partitioned = True
+            open_cuts.clear()
+            action = Partition(action.time, groups)
+        elif isinstance(action, Heal):
+            partitioned = False
+            open_cuts.clear()
+        elif isinstance(action, OneWayCut):
+            src, dst = action.src % n_sites, action.dst % n_sites
+            if src == dst or (src, dst) in open_cuts:
+                continue
+            open_cuts.add((src, dst))
+            action = OneWayCut(action.time, src, dst)
+        elif isinstance(action, OneWayHeal):
+            src, dst = action.src % n_sites, action.dst % n_sites
+            if (src, dst) not in open_cuts:
+                continue
+            open_cuts.discard((src, dst))
+            action = OneWayHeal(action.time, src, dst)
+        repaired.append(action)
+    time = max((a.time for a in repaired), default=0.0)
+    for site in sorted(down):
+        time += 15.0
+        repaired.append(Recover(time, site))
+    if partitioned or open_cuts:
+        time += 15.0
+        repaired.append(Heal(time))
+    return FaultSchedule(repaired)

@@ -1,0 +1,198 @@
+"""Automatic schedule shrinking (delta debugging).
+
+A failing fuzz schedule usually carries dozens of irrelevant actions.
+:func:`shrink_schedule` reduces it to a minimal reproducer with the
+classic ddmin loop — try dropping chunks of actions, re-run, keep the
+candidate whenever the *same checkers still fail* — followed by
+cheaper cosmetic passes (pull actions earlier, round times) that make
+the reproducer humane without changing what it exercises.
+
+The oracle is any callable from a candidate schedule to the set of
+failing checker names; the engine's oracle replays the candidate on a
+fresh cluster with the same seed, workload and planted bug as the
+original failure.  Every oracle call is a full run, so the loop is
+budgeted by *oracle calls*, not wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.net.faults import FaultAction, FaultSchedule
+
+#: candidate schedule -> names of checkers that fail on it.
+ShrinkOracle = Callable[[FaultSchedule], "frozenset[str] | set[str]"]
+
+
+@dataclass
+class ShrinkResult:
+    """What the shrinking loop achieved."""
+
+    schedule: FaultSchedule
+    target: frozenset[str]  # the checkers every kept candidate fails
+    oracle_calls: int = 0
+    rounds: int = 0
+    #: Action counts along the way, for reporting.
+    history: list[int] = field(default_factory=list)
+
+    @property
+    def actions(self) -> int:
+        return len(self.schedule.actions)
+
+
+def _still_fails(
+    oracle: ShrinkOracle, candidate: FaultSchedule, target: frozenset[str]
+) -> bool:
+    return target <= frozenset(oracle(candidate))
+
+
+def _chunks(actions: Sequence[FaultAction], n: int) -> list[list[FaultAction]]:
+    """Split into n (nearly) equal contiguous chunks."""
+    size, extra = divmod(len(actions), n)
+    out: list[list[FaultAction]] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        out.append(list(actions[start:end]))
+        start = end
+    return [c for c in out if c]
+
+
+def shrink_schedule(
+    schedule: FaultSchedule,
+    oracle: ShrinkOracle,
+    *,
+    target: Iterable[str] | None = None,
+    max_oracle_calls: int = 120,
+    repair: Callable[[FaultSchedule], FaultSchedule] | None = None,
+) -> ShrinkResult:
+    """ddmin the action list, then compress the timeline.
+
+    ``target`` is the set of checker names the reproducer must keep
+    failing; by default it is whatever the oracle reports for the input
+    schedule (one extra call).  ``repair`` (e.g.
+    :func:`~repro.fuzz.mutate.normalize_schedule`) maps every candidate
+    to a well-formed schedule before the oracle sees it — dropping a
+    chunk can orphan a recovery, and the repaired form is what gets
+    kept.  Returns the smallest schedule found — the input itself if
+    nothing smaller reproduces.
+    """
+    calls = 0
+
+    def ask(candidate: FaultSchedule) -> FaultSchedule | None:
+        """The repaired candidate if it still reproduces, else None."""
+        nonlocal calls
+        if repair is not None:
+            candidate = repair(candidate)
+        calls += 1
+        return candidate if _still_fails(oracle, candidate, goal) else None
+
+    if target is None:
+        goal = frozenset(oracle(schedule))
+        calls += 1
+    else:
+        goal = frozenset(target)
+    result = ShrinkResult(schedule=schedule, target=goal)
+    if not goal:
+        result.oracle_calls = calls
+        return result  # nothing fails: nothing to preserve
+
+    # Phase 1: ddmin on the action list.
+    best = sorted(schedule.actions, key=lambda a: (a.time, repr(a)))
+    granularity = 2
+    rounds = 0
+    while len(best) > 1 and calls < max_oracle_calls:
+        rounds += 1
+        chunks = _chunks(best, min(granularity, len(best)))
+        shrunk = False
+        # Try each complement (drop one chunk at a time).
+        for index in range(len(chunks)):
+            if calls >= max_oracle_calls:
+                break
+            candidate = [
+                action
+                for ci, chunk in enumerate(chunks)
+                if ci != index
+                for action in chunk
+            ]
+            if not candidate or len(candidate) >= len(best):
+                continue
+            kept = ask(FaultSchedule(list(candidate)))
+            if kept is not None and len(kept.actions) < len(best):
+                best = sorted(
+                    kept.actions, key=lambda a: (a.time, repr(a))
+                )
+                granularity = max(granularity - 1, 2)
+                shrunk = True
+                break
+        if not shrunk:
+            if granularity >= len(best):
+                break
+            granularity = min(len(best), granularity * 2)
+        result.history.append(len(best))
+
+    # Phase 2: timeline compression — shift the whole schedule earlier
+    # and round action times; purely cosmetic unless the oracle objects.
+    current = FaultSchedule(list(best))
+    slack = min((a.time for a in current.actions), default=0.0) - 120.0
+    if slack > 1.0 and calls < max_oracle_calls:
+        kept = ask(current.shifted(-slack))
+        if kept is not None:
+            current = kept
+    if calls < max_oracle_calls:
+        candidate = FaultSchedule(
+            [
+                type(a)(
+                    **{
+                        **{
+                            f: getattr(a, f)
+                            for f in a.__dataclass_fields__
+                        },
+                        "time": float(round(a.time)),
+                    }
+                )
+                for a in current.actions
+            ]
+        )
+        if candidate != current:
+            kept = ask(candidate)
+            if kept is not None:
+                current = kept
+
+    result.schedule = current
+    result.oracle_calls = calls
+    result.rounds = rounds
+    return result
+
+
+def shrink_entry(entry, execute, *, max_oracle_calls: int = 120):
+    """Shrink a failing corpus entry with an entry-level executor.
+
+    ``execute`` runs a :class:`~repro.fuzz.corpus.CorpusEntry` and
+    returns the executed entry (with ``failing_checkers`` filled in) —
+    the engine provides this.  Returns ``(shrunk_entry, ShrinkResult)``
+    where the entry is marked ``kind="shrunk"`` with ``parent`` set.
+    """
+
+    from repro.fuzz.mutate import normalize_schedule
+
+    def oracle(candidate: FaultSchedule):
+        ran = execute(entry.with_schedule(candidate))
+        return frozenset(ran.failing_checkers)
+
+    # "Unsettled" is a run verdict, not a bug pattern — do not force
+    # the minimal reproducer to also fail to converge.
+    goal = tuple(n for n in entry.failing_checkers if n != "Unsettled")
+    result = shrink_schedule(
+        entry.schedule,
+        oracle,
+        target=goal or None,
+        max_oracle_calls=max_oracle_calls,
+        repair=lambda s: normalize_schedule(s, entry.workload.n_sites),
+    )
+    final = execute(entry.with_schedule(result.schedule))
+    from dataclasses import replace
+
+    shrunk = replace(final, kind="shrunk", parent=entry.entry_id)
+    return shrunk, result

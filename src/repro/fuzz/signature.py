@@ -1,0 +1,171 @@
+"""Protocol-coverage signatures over a merged trace.
+
+The fuzzer steers by *protocol states reached*, not code coverage: a
+run's signature is the set of structural features its trace exhibits —
+view-graph shapes, cluster decompositions (how many concurrent views of
+which sizes coexisted), e-view merge patterns, mode-transition
+sequences, and settlement activity.  Two runs that visit the same
+features are equivalent to the fuzzer; a run contributing *any* unseen
+feature is novel and enters the corpus.
+
+Features are small tuples of strings/ints, so signatures are hashable,
+comparable across runs and runtimes, and JSON-serializable (each
+feature encodes as a list).  Counts are bucketed logarithmically where
+they appear, so signatures stay finite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.trace.events import (
+    AppEvent,
+    EViewChangeEvent,
+    ModeChangeEvent,
+    RecoverEvent,
+    ViewInstallEvent,
+)
+from repro.trace.recorder import TraceRecorder
+
+#: One coverage feature; the first element names its kind.
+Feature = tuple
+
+#: JSON encoding of a signature: sorted list of feature lists.
+
+
+def _bucket(count: int) -> int:
+    """Log2 bucket, so unbounded counts yield bounded feature sets."""
+    bucket = 0
+    while count > 1:
+        count >>= 1
+        bucket += 1
+    return bucket
+
+
+def _view_graph_features(rec: TraceRecorder) -> set[Feature]:
+    """Shapes of the view DAG: transition size pairs and chain depth."""
+    feats: set[Feature] = set()
+    size_of: dict = {}
+    for ev in rec.of_type(ViewInstallEvent):
+        size_of[ev.view_id] = len(ev.members)
+    depth: dict = {}
+    for ev in rec.of_type(ViewInstallEvent):
+        if ev.prev_view_id is None:
+            feats.add(("vroot", len(ev.members)))
+            depth.setdefault(ev.view_id, 0)
+            continue
+        prev_size = size_of.get(ev.prev_view_id)
+        if prev_size is not None:
+            relation = (
+                "grow"
+                if len(ev.members) > prev_size
+                else "shrink" if len(ev.members) < prev_size else "same"
+            )
+            feats.add(("vchg", prev_size, len(ev.members), relation))
+        depth[ev.view_id] = depth.get(ev.prev_view_id, 0) + 1
+    if depth:
+        feats.add(("vdepth", _bucket(max(depth.values()) + 1)))
+    feats.add(("nviews", _bucket(len(size_of) + 1)))
+    return feats
+
+
+def _decomposition_features(rec: TraceRecorder) -> set[Feature]:
+    """Concurrent-view decompositions: after every install, the multiset
+    of live current-view sizes (e.g. ``(4, 2)`` for Figure 2)."""
+    feats: set[Feature] = set()
+    current: dict = {}  # pid -> view_id
+    size_of: dict = {}
+    for ev in rec.events:
+        if type(ev) is not ViewInstallEvent:
+            continue
+        size_of[ev.view_id] = len(ev.members)
+        current[ev.pid] = ev.view_id
+        views = set(current.values())
+        sizes = tuple(sorted((size_of[v] for v in views), reverse=True))
+        feats.add(("decomp", sizes))
+    return feats
+
+
+def _eview_features(rec: TraceRecorder) -> set[Feature]:
+    """E-view merge/split patterns: subview-count steps and the shapes
+    (subview size multisets) the structure passes through."""
+    feats: set[Feature] = set()
+    canonical: dict = {}  # (view, seq) -> subviews snapshot, first seen
+    for ev in rec.of_type(EViewChangeEvent):
+        canonical.setdefault((ev.view_id, ev.eview_seq), ev.subviews)
+    by_view: dict = {}
+    for (view_id, seq), subviews in canonical.items():
+        by_view.setdefault(view_id, {})[seq] = subviews
+    for seq_map in by_view.values():
+        for seq in sorted(seq_map):
+            subviews = seq_map[seq]
+            shape = tuple(
+                sorted((len(members) for _, members in subviews), reverse=True)
+            )
+            feats.add(("eshape", shape))
+            before = seq_map.get(seq - 1)
+            if before is not None:
+                feats.add(("estep", len(before), len(subviews)))
+        if seq_map:
+            feats.add(("echanges", _bucket(max(seq_map) + 1)))
+    return feats
+
+
+def _mode_features(rec: TraceRecorder) -> set[Feature]:
+    """Mode-automaton coverage: edges taken plus per-process transition
+    bigrams (which *sequences* of Figure-1 edges occurred)."""
+    feats: set[Feature] = set()
+    per_pid: dict = {}
+    for ev in rec.of_type(ModeChangeEvent):
+        feats.add(("mode", ev.old_mode or "-", ev.new_mode, ev.transition))
+        per_pid.setdefault(ev.pid, []).append(ev.transition)
+    for transitions in per_pid.values():
+        for earlier, later in zip(transitions, transitions[1:]):
+            feats.add(("mseq", earlier, later))
+    return feats
+
+
+def _env_and_settle_features(rec: TraceRecorder) -> set[Feature]:
+    """Settlement activity (tag x kind) and incarnation depth."""
+    feats: set[Feature] = set()
+    for ev in rec.of_type(AppEvent):
+        if ev.tag.startswith("settle"):
+            kind = ev.data.get("kind", "") if isinstance(ev.data, dict) else ""
+            feats.add(("settle", ev.tag, kind))
+    max_inc = 0
+    for ev in rec.of_type(RecoverEvent):
+        max_inc = max(max_inc, ev.pid.incarnation)
+    if max_inc:
+        feats.add(("incarnations", _bucket(max_inc + 1)))
+    return feats
+
+
+def coverage_signature(rec: TraceRecorder) -> frozenset[Feature]:
+    """The full protocol-coverage signature of one recorded run."""
+    feats: set[Feature] = set()
+    feats |= _view_graph_features(rec)
+    feats |= _decomposition_features(rec)
+    feats |= _eview_features(rec)
+    feats |= _mode_features(rec)
+    feats |= _env_and_settle_features(rec)
+    return frozenset(feats)
+
+
+def signature_to_json(signature: Iterable[Feature]) -> list[list]:
+    """Signature as sorted JSON-ready lists (tuples become lists)."""
+
+    def encode(value):
+        if isinstance(value, tuple):
+            return [encode(v) for v in value]
+        return value
+
+    return sorted((encode(f) for f in signature), key=repr)
+
+
+def signature_from_json(payload: Iterable[list]) -> frozenset[Feature]:
+    def decode(value):
+        if isinstance(value, list):
+            return tuple(decode(v) for v in value)
+        return value
+
+    return frozenset(decode(f) for f in payload)

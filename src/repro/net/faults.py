@@ -15,8 +15,9 @@ scaled` (see :attr:`repro.ports.ClusterPort.time_scale`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Protocol, Sequence
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Protocol, Sequence
 
 from repro.errors import SimulationError
 from repro.ports import SchedulerPort
@@ -117,6 +118,47 @@ class OneWayHeal:
 
 FaultAction = Crash | Recover | Partition | Heal | Join | OneWayCut | OneWayHeal
 
+#: JSON type tag -> action class, for schedule (de)serialization.
+ACTION_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (Crash, Recover, Partition, Heal, Join, OneWayCut, OneWayHeal)
+}
+
+
+def action_to_json_obj(action: FaultAction) -> dict[str, Any]:
+    """One action as a plain-JSON dict (``{"type": ..., fields...}``)."""
+    payload: dict[str, Any] = {"type": type(action).__name__}
+    for f in fields(action):
+        value = getattr(action, f.name)
+        if f.name == "groups":
+            value = [list(group) for group in value]
+        payload[f.name] = value
+    return payload
+
+
+def action_from_json_obj(payload: dict[str, Any]) -> FaultAction:
+    """Inverse of :func:`action_to_json_obj`; raises on unknown types
+    or unknown fields so corrupted corpus entries fail loudly."""
+    data = dict(payload)
+    type_name = data.pop("type", None)
+    cls = ACTION_TYPES.get(type_name)
+    if cls is None:
+        raise SimulationError(
+            f"unknown fault action type {type_name!r}; "
+            f"expected one of {sorted(ACTION_TYPES)}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise SimulationError(
+            f"{type_name} does not take fields {sorted(unknown)}"
+        )
+    if "groups" in data:
+        data["groups"] = tuple(
+            tuple(int(site) for site in group) for group in data["groups"]
+        )
+    return cls(**data)
+
 
 @dataclass
 class FaultSchedule:
@@ -189,3 +231,27 @@ class FaultSchedule:
         if not self.actions:
             return 0.0
         return max(a.time for a in self.actions)
+
+    # -- durable artifacts ------------------------------------------------
+    #
+    # Schedules are corpus entries and shrunk reproducers for the fuzzer
+    # (:mod:`repro.fuzz`), so they round-trip exactly through JSON *and*
+    # through ``repr`` (every action is a frozen dataclass whose repr is
+    # an evaluable constructor call).
+
+    def to_json_obj(self) -> dict[str, Any]:
+        return {"actions": [action_to_json_obj(a) for a in self.actions]}
+
+    @classmethod
+    def from_json_obj(cls, payload: dict[str, Any]) -> "FaultSchedule":
+        actions = payload.get("actions")
+        if not isinstance(actions, list):
+            raise SimulationError("fault schedule JSON needs an 'actions' list")
+        return cls([action_from_json_obj(a) for a in actions])
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_json_obj(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_json_obj(json.loads(text))

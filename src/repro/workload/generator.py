@@ -23,6 +23,15 @@ from repro.net.faults import (
 )
 
 
+#: The action kinds ``weights`` may mention; anything else is a typo
+#: that would otherwise silently skew the mix.
+KNOWN_WEIGHT_KEYS = frozenset({"crash", "recover", "partition", "heal", "oneway"})
+
+#: Weight given to one-way cuts when ``asymmetric=True`` and the caller
+#: did not set an explicit ``oneway`` weight.
+DEFAULT_ONEWAY_WEIGHT = 0.75
+
+
 @dataclass
 class RandomFaultGenerator:
     """Generator of random, valid fault schedules."""
@@ -43,6 +52,20 @@ class RandomFaultGenerator:
     )
     max_down_fraction: float = 0.5
     settle_tail: float = 250.0
+    #: Include asymmetric (one-way) link cuts by default: gives the
+    #: ``oneway`` kind :data:`DEFAULT_ONEWAY_WEIGHT` unless the weights
+    #: dict already names it explicitly (non-zero).
+    asymmetric: bool = False
+
+    def __post_init__(self) -> None:
+        unknown = set(self.weights) - KNOWN_WEIGHT_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown fault weights {sorted(unknown)}; "
+                f"known kinds: {sorted(KNOWN_WEIGHT_KEYS)}"
+            )
+        if self.asymmetric and not self.weights.get("oneway", 0.0):
+            self.weights = {**self.weights, "oneway": DEFAULT_ONEWAY_WEIGHT}
 
     def generate(self) -> FaultSchedule:
         rng = random.Random(self.seed)

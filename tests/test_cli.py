@@ -139,3 +139,44 @@ def test_obs_watch_parses_targets():
     )
     assert args.func.__name__ == "cmd_obs_watch"
     assert args.targets == ["127.0.0.1:7400", ":7401"]
+
+
+def test_fuzz_run_command_clean_campaign(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    assert main(["fuzz", "run", "--iterations", "3", "--seed", "1",
+                 "--corpus", str(corpus)]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz campaign" in out
+    assert "failing runs" in out
+    assert list(corpus.glob("*.json"))  # novel entries persisted
+
+
+def test_fuzz_corpus_and_replay_roundtrip(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    assert main(["fuzz", "run", "--iterations", "2", "--seed", "5",
+                 "--corpus", str(corpus)]) == 0
+    capsys.readouterr()
+    assert main(["fuzz", "corpus", str(corpus)]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out
+    entry = sorted(corpus.glob("*.json"))[0]
+    assert main(["fuzz", "replay", str(entry)]) == 0
+    out = capsys.readouterr().out
+    assert "reproduce" in out
+
+
+def test_fuzz_replay_checked_in_reproducer(capsys):
+    from pathlib import Path
+
+    reproducer = (
+        Path(__file__).resolve().parents[1]
+        / "corpus" / "lost_settlement_min.json"
+    )
+    assert main(["fuzz", "replay", str(reproducer)]) == 0
+    out = capsys.readouterr().out
+    assert "LostSettlement" in out
+
+
+def test_fuzz_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fuzz"])

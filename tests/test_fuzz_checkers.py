@@ -1,0 +1,307 @@
+"""The fuzzer's pluggable detectors must detect, not just pass.
+
+Mirrors ``test_trace_checks.py``: each test fabricates a synthetic
+trace seeded with exactly one bug pattern and asserts the checker flags
+it — plus the clean variant that must stay silent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fuzz.checkers import (
+    CheckContext,
+    LostSettlementChecker,
+    StaleStateTransferChecker,
+    SubviewMergeAtomicityChecker,
+    TraceChecker,
+    ZombieIncarnationChecker,
+    load_checker,
+    make_checkers,
+    register_checker,
+    registered_checkers,
+    run_checkers,
+)
+from repro.trace.events import (
+    AppEvent,
+    CrashEvent,
+    DeliveryEvent,
+    EViewChangeEvent,
+    ModeChangeEvent,
+    RecoverEvent,
+    ViewInstallEvent,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.types import MessageId, ProcessId, SubviewId, SvSetId, ViewId
+
+P0, P1, P2 = ProcessId(0), ProcessId(1), ProcessId(2)
+V1 = ViewId(1, P0)
+V2 = ViewId(2, P0)
+CTX = CheckContext(time_scale=1.0, n_sites=3)
+
+
+def _install(rec, t, pid, vid, members, prev):
+    rec.record(
+        ViewInstallEvent(
+            time=t, pid=pid, view_id=vid,
+            members=frozenset(members), prev_view_id=prev,
+        )
+    )
+
+
+def _structure(rec, t, pid, vid, seq, groups):
+    subviews = tuple(
+        (SubviewId(vid.epoch, min(g), i), frozenset(g))
+        for i, g in enumerate(groups)
+    )
+    svsets = tuple(
+        (SvSetId(vid.epoch, min(g), i), frozenset({subviews[i][0]}))
+        for i, g in enumerate(groups)
+    )
+    rec.record(
+        EViewChangeEvent(
+            time=t, pid=pid, view_id=vid, eview_seq=seq,
+            subviews=subviews, svsets=svsets,
+        )
+    )
+
+
+def _mode(rec, t, pid, old, new, transition):
+    rec.record(
+        ModeChangeEvent(
+            time=t, pid=pid, old_mode=old, new_mode=new,
+            transition=transition, view_id=V1,
+        )
+    )
+
+
+def _decide(rec, t, pid, kind, versions, chosen):
+    rec.record(
+        AppEvent(
+            time=t, pid=pid, tag="settle_decide",
+            data={
+                "kind": kind, "offers": len(versions),
+                "versions": tuple(versions), "chosen_version": chosen,
+            },
+        )
+    )
+
+
+# -- StaleStateTransfer -----------------------------------------------------
+
+
+def test_stale_transfer_flags_adopting_below_best_offer():
+    rec = TraceRecorder()
+    _decide(rec, 10, P0, "transfer", (3, 7), 3)
+    report = StaleStateTransferChecker().run(rec, CTX)
+    assert not report.ok
+    assert "adopted version 3" in report.violations[0]
+
+
+def test_stale_transfer_passes_when_best_offer_adopted():
+    rec = TraceRecorder()
+    _decide(rec, 10, P0, "transfer", (3, 7), 7)
+    _decide(rec, 20, P0, "merge", (5, 5), 5)
+    report = StaleStateTransferChecker().run(rec, CTX)
+    assert report.ok and report.checked == 2
+
+
+def test_stale_transfer_ignores_creation_and_untagged_decides():
+    rec = TraceRecorder()
+    # Creation may legitimately prefer an older-versioned snapshot.
+    _decide(rec, 10, P0, "creation", (3, 7), 3)
+    # A trace from before version accounting carries no chosen_version.
+    _decide(rec, 20, P0, "transfer", (3, 7), None)
+    report = StaleStateTransferChecker().run(rec, CTX)
+    assert report.ok
+
+
+# -- LostSettlement ---------------------------------------------------------
+
+
+def _stuck_in_s(rec, *, end=500.0):
+    """P0 enters S at t=10, view stable, nothing else happens."""
+    _install(rec, 10, P0, V1, {P0, P1}, None)
+    _mode(rec, 10, P0, "N", "S", "Failure")
+    _mode(rec, 10, P1, "N", "N", "Reconcile")
+    rec.record(AppEvent(time=end, pid=P1, tag="tick", data=None))
+
+
+def test_lost_settlement_flags_stuck_s_mode():
+    rec = TraceRecorder()
+    _stuck_in_s(rec)
+    report = LostSettlementChecker().run(rec, CTX)
+    assert not report.ok
+    assert "stuck in S-mode" in report.violations[0]
+
+
+def test_lost_settlement_passes_with_recent_settle_activity():
+    rec = TraceRecorder()
+    _stuck_in_s(rec)
+    rec.record(
+        AppEvent(time=450, pid=P1, tag="settle_start", data={"kind": "transfer"})
+    )
+    assert LostSettlementChecker().run(rec, CTX).ok
+
+
+def test_lost_settlement_passes_when_parked_on_creation_barrier():
+    rec = TraceRecorder()
+    _stuck_in_s(rec)
+    rec.record(
+        AppEvent(
+            time=450, pid=P0, tag="settle_wait_all_sites",
+            data={"present": 2, "expected": 3},
+        )
+    )
+    assert LostSettlementChecker().run(rec, CTX).ok
+
+
+def test_lost_settlement_ignores_crashed_and_recent_processes():
+    rec = TraceRecorder()
+    _stuck_in_s(rec)
+    # P2 also hits S but crashes: dead processes settle nothing.
+    _mode(rec, 12, P2, "N", "S", "Failure")
+    rec.record(CrashEvent(time=20, pid=P2))
+    report = LostSettlementChecker().run(rec, CTX)
+    assert [v for v in report.violations if "p2" in v] == []
+    # A view installed moments ago resets the grace window.
+    rec2 = TraceRecorder()
+    _install(rec2, 490, P0, V1, {P0, P1}, None)
+    _mode(rec2, 490, P0, "N", "S", "Failure")
+    rec2.record(AppEvent(time=500, pid=P1, tag="tick", data=None))
+    assert LostSettlementChecker().run(rec2, CTX).ok
+
+
+def test_lost_settlement_grace_scales_with_time_scale():
+    # On a wall-clock runtime 500 "units" of quiet is 5 seconds at
+    # scale 0.01 — far beyond the scaled grace, still a violation.
+    rec = TraceRecorder()
+    _install(rec, 0.1, P0, V1, {P0, P1}, None)
+    _mode(rec, 0.1, P0, "N", "S", "Failure")
+    rec.record(AppEvent(time=5.0, pid=P1, tag="tick", data=None))
+    ctx = CheckContext(time_scale=0.01, n_sites=3)
+    assert not LostSettlementChecker().run(rec, ctx).ok
+    # At sim scale the same numbers are within grace: silent.
+    assert LostSettlementChecker().run(rec, CTX).ok
+
+
+# -- SubviewMergeAtomicity --------------------------------------------------
+
+
+def test_merge_atomicity_flags_partial_merge():
+    rec = TraceRecorder()
+    _structure(rec, 0, P0, V1, 0, [[P0], [P1, P2]])
+    # {P1,P2} was torn apart: P1 merged into P0's subview, P2 left out.
+    _structure(rec, 1, P0, V1, 1, [[P0, P1], [P2]])
+    report = SubviewMergeAtomicityChecker().run(rec, CTX)
+    assert any("partial subview merge" in v for v in report.violations)
+
+
+def test_merge_atomicity_passes_whole_merges():
+    rec = TraceRecorder()
+    _structure(rec, 0, P0, V1, 0, [[P0], [P1, P2]])
+    _structure(rec, 1, P0, V1, 1, [[P0, P1, P2]])
+    assert SubviewMergeAtomicityChecker().run(rec, CTX).ok
+
+
+def test_merge_atomicity_flags_survivor_count_disagreement():
+    rec = TraceRecorder()
+    for pid in (P0, P1):
+        _install(rec, 0, pid, V1, {P0, P1}, None)
+        _structure(rec, 0, pid, V1, 0, [[P0], [P1]])
+    # Only P0 applies the merge, yet both survive into the same view.
+    _structure(rec, 1, P0, V1, 1, [[P0, P1]])
+    for pid in (P0, P1):
+        _install(rec, 2, pid, V2, {P0, P1}, V1)
+    report = SubviewMergeAtomicityChecker().run(rec, CTX)
+    assert any("different e-view change counts" in v for v in report.violations)
+
+
+def test_merge_atomicity_unconstrained_across_different_next_views():
+    rec = TraceRecorder()
+    for pid in (P0, P1):
+        _install(rec, 0, pid, V1, {P0, P1}, None)
+        _structure(rec, 0, pid, V1, 0, [[P0], [P1]])
+    _structure(rec, 1, P0, V1, 1, [[P0, P1]])
+    # Different successor views: the survivors rule does not apply.
+    _install(rec, 2, P0, V2, {P0}, V1)
+    _install(rec, 2, P1, ViewId(2, P1), {P1}, V1)
+    assert SubviewMergeAtomicityChecker().run(rec, CTX).ok
+
+
+# -- ZombieIncarnation ------------------------------------------------------
+
+
+def test_zombie_flags_event_after_own_crash():
+    rec = TraceRecorder()
+    m = MessageId(P0, V1, 1)
+    rec.record(CrashEvent(time=5, pid=P1))
+    rec.record(DeliveryEvent(time=7, pid=P1, msg_id=m, view_id=V1))
+    report = ZombieIncarnationChecker().run(rec, CTX)
+    assert any("after crashing" in v for v in report.violations)
+
+
+def test_zombie_flags_delivery_by_superseded_incarnation():
+    rec = TraceRecorder()
+    m = MessageId(P0, V1, 1)
+    fresh = ProcessId(1, 1)
+    rec.record(RecoverEvent(time=10, pid=fresh, site=1))
+    rec.record(DeliveryEvent(time=12, pid=P1, msg_id=m, view_id=V1))
+    report = ZombieIncarnationChecker().run(rec, CTX)
+    assert any("retired incarnation" in v for v in report.violations)
+
+
+def test_zombie_passes_events_before_crash_and_fresh_incarnations():
+    rec = TraceRecorder()
+    m = MessageId(P0, V1, 1)
+    rec.record(DeliveryEvent(time=3, pid=P1, msg_id=m, view_id=V1))
+    rec.record(CrashEvent(time=5, pid=P1))
+    fresh = ProcessId(1, 1)
+    rec.record(RecoverEvent(time=10, pid=fresh, site=1))
+    rec.record(DeliveryEvent(time=12, pid=fresh, msg_id=m, view_id=V1))
+    assert ZombieIncarnationChecker().run(rec, CTX).ok
+
+
+# -- registry / plumbing ----------------------------------------------------
+
+
+def test_registry_has_the_four_seeded_detectors():
+    names = set(registered_checkers())
+    assert {
+        "StaleStateTransfer", "LostSettlement",
+        "SubviewMergeAtomicity", "ZombieIncarnation",
+    } <= names
+    assert sorted(c.name for c in make_checkers()) == sorted(names)
+
+
+def test_make_checkers_by_name_and_spec():
+    (one,) = make_checkers(["LostSettlement"])
+    assert isinstance(one, LostSettlementChecker)
+    spec = "repro.fuzz.checkers:ZombieIncarnationChecker"
+    assert isinstance(load_checker(spec), ZombieIncarnationChecker)
+    with pytest.raises(ReproError):
+        load_checker("NoSuchChecker")
+    with pytest.raises(ReproError):
+        load_checker("repro.fuzz.checkers:nope")
+
+
+def test_run_checkers_survives_a_crashing_checker():
+    class Broken(TraceChecker):
+        name = "Broken"
+
+        def run(self, rec, ctx):
+            raise RuntimeError("boom")
+
+    reports = run_checkers(TraceRecorder(), [Broken(), LostSettlementChecker()])
+    by_name = {r.name: r for r in reports}
+    assert "checker crashed" in by_name["Broken"].violations[0]
+    assert by_name["LostSettlement"].ok
+
+
+def test_register_checker_requires_a_name():
+    with pytest.raises(ReproError):
+
+        @register_checker
+        class Nameless(TraceChecker):
+            pass

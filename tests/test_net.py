@@ -300,3 +300,58 @@ def test_schedule_horizon():
     schedule = FaultSchedule([Crash(5.0, 0), Recover(40.0, 0)])
     assert schedule.horizon == 40.0
     assert FaultSchedule().horizon == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Schedule serialization (fuzz corpus entries must replay byte-identically)
+# ---------------------------------------------------------------------------
+
+
+def _one_of_each() -> FaultSchedule:
+    from repro.net.faults import Join, OneWayCut, OneWayHeal
+
+    return FaultSchedule(
+        [
+            Crash(130.0, 2),
+            Recover(185.5, 2),
+            Partition(220.0, ((0, 1), (2, 3, 4))),
+            Heal(300.0),
+            Join(340.0, 5),
+            OneWayCut(360.0, 0, 3),
+            OneWayHeal(410.0, 0, 3),
+        ]
+    )
+
+
+def test_schedule_json_round_trip_covers_every_action_type():
+    schedule = _one_of_each()
+    assert FaultSchedule.from_json(schedule.to_json()) == schedule
+    # Partition groups come back as tuples, not JSON lists.
+    back = FaultSchedule.from_json_obj(schedule.to_json_obj())
+    partition = next(a for a in back.actions if isinstance(a, Partition))
+    assert partition.groups == ((0, 1), (2, 3, 4))
+
+
+def test_schedule_repr_round_trip():
+    from repro.net import faults
+
+    schedule = _one_of_each()
+    namespace = {name: getattr(faults, name) for name in faults.ACTION_TYPES}
+    namespace["FaultSchedule"] = FaultSchedule
+    assert eval(repr(schedule), namespace) == schedule
+
+
+def test_schedule_json_rejects_unknown_action_type():
+    with pytest.raises(SimulationError):
+        FaultSchedule.from_json_obj(
+            {"actions": [{"type": "Meteor", "time": 1.0}]}
+        )
+
+
+def test_schedule_json_rejects_unknown_fields_and_bad_shape():
+    with pytest.raises(SimulationError):
+        FaultSchedule.from_json_obj(
+            {"actions": [{"type": "Crash", "time": 1.0, "blast_radius": 3}]}
+        )
+    with pytest.raises(SimulationError):
+        FaultSchedule.from_json_obj({"schedule": []})

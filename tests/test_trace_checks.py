@@ -253,3 +253,90 @@ def test_checkers_see_split_history_whole_after_merge():
                   check_view_monotonicity):
         report = check(merged)
         assert report.ok, report.violations
+
+
+# ---------------------------------------------------------------------------
+# Cut consistency and the bundled enriched-view checks: edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_cut_consistency_flags_message_crossing_cut_backwards():
+    from repro.trace.checks import check_cut_consistency
+
+    rec = TraceRecorder()
+    # P0 applies e-view change (V1, 1), then multicasts...
+    _structure(rec, 1, P0, V1, 1, [[P0, P1]])
+    rec.record(MulticastEvent(time=2, pid=P0, msg_id=M))
+    # ...which P1 delivers before applying the same change: inconsistent cut.
+    rec.record(DeliveryEvent(time=3, pid=P1, msg_id=M, view_id=V1))
+    _structure(rec, 4, P1, V1, 1, [[P0, P1]])
+    report = check_cut_consistency(rec)
+    assert not report.ok
+    assert "crosses the cut" in report.violations[0]
+
+
+def test_cut_consistency_clean_when_delivery_respects_cut():
+    from repro.trace.checks import check_cut_consistency
+
+    rec = TraceRecorder()
+    _structure(rec, 1, P0, V1, 1, [[P0, P1]])
+    _structure(rec, 1, P1, V1, 1, [[P0, P1]])
+    rec.record(MulticastEvent(time=2, pid=P0, msg_id=M))
+    rec.record(DeliveryEvent(time=3, pid=P1, msg_id=M, view_id=V1))
+    report = check_cut_consistency(rec)
+    assert report.ok and report.checked == 1
+
+
+def test_enriched_checks_accept_an_empty_trace():
+    from repro.trace.checks import all_ok, check_enriched_views
+
+    reports = check_enriched_views(TraceRecorder())
+    assert all_ok(reports)
+    assert [r.checked for r in reports] == [0, 0, 0, 0]
+
+
+def test_cut_consistency_skips_the_install_itself():
+    from repro.trace.checks import check_cut_consistency
+
+    rec = TraceRecorder()
+    # Only seq-0 changes (the install); covered by view semantics, not cuts.
+    _structure(rec, 1, P0, V1, 0, [[P0, P1]])
+    _structure(rec, 1, P1, V1, 0, [[P0, P1]])
+    report = check_cut_consistency(rec)
+    assert report.ok and report.checked == 0
+
+
+def test_enriched_checks_accept_single_site_views():
+    from repro.trace.checks import all_ok, check_enriched_views
+
+    rec = TraceRecorder()
+    _install(rec, 0, P0, V1, {P0}, None)
+    _structure(rec, 0, P0, V1, 0, [[P0]])
+    solo = MessageId(P0, V1, 1)
+    rec.record(MulticastEvent(time=1, pid=P0, msg_id=solo))
+    rec.record(DeliveryEvent(time=2, pid=P0, msg_id=solo, view_id=V1))
+    assert all_ok(check_enriched_views(rec))
+
+
+def test_enriched_checks_keep_incarnations_distinct():
+    from repro.trace.checks import all_ok, check_enriched_views
+
+    rec = TraceRecorder()
+    old, fresh = ProcessId(1, 0), ProcessId(1, 1)
+    # The old incarnation lived in V1 and applied its changes there...
+    _install(rec, 0, P0, V1, {P0, old}, None)
+    _install(rec, 0, old, V1, {P0, old}, None)
+    _structure(rec, 0, P0, V1, 0, [[P0], [old]])
+    _structure(rec, 0, old, V1, 0, [[P0], [old]])
+    _structure(rec, 1, P0, V1, 1, [[P0, old]])
+    _structure(rec, 1, old, V1, 1, [[P0, old]])
+    # ...the fresh one starts in V2; its history is independent.
+    _install(rec, 5, P0, V2, {P0, fresh}, V1)
+    _install(rec, 5, fresh, V2, {P0, fresh}, None)
+    _structure(rec, 5, P0, V2, 0, [[P0], [fresh]])
+    _structure(rec, 5, fresh, V2, 0, [[P0], [fresh]])
+    m2 = MessageId(fresh, V2, 1)
+    rec.record(MulticastEvent(time=6, pid=fresh, msg_id=m2))
+    rec.record(DeliveryEvent(time=7, pid=fresh, msg_id=m2, view_id=V2))
+    rec.record(DeliveryEvent(time=7, pid=P0, msg_id=m2, view_id=V2))
+    assert all_ok(check_enriched_views(rec))

@@ -144,3 +144,57 @@ def test_run_with_schedule_end_to_end():
     cluster = run_with_schedule(4, schedule, tail=250)
     assert cluster.is_settled()
     assert_all_properties(cluster.recorder)
+
+
+# ---------------------------------------------------------------------------
+# Asymmetric generation and weight validation
+# ---------------------------------------------------------------------------
+
+
+def test_generator_rejects_unknown_weight_keys():
+    with pytest.raises(ValueError, match="unknown fault weights"):
+        RandomFaultGenerator(n_sites=4, weights={"crash": 1.0, "crsh": 2.0})
+
+
+def test_asymmetric_flag_enables_oneway_cuts():
+    from repro.net.faults import OneWayCut, OneWayHeal
+    from repro.workload.generator import DEFAULT_ONEWAY_WEIGHT
+
+    gen = RandomFaultGenerator(n_sites=5, seed=0, asymmetric=True)
+    assert gen.weights["oneway"] == DEFAULT_ONEWAY_WEIGHT
+    cuts = 0
+    for seed in range(6):
+        schedule = RandomFaultGenerator(
+            n_sites=5, seed=seed, asymmetric=True
+        ).generate()
+        schedule.validate()
+        cut_actions = [a for a in schedule.actions if isinstance(a, OneWayCut)]
+        cuts += len(cut_actions)
+        # Every cut is eventually repaired: matching OneWayHeal or a
+        # trailing Heal (which clears one-way cuts too).
+        if cut_actions:
+            healed = {
+                (a.src, a.dst)
+                for a in schedule.actions
+                if isinstance(a, OneWayHeal)
+            }
+            last_heal = max(
+                (a.time for a in schedule.actions if isinstance(a, Heal)),
+                default=None,
+            )
+            for cut in cut_actions:
+                assert (cut.src, cut.dst) in healed or (
+                    last_heal is not None and last_heal > cut.time
+                )
+    assert cuts > 0  # the flag actually changes the mix
+
+
+def test_asymmetric_off_by_default_and_explicit_weight_wins():
+    schedule = RandomFaultGenerator(n_sites=5, seed=0).generate()
+    from repro.net.faults import OneWayCut
+
+    assert not any(isinstance(a, OneWayCut) for a in schedule.actions)
+    gen = RandomFaultGenerator(
+        n_sites=5, seed=0, asymmetric=True, weights={"oneway": 2.5}
+    )
+    assert gen.weights["oneway"] == 2.5
