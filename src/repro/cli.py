@@ -111,6 +111,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.runtime == "realnet-proc":
         # Applications travel by name: the driver passes --app on each
         # child's command line instead of shipping a closure.
+        if args.fd_mode is not None:
+            raise SystemExit(
+                "--fd-mode is not plumbed through the realnet-proc child "
+                "command line; use --runtime sim or --runtime realnet"
+            )
         factory = None
         knobs = {"scale": args.scale, "app": args.app, "codec": args.codec}
     elif args.runtime == "realnet":
@@ -119,6 +124,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         factory = app_factory(args.app, args.sites)
         knobs = {}
+    if args.runtime != "realnet-proc":
+        if args.fd_mode is not None:
+            knobs["fd_mode"] = args.fd_mode
+        if args.gossip_fanout is not None:
+            knobs["gossip_fanout"] = args.gossip_fanout
     cluster = make_cluster(
         args.runtime, args.sites, app_factory=factory,
         seed=args.seed, loss_prob=args.loss, **knobs,
@@ -512,6 +522,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "schedule with them) by this factor")
     run.add_argument("--codec", choices=("bin", "json"), default="bin",
                      help="realnet runtimes: preferred wire codec")
+    run.add_argument("--fd-mode", choices=("heartbeat", "gossip"), default=None,
+                     help="failure-detection plane (default: the stack "
+                          "profile's choice, all-to-all heartbeats); "
+                          "sim and realnet runtimes")
+    run.add_argument("--gossip-fanout", type=int, default=None,
+                     help="digest fanout for --fd-mode gossip "
+                          "(see docs/scaling.md for the timeout math)")
     run.add_argument("--export", metavar="FILE", default=None,
                      help="write the trace as JSON lines to FILE")
     run.add_argument("--metrics", metavar="FILE", default=None,

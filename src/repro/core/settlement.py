@@ -52,9 +52,21 @@ SessionId = tuple[ProcessId, int]
 
 @dataclass(frozen=True)
 class StateRequest:
-    """Leader -> responder: please offer your state."""
+    """Leader -> responder: please offer your state.
+
+    The three incremental-transfer fields default to the legacy
+    whole-blob protocol, so old peers interoperate in both directions:
+    ``accepts_chunks`` advertises that the requester understands
+    ``TOffer``-announced chunk streams, and ``have_version`` /
+    ``have_digest`` describe the requester's current operation lineage
+    (:func:`repro.core.state_transfer.op_digest`) so a donor can answer
+    with a version-range diff instead of a snapshot.
+    """
 
     session: SessionId
+    accepts_chunks: bool = False
+    have_version: int = -1
+    have_digest: int = 0
 
 
 @dataclass(frozen=True)
@@ -207,7 +219,7 @@ class SettlementEngine:
             return  # resume from on_eview when the change lands
         # Phase 2: collect.
         if session.pending:
-            request = StateRequest(session.session_id)
+            request = self.obj.build_state_request(session.session_id)
             for responder in session.pending:
                 if responder == self.obj.pid:
                     self._offer_locally(request)
@@ -269,9 +281,10 @@ class SettlementEngine:
     # -- message hooks (wired through the group object) ---------------------------------
 
     def on_request(self, src: ProcessId, request: StateRequest) -> None:
-        offer = self.obj.make_offer(request.session)
-        assert self.obj.stack is not None
-        self.obj.stack.send_direct(src, offer)
+        # The group object picks the reply shape — whole-blob StateOffer
+        # or an incremental chunk stream — from the request's fields and
+        # its own transfer configuration.
+        self.obj.answer_state_request(src, request)
 
     def on_offer(self, src: ProcessId, offer: StateOffer) -> None:
         session = self.session

@@ -11,6 +11,12 @@ a reachable process whose view differs from ours is evidence that the
 component disagrees about membership — the detector surfaces it so the
 membership service can trigger a reconciling view change (this is the
 anti-divergence rule described in DESIGN.md §4.1).
+
+The all-to-all beacon costs O(n²) messages per interval, which is fine
+up to a few dozen sites; :class:`~repro.fd.gossip.GossipDetector` (a
+subclass of the :class:`DetectorBase` defined here) replaces the beacon
+with an epidemic digest push for larger clusters.  Both detectors expose
+the same surface, so the rest of the stack never knows which one runs.
 """
 
 from __future__ import annotations
@@ -41,8 +47,14 @@ class Heartbeat:
     eview_seq: int = 0
 
 
-class HeartbeatDetector:
-    """Per-process failure detector component."""
+class DetectorBase:
+    """State and queries shared by every failure-detector flavour.
+
+    Subclasses implement :meth:`_beat` (what goes on the wire each
+    interval).  Everything else — the last-heard table, the reachability
+    cache, view-disagreement detection and the expiry sweep — is flavour
+    independent.
+    """
 
     def __init__(
         self,
@@ -56,10 +68,19 @@ class HeartbeatDetector:
         self._last_heard: dict[SiteId, tuple[float, ProcessId]] = {}
         self._heard_views: dict[ProcessId, tuple[float, ViewId | None]] = {}
         self._reachable_cache: frozenset[ProcessId] = frozenset({stack.pid})
+        # Int mirror of the cache (site -> incarnation): the per-message
+        # "already reachable?" probe must not pay a ProcessId hash.
+        self._reachable_incs: dict[SiteId, int] = {
+            stack.pid.site: stack.pid.incarnation
+        }
         self.on_change: Callable[[], None] | None = None
+        # Sweep-cost accounting for the perf regression tests: entries
+        # examined by the periodic sweep, cumulatively.  Must stay
+        # O(live peers), not O(every site ever heard).
+        self.sweep_examined = 0
 
     def start(self) -> None:
-        """Arm the heartbeat and sweep timers.
+        """Arm the beacon and sweep timers.
 
         The periodic timers are staggered by a deterministic per-process
         phase offset within one interval: without it, every process a
@@ -88,22 +109,9 @@ class HeartbeatDetector:
     # -- sending ----------------------------------------------------------
 
     def _beat(self) -> None:
-        beat = Heartbeat(
-            self.stack.pid,
-            self.stack.current_view_id(),
-            last_seqno=self.stack.channels.own_seqno(),
-            eview_seq=self.stack.evs.applied_seq,
-        )
-        own = self.stack.pid.site
-        self.stack.send_sites(
-            (site for site in self.stack.universe_sites() if site != own), beat
-        )
+        raise NotImplementedError
 
     # -- receiving --------------------------------------------------------
-
-    def on_heartbeat(self, src: ProcessId, beat: Heartbeat) -> None:
-        self._heard_views[src] = (self.stack.now, beat.view_id)
-        self.heard(src)
 
     def heard(self, src: ProcessId) -> None:
         """Register life evidence for ``src`` (any message counts).
@@ -118,12 +126,43 @@ class HeartbeatDetector:
         prev = self._last_heard.get(site)
         if prev is not None and prev[1].incarnation > src.incarnation:
             return  # stale incarnation; ignore
-        self._last_heard[site] = (self.stack.now, src)
-        if src not in self._reachable_cache:
+        self._last_heard[site] = (self.stack.scheduler.now, src)
+        if self._reachable_incs.get(site) != src.incarnation:
             self._refresh()
 
     def _sweep(self) -> None:
-        self._refresh()
+        """Expire timed-out peers.
+
+        Only the currently-reachable peers need examining: a site that
+        is *not* in the cache can only enter it through :meth:`heard`
+        (which refreshes immediately), so its ``_last_heard`` entry is
+        irrelevant to the sweep.  This keeps sweep work O(live peers)
+        even when the universe holds hundreds of long-dead or
+        partitioned sites.
+        """
+        now = self.stack.now
+        own = self.stack.pid
+        expired = False
+        examined = 0
+        for pid in self._reachable_cache:
+            if pid == own:
+                continue
+            examined += 1
+            entry = self._last_heard.get(pid.site)
+            if entry is None or now - entry[0] > self.timeout:
+                expired = True
+                break
+        self.sweep_examined += examined
+        if expired:
+            self._refresh()
+
+    def on_digest(self, src: ProcessId, digest) -> None:
+        """A gossip digest arrived.  The base treatment (used when a
+        heartbeat-plane node shares a cluster with gossip-plane nodes)
+        is to read it as a plain beacon from its sender; the gossip
+        detector overrides this to mine the entries."""
+        self._heard_views[src] = (self.stack.now, digest.view_id)
+        self.heard(src)
 
     def force_down(self, site: SiteId) -> None:
         """Expire a site immediately (used for graceful leaves)."""
@@ -141,6 +180,7 @@ class HeartbeatDetector:
         new_cache = frozenset(alive)
         if new_cache != self._reachable_cache:
             self._reachable_cache = new_cache
+            self._reachable_incs = {p.site: p.incarnation for p in new_cache}
             if self.on_change is not None:
                 self.on_change()
 
@@ -188,3 +228,27 @@ class HeartbeatDetector:
             if theirs != mine and theirs > mine:
                 return True
         return False
+
+
+class HeartbeatDetector(DetectorBase):
+    """The all-to-all beacon flavour: every site, every interval."""
+
+    # -- sending ----------------------------------------------------------
+
+    def _beat(self) -> None:
+        beat = Heartbeat(
+            self.stack.pid,
+            self.stack.current_view_id(),
+            last_seqno=self.stack.channels.own_seqno(),
+            eview_seq=self.stack.evs.applied_seq,
+        )
+        own = self.stack.pid.site
+        self.stack.send_sites(
+            (site for site in self.stack.universe_sites() if site != own), beat
+        )
+
+    # -- receiving --------------------------------------------------------
+
+    def on_heartbeat(self, src: ProcessId, beat: Heartbeat) -> None:
+        self._heard_views[src] = (self.stack.now, beat.view_id)
+        self.heard(src)

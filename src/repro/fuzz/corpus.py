@@ -197,6 +197,10 @@ class Corpus:
         self.directory = Path(directory) if directory is not None else None
         self.entries: dict[str, CorpusEntry] = {}
         self.seen: set[Feature] = set()
+        #: How many corpus entries exhibit each feature — the basis of
+        #: rarity-weighted parent selection; rebuilt on load so a
+        #: resumed campaign weighs exactly like an uninterrupted one.
+        self.feature_counts: dict[Feature, int] = {}
         if self.directory is not None and self.directory.is_dir():
             for path in sorted(self.directory.glob("*.json")):
                 try:
@@ -205,6 +209,11 @@ class Corpus:
                     continue  # foreign JSON in the corpus dir; skip
                 self.entries[entry.entry_id] = entry
                 self.seen |= entry.signature
+                self._count(entry)
+
+    def _count(self, entry: CorpusEntry) -> None:
+        for feature in entry.signature:
+            self.feature_counts[feature] = self.feature_counts.get(feature, 0) + 1
 
     def novel_features(self, signature: frozenset[Feature]) -> set[Feature]:
         return set(signature) - self.seen
@@ -214,10 +223,22 @@ class Corpus:
         fresh = self.novel_features(entry.signature)
         self.seen |= entry.signature
         self.entries[entry.entry_id] = entry
+        self._count(entry)
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             entry.save(self.directory / f"{entry.entry_id}.json")
         return fresh
+
+    def rarity_weight(self, entry: CorpusEntry) -> float:
+        """Mutation-parent weight: ``1 + sum(1/count(f))`` over the
+        entry's features, so an entry holding features few others have
+        is proportionally more likely to be picked, while the constant
+        keeps every entry — and empty signatures — in play."""
+        return 1.0 + sum(
+            1.0 / self.feature_counts[f]
+            for f in entry.signature
+            if self.feature_counts.get(f)
+        )
 
     @property
     def failing(self) -> list[CorpusEntry]:

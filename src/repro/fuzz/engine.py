@@ -240,7 +240,12 @@ class FuzzEngine:
         parents = list(self.corpus.entries.values())
         if not parents or self.rng.random() < self.config.fresh_prob:
             return self.seed_entry()
-        return self.mutant_entry(self.rng.choice(parents))
+        # Rarity-weighted parent selection: entries carrying features
+        # few corpus members share get proportionally more mutation
+        # budget, pushing the campaign toward the frontier instead of
+        # re-mutating the crowd around common coverage.
+        weights = [self.corpus.rarity_weight(p) for p in parents]
+        return self.mutant_entry(self.rng.choices(parents, weights=weights)[0])
 
     # -- the campaign ------------------------------------------------------
 

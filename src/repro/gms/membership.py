@@ -37,11 +37,13 @@ from repro.gms.messages import (
     PredecessorPlan,
     RoundId,
     VcFlush,
+    VcFlushBatch,
     VcInstall,
     VcNack,
     VcPrepare,
     VcPropose,
 )
+from repro.gms.tree import AggregationTree
 from repro.gms.view import View
 from repro.trace.events import ViewInstallEvent
 from repro.types import (
@@ -68,6 +70,21 @@ class MembershipConfig:
     flush_stall_timeout: float = 45.0
     round_timeout: float = 25.0
     min_initiate_gap: float = 3.0
+    #: Aggregation-tree fanout for hierarchical view agreement
+    #: (:mod:`repro.gms.tree`): prepares and installs relay down the
+    #: tree, flush reports aggregate up it, so the coordinator touches
+    #: O(fanout) peers per round instead of O(n).  0 keeps the flat
+    #: coordinator↔member exchange; rounds with no interior relay
+    #: (fewer than ``tree_fanout + 2`` members) stay flat regardless.
+    #: Assumes a uniform value across the cluster — members rebuild the
+    #: coordinator's tree locally from the round's membership.
+    tree_fanout: int = 0
+    #: Coordinator-side debounce for flush-reply expansion.  At scale,
+    #: restarting the round on *every* flush that names a new reachable
+    #: member makes bootstrap quadratic; with a debounce the extras
+    #: batch up for this long and the round restarts once.  0 restarts
+    #: immediately (the original behavior).
+    expand_debounce: float = 0.0
 
 
 @dataclass
@@ -79,6 +96,19 @@ class _Round:
     replies: dict[ProcessId, VcFlush] = field(default_factory=dict)
     attempts: int = 0
     timer: object = None
+
+
+@dataclass
+class _FlushAgg:
+    """Member-side aggregation state for one tree round: the flushes of
+    this member's subtree, batched before going up to ``parent``."""
+
+    round_id: RoundId
+    parent: ProcessId
+    expected: int
+    collected: dict[ProcessId, VcFlush] = field(default_factory=dict)
+    timer: object = None
+    sent: bool = False
 
 
 class ViewAgreement:
@@ -101,6 +131,12 @@ class ViewAgreement:
         # so flush-reply expansion does not immediately re-admit a
         # reachable-but-unresponsive process and livelock the round.
         self._quarantine: dict[ProcessId, float] = {}
+        # Hierarchical agreement state: this member's subtree aggregator
+        # (at most one flush round is in progress per member) and the
+        # coordinator's debounced expansion set.
+        self._flush_agg: _FlushAgg | None = None
+        self._pending_extra: set[ProcessId] = set()
+        self._expand_timer: object = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -190,13 +226,35 @@ class ViewAgreement:
         self._round = rnd
         prepare = VcPrepare(round_id, members)
         own = self.stack.pid
-        self.stack.send_many((m for m in members if m != own), prepare)
+        if self._round_tree(own, members) is None:
+            self.stack.send_many((m for m in members if m != own), prepare)
+        # Tree mode sends nothing here: the self-delivery below relays
+        # the prepare to the coordinator's tree children, exactly as
+        # every interior member relays it onward to its own.
         self.on_prepare(self.stack.pid, prepare)
+
+    def _round_tree(
+        self, coordinator: ProcessId, members: frozenset[ProcessId]
+    ) -> AggregationTree | None:
+        """The aggregation tree of one round, or None when flat.
+
+        A pure function of the round's coordinator and membership, so
+        every member reconstructs the coordinator's tree locally from
+        the prepare (or install) it received.
+        """
+        fanout = self.config.tree_fanout
+        if fanout <= 0 or len(members) <= fanout + 1:
+            return None
+        return AggregationTree(members, coordinator, fanout)
 
     def _cancel_round(self) -> None:
         if self._round is not None and self._round.timer is not None:
             self._round.timer.cancel()  # type: ignore[attr-defined]
         self._round = None
+        self._pending_extra.clear()
+        if self._expand_timer is not None:
+            self._expand_timer.cancel()  # type: ignore[attr-defined]
+            self._expand_timer = None
 
     def _round_timeout(self) -> None:
         rnd = self._round
@@ -207,17 +265,27 @@ class ViewAgreement:
             return
         rnd.attempts += 1
         if rnd.attempts == 1:
-            # Maybe the prepare or the reply was lost; ask again.
-            prepare = VcPrepare(rnd.round_id, rnd.members)
+            # Maybe the prepare or the reply was lost — or, in tree
+            # mode, a relay on the path died.  Ask again directly,
+            # bypassing the tree in both directions.
+            prepare = VcPrepare(rnd.round_id, rnd.members, direct=True)
             self.stack.send_many(missing, prepare)
             rnd.timer = self.stack.set_timer(
                 self.config.round_timeout, self._round_timeout
             )
             return
-        # Give up on the silent members and re-run without them.
+        # Give up on the silent members and re-run without them.  Only
+        # the *reachable* silent ones are quarantined — they can hear us
+        # yet did not flush, which is exactly the livelock the
+        # quarantine guards against.  An unreachable member is already
+        # excluded by the failure detector; quarantining it too would
+        # outlast the partition that silenced it and stall the heal-time
+        # merge until the quarantine expires.
         until = self.stack.now + 4 * self.config.round_timeout
+        reachable_now = self.stack.fd.reachable()
         for silent in missing:
-            self._quarantine[silent] = until
+            if silent in reachable_now:
+                self._quarantine[silent] = until
         survivors = frozenset(rnd.replies) | {self.stack.pid}
         self._start_round(survivors)
 
@@ -247,10 +315,51 @@ class ViewAgreement:
             & self.stack.fd.reachable()
         ) - self._quarantined()
         if extra:
-            self._start_round(rnd.members | extra)
-            return
-        if set(rnd.replies) == set(rnd.members):
+            if self.config.expand_debounce > 0:
+                self._pending_extra |= extra
+                if self._expand_timer is None:
+                    self._expand_timer = self.stack.set_timer(
+                        self.config.expand_debounce, self._expand_round
+                    )
+            else:
+                self._start_round(rnd.members | extra)
+                return
+        if set(rnd.replies) == set(rnd.members) and not self._pending_extra:
             self._decide(rnd)
+
+    def _expand_round(self) -> None:
+        """Debounced expansion: fold every extra member the round's
+        flush replies named into one restart."""
+        self._expand_timer = None
+        extra = frozenset(self._pending_extra)
+        self._pending_extra.clear()
+        rnd = self._round
+        if rnd is None:
+            return
+        extra = (
+            (extra - rnd.members) & self.stack.fd.reachable()
+        ) - self._quarantined()
+        if extra:
+            self._start_round(rnd.members | extra)
+        elif set(rnd.replies) == set(rnd.members):
+            # The extras went unreachable while we debounced; the round
+            # may already be complete without them.
+            self._decide(rnd)
+
+    def on_flush_batch(self, src: ProcessId, batch: VcFlushBatch) -> None:
+        """A subtree's aggregated flush reports arrived (tree mode)."""
+        if batch.round_id[0] == self.stack.pid:
+            for flush in batch.flushes:
+                self.on_flush(flush.sender, flush)
+            return
+        agg = self._flush_agg
+        if agg is not None and agg.round_id == batch.round_id:
+            self._agg_absorb(agg, batch.flushes)
+            return
+        # No aggregation state for this round — we moved on, or never
+        # saw its prepare.  Forward straight to the coordinator so the
+        # subtree's reports are not orphaned.
+        self.stack.send(batch.round_id[0], batch)
 
     def _decide(self, rnd: _Round) -> None:
         """All members flushed: compute and broadcast the install."""
@@ -299,7 +408,13 @@ class ViewAgreement:
         install = VcInstall(rnd.round_id, view, structure, predecessors)
         self._cancel_round()
         own = self.stack.pid
-        self.stack.send_many((m for m in view.members if m != own), install)
+        tree = self._round_tree(own, view.members)
+        if tree is None:
+            self.stack.send_many((m for m in view.members if m != own), install)
+        else:
+            # Tree mode: hand the install to the tree children only;
+            # each receiver relays it onward before its own processing.
+            self.stack.send_many(tree.children(own), install)
         self.on_install(self.stack.pid, install)
 
     @staticmethod
@@ -348,6 +463,15 @@ class ViewAgreement:
 
     def on_prepare(self, src: ProcessId, msg: VcPrepare) -> None:
         coordinator = msg.round_id[0]
+        tree = None if msg.direct else self._round_tree(coordinator, msg.members)
+        if tree is not None and self.stack.pid in tree:
+            # Relay down the tree before any local decision: even a
+            # member that nacks or abdicates must not orphan its
+            # subtree — the round's liveness would then hang on the
+            # coordinator's timeout instead of one extra hop.
+            children = tree.children(self.stack.pid)
+            if children:
+                self.stack.send_many(children, msg)
         candidate = min_process(
             msg.members | self.stack.fd.reachable() | {self.stack.pid}
         )
@@ -365,9 +489,14 @@ class ViewAgreement:
                 candidate, VcPropose(self.stack.pid, msg.members | {candidate})
             )
             return
-        self._flush_to(msg.round_id, coordinator)
+        self._flush_to(msg.round_id, coordinator, tree=tree)
 
-    def _flush_to(self, round_id: RoundId, coordinator: ProcessId) -> None:
+    def _flush_to(
+        self,
+        round_id: RoundId,
+        coordinator: ProcessId,
+        tree: AggregationTree | None = None,
+    ) -> None:
         if self.view is None:
             return
         if not self.flushing:
@@ -393,10 +522,82 @@ class ViewAgreement:
         )
         if coordinator == self.stack.pid:
             self.on_flush(self.stack.pid, flush)
+        elif tree is not None and self.stack.pid in tree:
+            self._agg_begin(round_id, tree, flush)
         else:
             self.stack.send(coordinator, flush)
 
+    # -- tree aggregation (member side) -------------------------------------
+
+    def _agg_begin(
+        self, round_id: RoundId, tree: AggregationTree, own_flush: VcFlush
+    ) -> None:
+        """Open this member's subtree aggregator for one round.
+
+        Leaves have a subtree of one, so their own flush goes up
+        immediately; interior members hold for their children up to a
+        quarter round-timeout, then send whatever arrived — the
+        coordinator's own retry path covers true stragglers.
+        """
+        prev = self._flush_agg
+        if prev is not None and prev.timer is not None:
+            prev.timer.cancel()  # type: ignore[attr-defined]
+        parent = tree.parent(self.stack.pid)
+        assert parent is not None  # the coordinator never aggregates
+        agg = _FlushAgg(
+            round_id=round_id,
+            parent=parent,
+            expected=tree.subtree_size(self.stack.pid),
+        )
+        self._flush_agg = agg
+        if agg.expected > 1:
+            agg.timer = self.stack.set_timer(
+                self.config.round_timeout / 4,
+                lambda: self._agg_hold_expired(agg),
+            )
+        self._agg_absorb(agg, (own_flush,))
+
+    def _agg_absorb(
+        self, agg: _FlushAgg, flushes: tuple[VcFlush, ...]
+    ) -> None:
+        if agg.sent:
+            # Stragglers after the hold expired: forward up unbatched so
+            # they still reach the coordinator within this round.
+            self.stack.send(agg.parent, VcFlushBatch(agg.round_id, tuple(flushes)))
+            return
+        for flush in flushes:
+            agg.collected[flush.sender] = flush
+        if len(agg.collected) >= agg.expected:
+            self._agg_send(agg)
+
+    def _agg_send(self, agg: _FlushAgg) -> None:
+        agg.sent = True
+        if agg.timer is not None:
+            agg.timer.cancel()  # type: ignore[attr-defined]
+            agg.timer = None
+        batch = VcFlushBatch(
+            agg.round_id,
+            tuple(agg.collected[pid] for pid in sorted(agg.collected)),
+        )
+        self.stack.send(agg.parent, batch)
+
+    def _agg_hold_expired(self, agg: _FlushAgg) -> None:
+        if agg is not self._flush_agg or agg.sent:
+            return
+        self._agg_send(agg)
+
     def on_install(self, src: ProcessId, msg: VcInstall) -> None:
+        if src != self.stack.pid:
+            # Tree mode: relay to our tree children *before* the guards
+            # below — even a member that moved past this round must not
+            # orphan its subtree's installs.  (The coordinator's
+            # self-delivery skips this; _decide already sent to its
+            # children.)
+            tree = self._round_tree(msg.round_id[0], msg.view.members)
+            if tree is not None and self.stack.pid in tree:
+                children = tree.children(self.stack.pid)
+                if children:
+                    self.stack.send_many(children, msg)
         if msg.round_id != self._flushed_round:
             return  # we have moved on to a newer round
         if self.view is not None and msg.view.view_id <= self.view.view_id:

@@ -42,10 +42,17 @@ class VcPropose:
 
 @dataclass(frozen=True)
 class VcPrepare:
-    """Round start: flush and report back."""
+    """Round start: flush and report back.
+
+    ``direct`` asks the receiver to bypass the aggregation tree and
+    flush straight to the coordinator — set on round-timeout resends,
+    where a dead relay may be exactly why the first prepare (or its
+    aggregated reply) never made it.
+    """
 
     round_id: RoundId
     members: frozenset[ProcessId]
+    direct: bool = False
 
 
 @dataclass(frozen=True)
@@ -97,6 +104,21 @@ class VcInstall:
     view: View
     structure: EViewStructure
     predecessors: Mapping[ViewId, PredecessorPlan] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class VcFlushBatch:
+    """Relay → tree parent: flush reports aggregated up the tree.
+
+    With hierarchical agreement (``MembershipConfig.tree_fanout > 0``)
+    members do not send :class:`VcFlush` to the coordinator directly;
+    each interior member of the aggregation tree collects its subtree's
+    reports and forwards them as one batch, so the coordinator's inbound
+    burst per round is O(fanout), not O(n).
+    """
+
+    round_id: RoundId
+    flushes: tuple[VcFlush, ...]
 
 
 @dataclass(frozen=True)

@@ -83,7 +83,15 @@ class Network:
         self._rng = rng.stream("network")
         self._procs: dict[ProcessId, Process] = {}
         self._site_proc: dict[int, ProcessId] = {}
-        self._link_clock: dict[tuple[ProcessId, ProcessId], float] = {}
+        # Site-keyed mirror of ``_procs`` holding the freshest
+        # incarnation's process: the delivery hot path resolves targets
+        # with an int lookup plus an identity check instead of a
+        # ProcessId hash.
+        self._site_live: dict[int, Process] = {}
+        # Keyed by (src site, dst site): int tuples hash without a
+        # Python-level __hash__ call, and FIFO per site pair subsumes
+        # FIFO per incarnation pair (a site runs one process at a time).
+        self._link_clock: dict[tuple[SiteId, SiteId], float] = {}
         self._topo_epoch = topology.changes
 
     # -- registration -------------------------------------------------
@@ -96,6 +104,7 @@ class Network:
             raise NetworkError(f"site {process.pid.site} not in topology")
         self._procs[process.pid] = process
         self._site_proc[process.pid.site] = process.pid
+        self._site_live[process.pid.site] = process
         process.attach(self)
 
     def process(self, pid: ProcessId) -> Process | None:
@@ -205,7 +214,7 @@ class Network:
         clock = self._link_clock
         if self.topology.changes != self._topo_epoch:
             self._prune_link_clocks()
-        link = (src, dst)
+        link = (src.site, dst.site)
         prev = clock.get(link)
         if prev is not None:
             arrival = max(arrival, prev + 1e-9)
@@ -217,8 +226,7 @@ class Network:
 
         Called lazily on the first send after a topology change.  An
         entry whose clock is already in the past constrains nothing (a
-        fresh arrival is at least ``now``), and links naming departed
-        incarnations will never be used again — so long partition/heal
+        fresh arrival is at least ``now``), so long partition/heal
         histories cannot accumulate clocks without bound.  Entries with
         in-flight traffic (clock still in the future) are kept even
         across cuts: a message sent before a cut that heals before
@@ -226,21 +234,22 @@ class Network:
         """
         self._topo_epoch = self.topology.changes
         now = self.scheduler.now
-        site_proc = self._site_proc
         self._link_clock = {
-            (src, dst): clock
-            for (src, dst), clock in self._link_clock.items()
+            link: clock
+            for link, clock in self._link_clock.items()
             if clock + 1e-9 > now
-            and site_proc.get(src.site) == src
-            and site_proc.get(dst.site) == dst
         }
 
     def _deliver(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
         if not self.topology.allows(src.site, dst.site):
             self.stats.dropped_partition += 1
             return
-        target = self._procs.get(dst)
-        if target is None or not target.alive:
+        target = self._site_live.get(dst.site)
+        if (
+            target is None
+            or not target.alive
+            or (target.pid is not dst and target.pid != dst)
+        ):
             self.stats.dropped_dead += 1
             return
         self.stats.delivered += 1

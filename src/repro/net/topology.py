@@ -27,6 +27,15 @@ class Topology:
         # Directed cuts: (src, dst) pairs whose one-way traffic is lost
         # even inside a component (asymmetric link failures).
         self._oneway_cuts: set[tuple[SiteId, SiteId]] = set()
+        # Fast path: connectivity is queried once or twice per message,
+        # and almost all simulated time is spent fully connected, where
+        # every query is trivially True.  Mutators recompute the flag.
+        self._flat = True
+
+    def _recompute_flat(self) -> None:
+        self._flat = (
+            not self._oneway_cuts and len(set(self._component.values())) <= 1
+        )
 
     @property
     def changes(self) -> int:
@@ -46,6 +55,8 @@ class Topology:
     def allows(self, src: SiteId, dst: SiteId) -> bool:
         """True iff a message from ``src`` can currently reach ``dst``
         (same component AND no one-way cut on that direction)."""
+        if self._flat:
+            return True
         return self.connected(src, dst) and (src, dst) not in self._oneway_cuts
 
     def cut_oneway(self, src: SiteId, dst: SiteId) -> None:
@@ -55,11 +66,13 @@ class Topology:
             raise NetworkError(f"unknown site in one-way cut: {src}, {dst}")
         self._oneway_cuts.add((src, dst))
         self._changes += 1
+        self._recompute_flat()
 
     def heal_oneway(self, src: SiteId, dst: SiteId) -> None:
         """Repair a previously installed one-way cut (no-op if absent)."""
         self._oneway_cuts.discard((src, dst))
         self._changes += 1
+        self._recompute_flat()
 
     def component_of(self, site: SiteId) -> frozenset[SiteId]:
         """The set of sites currently connected to ``site`` (inclusive)."""
@@ -95,12 +108,14 @@ class Topology:
                 next_cid += 1
         self._component = assigned
         self._changes += 1
+        self._recompute_flat()
 
     def heal(self) -> None:
         """Repair every cut (including one-way cuts): one component."""
         self._component = {s: 0 for s in self.sites}
         self._oneway_cuts.clear()
         self._changes += 1
+        self._recompute_flat()
 
     def isolate(self, site: SiteId) -> None:
         """Cut ``site`` away from everyone else, keeping other cuts."""
@@ -109,6 +124,7 @@ class Topology:
         new_cid = 1 + max(self._component.values())
         self._component[site] = new_cid
         self._changes += 1
+        self._recompute_flat()
 
     def restore(
         self,
@@ -140,6 +156,7 @@ class Topology:
         self._component = assigned
         self._oneway_cuts = {(src, dst) for src, dst in oneway_cuts}
         self._changes += 1
+        self._recompute_flat()
 
     def add_site(self, site: SiteId) -> None:
         """Grow the universe by a new site.
@@ -154,3 +171,4 @@ class Topology:
         self.sites.add(site)
         self._component[site] = self._component[anchor]
         self._changes += 1
+        self._recompute_flat()

@@ -112,6 +112,21 @@ class ClusterObs:
         self.crashes = r.counter(
             "crashes_total", "Process crashes injected", ("pid",)
         )
+        self.gossip_digests = r.counter(
+            "gossip_digests_sent_total",
+            "Gossip failure-detector digests pushed, per process",
+            ("pid",),
+        )
+        self.transfer_chunks = r.counter(
+            "state_transfer_chunks_total",
+            "State-transfer chunks sent, per sender and stream kind",
+            ("pid", "kind"),
+        )
+        self.transfer_resumes = r.counter(
+            "state_transfer_resumes_total",
+            "Chunked transfers resumed from a persisted cursor",
+            ("pid",),
+        )
         self._mcast = SpanMap(4096)  # msg_id -> multicast time
         self._transfers = SpanMap(512)  # (pid, peer) -> start time
         self._flush: dict[str, float] = {}  # pid -> flush start
@@ -179,7 +194,18 @@ class ClusterObs:
         self.mode_transitions.labels(str(transition)).inc()
         self._modes.change(str(pid), str(new), at)
 
+    # -- failure detection -------------------------------------------------
+
+    def gossip_digest_sent(self, pid: Any, count: int) -> None:
+        self.gossip_digests.labels(str(pid)).inc(count)
+
     # -- state transfer ----------------------------------------------------
+
+    def transfer_chunk_sent(self, pid: Any, kind: str) -> None:
+        self.transfer_chunks.labels(str(pid), kind).inc()
+
+    def transfer_resumed(self, pid: Any) -> None:
+        self.transfer_resumes.labels(str(pid)).inc()
 
     def transfer_started(self, pid: Any, peer: Any, at: float) -> None:
         self._transfers.open((str(pid), str(peer)), at)

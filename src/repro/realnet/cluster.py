@@ -33,7 +33,7 @@ timeouts — a wedged cluster reports failure, it cannot hang the caller.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
 
 from repro.errors import SimulationError
@@ -87,9 +87,21 @@ class RealClusterConfig:
     #: Gate the in-stack observability hooks (the registry and its
     #: callback gauges always exist; see ClusterConfig.metrics).
     metrics: bool = True
+    #: Failure-detection plane override: ``"heartbeat"`` / ``"gossip"``
+    #: (``None`` keeps the stack profile's choice).  Same surface as
+    #: the simulator's ClusterConfig, so a scale profile moves between
+    #: runtimes unchanged; with gossip remember ``fd_timeout`` must
+    #: cover an epidemic round, not one hop (docs/scaling.md).
+    fd_mode: str | None = None
+    gossip_fanout: int | None = None
 
     def stack_config(self) -> StackConfig:
-        return self.stack if self.stack is not None else realnet_stack_config(self.scale)
+        cfg = self.stack if self.stack is not None else realnet_stack_config(self.scale)
+        if self.fd_mode is not None:
+            cfg = replace(cfg, fd_mode=self.fd_mode)
+        if self.gossip_fanout is not None:
+            cfg = replace(cfg, gossip_fanout=self.gossip_fanout)
+        return cfg
 
 
 class RealCluster:

@@ -203,12 +203,14 @@ async def read_frame(reader: Any) -> dict[str, Any] | None:
 def _register_stack_payloads() -> None:
     from repro.evs.eview import EvDelta, EView, EViewStructure, Subview, SvSet
     from repro.evs.messages import EvChange, EvRepairReq, EvReq
+    from repro.fd.gossip import GossipDigest, GossipEntry
     from repro.fd.heartbeat import Heartbeat
     from repro.gms.messages import (
         Leave,
         PredecessorPlan,
         VcAbort,
         VcFlush,
+        VcFlushBatch,
         VcInstall,
         VcNack,
         VcPrepare,
@@ -223,8 +225,8 @@ def _register_stack_payloads() -> None:
     for cls in (
         ProcessId, ViewId, MessageId, SubviewId, SvSetId, Message,
         View, Subview, SvSet, EvDelta, EViewStructure, EView,
-        Heartbeat,
-        VcPropose, VcPrepare, VcNack, VcFlush, PredecessorPlan,
+        Heartbeat, GossipEntry, GossipDigest,
+        VcPropose, VcPrepare, VcNack, VcFlush, VcFlushBatch, PredecessorPlan,
         VcInstall, VcAbort, Leave,
         EvReq, EvChange, EvRepairReq,
         StabilityReport, StabilityNotice, RetransmitRequest,
@@ -244,11 +246,11 @@ def _register_harness_payloads() -> None:
     from repro.apps.replicated_file import _WriteAck
     from repro.core.group_object import _OpMsg
     from repro.core.settlement import StateAdopt, StateOffer, StateRequest
-    from repro.core.state_transfer import TAck, TChunk, TSmallPiece
+    from repro.core.state_transfer import TAck, TChunk, TOffer, TResume, TSmallPiece
 
     for cls in (
         StateRequest, StateOffer, StateAdopt,
-        TChunk, TAck, TSmallPiece,
+        TChunk, TAck, TSmallPiece, TOffer, TResume,
         _OpMsg,
         _AcquireReq, _ReleaseReq, _Denied,
         _LookupRequest, _LookupReply,

@@ -68,6 +68,34 @@ class ClusterConfig:
     trace_level: str = "full"
     trace_capacity: int | None = None
     metrics: bool = True
+    # Scale knobs, applied onto ``stack`` (and its membership config) at
+    # cluster construction so callers — including make_cluster(**knobs)
+    # — can flip planes without building a whole StackConfig.  None
+    # means "leave the stack config's own value alone".
+    fd_mode: str | None = None
+    gossip_fanout: int | None = None
+    tree_fanout: int | None = None
+    expand_debounce: float | None = None
+
+    def resolved_stack(self) -> StackConfig:
+        """``stack`` with the scale-knob overrides folded in."""
+        import dataclasses
+
+        stack = self.stack
+        overrides = {}
+        if self.fd_mode is not None:
+            overrides["fd_mode"] = self.fd_mode
+        if self.gossip_fanout is not None:
+            overrides["gossip_fanout"] = self.gossip_fanout
+        mconf = stack.membership
+        moverrides = {}
+        if self.tree_fanout is not None:
+            moverrides["tree_fanout"] = self.tree_fanout
+        if self.expand_debounce is not None:
+            moverrides["expand_debounce"] = self.expand_debounce
+        if moverrides:
+            overrides["membership"] = dataclasses.replace(mconf, **moverrides)
+        return dataclasses.replace(stack, **overrides) if overrides else stack
 
 
 class Cluster:
@@ -83,6 +111,7 @@ class Cluster:
         if n_sites < 1:
             raise SimulationError("cluster needs at least one site")
         self.config = config or ClusterConfig()
+        self._stack_config = self.config.resolved_stack()
         self.app_factory = app_factory or _default_app_factory
         self.scheduler = Scheduler()
         self.rng = RngStreams(self.config.seed)
@@ -167,7 +196,7 @@ class Cluster:
             app,
             self.recorder,
             universe=lambda: self.topology.sites,
-            config=self.config.stack,
+            config=self._stack_config,
             obs=self.obs,
         )
         self.stacks[site] = stack

@@ -43,22 +43,34 @@ class ViewChannels:
         self.stack = stack
         self.view: View | None = None
         self._next_seqno = 0
-        self.received: dict[MessageId, Message] = {}
-        self.delivered: set[MessageId] = set()
         self._fifo_next: dict[ProcessId, int] = {}
         self.suspended = False
         self.pending_sends: list[Any] = []
         self._future: dict[ViewId, list[Message]] = {}
-        self._all_delivered_ids: set[MessageId] = set()
-        # Per-sender index over ``received`` (sender -> seqno -> message):
-        # the delivery loop probes "sender's next seqno" on every arrival,
-        # and an integer dict lookup here is far cheaper than building a
-        # MessageId to probe ``received`` with.
+        # The single message buffer (sender -> seqno -> message): the
+        # delivery loop probes "sender's next seqno" on every arrival,
+        # and an integer dict lookup is far cheaper than keying by full
+        # MessageId.  The delivered set is not materialised at all —
+        # normal-path and plan delivery are both per-sender contiguous,
+        # so "delivered" is exactly ``seqno < _fifo_next[sender]``.
         self._chains: dict[ProcessId, dict[int, Message]] = {}
         self._senders: tuple[ProcessId, ...] = ()
+        self._peers: tuple[ProcessId, ...] = ()
         # Garbage collection: per-sender stable prefix (everything at or
         # below it was delivered by every member and has been pruned).
         self._stable: dict[ProcessId, int] = {}
+
+    @property
+    def received(self) -> dict[MessageId, Message]:
+        """Buffered messages keyed by identifier (diagnostic view).
+
+        Rebuilt on demand: the hot path keys buffers by (sender, seqno)
+        only — see ``_chains``."""
+        return {
+            msg.msg_id: msg
+            for chain in self._chains.values()
+            for msg in chain.values()
+        }
 
     # -- view lifecycle ------------------------------------------------------
 
@@ -71,11 +83,11 @@ class ViewChannels:
         """
         self.view = view
         self._next_seqno = 0
-        self.received = {}
-        self.delivered = set()
         self._fifo_next = {m: 1 for m in view.members}
         self._chains = {}
         self._senders = tuple(sorted(view.members))
+        own = self.stack.pid
+        self._peers = tuple(m for m in self._senders if m != own)
         self.suspended = False
         self._stable = {}
 
@@ -121,10 +133,7 @@ class ViewChannels:
         obs = self.stack.obs
         if obs is not None:
             obs.multicast_sent(self.stack.pid, msg_id, self.stack.now)
-        own = self.stack.pid
-        self.stack.send_many(
-            (member for member in self.view.members if member != own), msg
-        )
+        self.stack.send_many(self._peers, msg)
         self.on_app_message(msg)  # self-delivery path
         return msg_id
 
@@ -138,26 +147,51 @@ class ViewChannels:
 
     def on_app_message(self, msg: Message) -> None:
         """Accept a message from the network (or from ourselves)."""
-        if self.view is None:
+        view = self.view
+        if view is None:
             return
-        vid = msg.msg_id.view
-        if vid != self.view.view_id:
-            if vid.epoch > self.view.epoch:
+        mid = msg.msg_id
+        vid = mid.view
+        my_vid = view.view_id
+        # Identity first: in-process delivery shares the installer's
+        # ViewId object, so the common case never runs the field compare.
+        if vid is not my_vid and vid != my_vid:
+            if vid.epoch > view.epoch:
                 self._future.setdefault(vid, []).append(msg)
             return  # older view: the message missed its window (2.2)
-        if msg.msg_id in self.received:
+        sender = mid.sender
+        chain = self._chains.get(sender)
+        if chain is None:
+            chain = self._chains[sender] = {}
+        seqno = mid.seqno
+        if seqno in chain:
             return  # duplicate (2.3)
-        sender = msg.msg_id.sender
-        if msg.msg_id.seqno <= self._stable.get(sender, 0):
+        floor = self._stable.get(sender, 0)
+        if seqno <= floor:
             return  # already stable (delivered by everyone) and pruned
-        self.received[msg.msg_id] = msg
-        self._chains.setdefault(sender, {})[msg.msg_id.seqno] = msg
+        chain[seqno] = msg
         # Only this sender's FIFO chain can have become deliverable: a
         # full scan here would re-probe every other sender for nothing.
         # Messages held by the e-view gate are retried from
         # ``on_eview_progress`` / ``activate``, which do the full scan.
-        if not self.suspended:
-            self._run_sender(sender)
+        if self.suspended:
+            return
+        # In-order arrival with nothing buffered beyond it is the
+        # overwhelmingly common case (FIFO links deliver a sender's run
+        # in seqno order): the chain then holds exactly the contiguous
+        # run ``floor+1 .. seqno``, so this one delivery cannot unblock
+        # anything and the generic chain walk is pure overhead.
+        if (
+            seqno == self._fifo_next.get(sender, 1)
+            and len(chain) == seqno - floor
+            and (
+                msg.eview_seq <= self.stack.evs.applied_seq
+                or self.stack.config.unsafe_disable_eview_gate
+            )
+        ):
+            self._deliver(msg)
+            return
+        self._run_sender(sender)
 
     def try_deliver(self) -> None:
         """Deliver everything currently eligible on the normal path.
@@ -192,26 +226,28 @@ class ViewChannels:
         chain = self._chains.get(sender)
         if not chain:
             return False
-        assert self.view is not None
-        vid = self.view.view_id
+        view = self.view
+        assert view is not None
         gate_enabled = not self.stack.config.unsafe_disable_eview_gate
+        # Snapshot the gate: if a callback applies an e-view change mid
+        # loop, on_eview_progress retries the full scan anyway.
+        applied_seq = self.stack.evs.applied_seq
         fifo_next = self._fifo_next
+        chain_get = chain.get
         progress = False
         while True:
-            msg = chain.get(fifo_next.get(sender, 1))
+            msg = chain_get(fifo_next.get(sender, 1))
             if msg is None:
                 return progress
-            if gate_enabled and msg.eview_seq > self.stack.evs.applied_seq:
+            if gate_enabled and msg.eview_seq > applied_seq:
                 return progress  # e-view gate (Property 6.2)
-            if self.suspended or self.view is None or self.view.view_id != vid:
+            if self.suspended or self.view is not view:
                 return progress  # a callback changed the world under us
             self._deliver(msg)
             progress = True
 
     def _deliver(self, msg: Message) -> None:
         assert self.view is not None
-        self.delivered.add(msg.msg_id)
-        self._all_delivered_ids.add(msg.msg_id)
         self._fifo_next[msg.msg_id.sender] = msg.msg_id.seqno + 1
         recorder = self.stack.recorder
         if recorder.wants(DeliveryEvent):
@@ -233,7 +269,11 @@ class ViewChannels:
 
     def flush_report(self) -> tuple[Message, ...]:
         """The received set reported in our flush reply."""
-        return tuple(self.received[m] for m in sorted(self.received))
+        msgs = [
+            msg for chain in self._chains.values() for msg in chain.values()
+        ]
+        msgs.sort(key=lambda m: m.msg_id)
+        return tuple(msgs)
 
     # -- loss repair within a stable view -----------------------------------
 
@@ -297,18 +337,19 @@ class ViewChannels:
             current = self._stable.get(sender, 0)
             if prefix > current:
                 self._stable[sender] = prefix
-        for msg_id in list(self.received):
-            if msg_id.seqno <= self._stable.get(msg_id.sender, 0):
-                if msg_id not in self.delivered:
-                    continue  # paranoia: never prune undelivered input
-                del self.received[msg_id]
-                self.delivered.discard(msg_id)
-                chain = self._chains.get(msg_id.sender)
-                if chain is not None:
-                    chain.pop(msg_id.seqno, None)
-                    if not chain:
-                        del self._chains[msg_id.sender]
-                pruned += 1
+        for sender, floor in self._stable.items():
+            chain = self._chains.get(sender)
+            if not chain:
+                continue
+            # Never past our own delivered prefix: the group-wide floor
+            # must not prune input we are still gated on.
+            high = min(floor, self._fifo_next.get(sender, 1) - 1)
+            if high <= 0:
+                continue
+            stale = [seqno for seqno in chain if seqno <= high]
+            for seqno in stale:
+                del chain[seqno]
+            pruned += len(stale)
         return pruned
 
     def deliver_plan(self, messages: tuple[Message, ...]) -> None:
@@ -323,17 +364,17 @@ class ViewChannels:
         if self.view is None:
             return
         for msg in sorted(messages, key=lambda m: m.msg_id):
-            if msg.msg_id.view != self.view.view_id:
+            mid = msg.msg_id
+            if mid.view != self.view.view_id:
                 raise ViewSynchronyError(
-                    f"install plan crosses views: {msg.msg_id} vs {self.view.view_id}"
+                    f"install plan crosses views: {mid} vs {self.view.view_id}"
                 )
-            if msg.msg_id in self.delivered:
-                continue
-            if msg.msg_id.seqno <= self._stable.get(msg.msg_id.sender, 0):
+            sender, seqno = mid.sender, mid.seqno
+            if seqno < self._fifo_next.get(sender, 1):
+                continue  # already delivered on the normal path
+            if seqno <= self._stable.get(sender, 0):
                 continue  # stable: we delivered and pruned it already
-            if msg.msg_id not in self.received:
-                self.received[msg.msg_id] = msg
-                self._chains.setdefault(msg.msg_id.sender, {})[
-                    msg.msg_id.seqno
-                ] = msg
+            chain = self._chains.setdefault(sender, {})
+            if seqno not in chain:
+                chain[seqno] = msg
             self._deliver(msg)

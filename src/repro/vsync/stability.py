@@ -73,7 +73,14 @@ class StabilityTracker:
         view = stack.view
         if view is None or stack.is_flushing or len(view.members) < 2:
             return
-        prefix = tuple(sorted(stack.channels.delivered_prefix().items()))
+        # Sort by the identifier's key fields directly: n key extractions
+        # beat n·log(n) Python-level ProcessId comparisons.
+        prefix = tuple(
+            sorted(
+                stack.channels.delivered_prefix().items(),
+                key=lambda kv: (kv[0].site, kv[0].incarnation),
+            )
+        )
         report = StabilityReport(view.view_id, stack.pid, prefix)
         if view.coordinator == stack.pid:
             self.on_report(stack.pid, report)

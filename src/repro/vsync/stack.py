@@ -24,12 +24,14 @@ from typing import Any, Callable, Iterable
 from repro.evs.eview import EView
 from repro.evs.manager import EViewManager
 from repro.evs.messages import EvChange, EvRepairReq, EvReq
+from repro.fd.gossip import GossipDetector, GossipDigest
 from repro.fd.heartbeat import Heartbeat, HeartbeatDetector
 from repro.gms.membership import MembershipConfig, ViewAgreement
 from repro.gms.messages import (
     Leave,
     VcAbort,
     VcFlush,
+    VcFlushBatch,
     VcInstall,
     VcNack,
     VcPrepare,
@@ -80,6 +82,13 @@ class StackConfig:
 
     fd_interval: float = 5.0
     fd_timeout: float = 16.0
+    #: Failure-detection plane: ``"heartbeat"`` (all-to-all beacon, the
+    #: paper's model, O(n²) messages/interval) or ``"gossip"`` (epidemic
+    #: digest push, O(n·fanout); see :mod:`repro.fd.gossip`).  With
+    #: gossip, ``fd_timeout`` must cover a whole epidemic round trip,
+    #: not one hop (docs/scaling.md).
+    fd_mode: str = "heartbeat"
+    gossip_fanout: int = 3
     membership: MembershipConfig = field(default_factory=MembershipConfig)
     membership_factory: Callable[["GroupStack"], ViewAgreement] | None = None
     # Ablation switches (benchmarks/bench_ablations.py): disabling these
@@ -114,9 +123,17 @@ class GroupStack(Process):
         self.obs = obs
         self._universe = universe
         self.config = config or StackConfig()
-        self.fd = HeartbeatDetector(
-            self, interval=self.config.fd_interval, timeout=self.config.fd_timeout
-        )
+        if self.config.fd_mode == "gossip":
+            self.fd: HeartbeatDetector | GossipDetector = GossipDetector(
+                self,
+                interval=self.config.fd_interval,
+                timeout=self.config.fd_timeout,
+                fanout=self.config.gossip_fanout,
+            )
+        else:
+            self.fd = HeartbeatDetector(
+                self, interval=self.config.fd_interval, timeout=self.config.fd_timeout
+            )
         # Optional interceptor for point-to-point traffic (the Isis
         # blocking-transfer tool installs itself here, possibly from the
         # membership factory below — so this must be initialised first).
@@ -140,6 +157,15 @@ class GroupStack(Process):
 
     def universe_sites(self) -> list[SiteId]:
         return sorted(self._universe())
+
+    def universe_size(self) -> int:
+        """Site-universe cardinality without the sorted materialisation
+        (the gossip plane consults this on every digest)."""
+        universe = self._universe()
+        try:
+            return len(universe)  # type: ignore[arg-type]
+        except TypeError:
+            return sum(1 for _ in universe)
 
     def send_site(self, site: SiteId, payload: Any) -> None:
         if self.network is not None and self.alive:
@@ -169,12 +195,25 @@ class GroupStack(Process):
             ):
                 self.channels.note_sender_high(src, payload.last_seqno)
                 self.evs.note_peer_seq(src, payload.eview_seq)
+        elif isinstance(payload, GossipDigest):
+            self.fd.on_digest(src, payload)
+            # Same in-view loss-repair piggyback as the heartbeat path:
+            # the digest names the sender's traffic position.
+            if (
+                payload.view_id is not None
+                and payload.view_id == self.current_view_id()
+                and not self.is_flushing
+            ):
+                self.channels.note_sender_high(src, payload.last_seqno)
+                self.evs.note_peer_seq(src, payload.eview_seq)
         elif isinstance(payload, VcPropose):
             self.membership.on_propose(src, payload)
         elif isinstance(payload, VcPrepare):
             self.membership.on_prepare(src, payload)
         elif isinstance(payload, VcFlush):
             self.membership.on_flush(src, payload)
+        elif isinstance(payload, VcFlushBatch):
+            self.membership.on_flush_batch(src, payload)
         elif isinstance(payload, VcNack):
             self.membership.on_nack(src, payload)
         elif isinstance(payload, VcInstall):

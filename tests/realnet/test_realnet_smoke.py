@@ -340,6 +340,33 @@ def test_checked_workload_runs_unchanged_over_realnet():
         assert cluster.network_stats().delivered > 0
 
 
+def test_checked_workload_over_realnet_with_gossip_plane():
+    """The figure-2 schedule again, with the failure-detection plane
+    switched to gossip digests (full fanout at n=6, so the epidemic
+    degenerates to all-to-all and the default one-hop ``fd_timeout``
+    stays valid): GossipDigest frames cross real sockets through the
+    negotiated codec and the merged trace still passes every check."""
+    import contextlib
+
+    from repro.ports import make_cluster
+    from repro.workload.clients import MulticastClient
+    from repro.workload.runner import run_checked_workload
+    from repro.workload.scenarios import figure2_scenario
+
+    with contextlib.closing(
+        make_cluster("realnet", 6, seed=10, fd_mode="gossip", gossip_fanout=5)
+    ) as cluster:
+        report = run_checked_workload(
+            cluster,
+            figure2_scenario(),
+            client_factories=[lambda c: MulticastClient(c, interval=20.0)],
+        )
+        assert report.settled, cluster.views()
+        assert report.violations == [], report.violations[:5]
+        assert report.events_checked > 0
+        assert cluster.network_stats().delivered > 0
+
+
 def test_cli_run_realnet_end_to_end(capsys):
     """`python -m repro run --runtime realnet` completes with checks."""
     from repro.cli import main

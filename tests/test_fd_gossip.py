@@ -1,0 +1,178 @@
+"""Tests for the gossip failure-detection plane and the flush
+aggregation tree — the scale profile's two dissemination structures
+(see docs/scaling.md).
+
+The headline property is the degenerate-regime equivalence: at fanout
+>= universe-1 the gossip detector is, by construction, the all-to-all
+heartbeat plane (same targets, same schedule, direct evidence only), so
+a seeded run must produce *identical* installed-view sequences under
+either plane.  CI runs that comparison at n=16 over a partition/heal
+cycle.
+"""
+
+from __future__ import annotations
+
+from repro.fd.gossip import GossipDetector, GossipDigest, GossipEntry
+from repro.gms.membership import MembershipConfig
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.vsync.stack import StackConfig
+
+from tests.conftest import assert_all_properties
+
+
+def _partition_heal_run(n: int, seed: int = 7, **knobs) -> Cluster:
+    """Settle, cut the cluster in half, heal, settle again."""
+    cluster = Cluster(n, config=ClusterConfig(seed=seed, **knobs))
+    assert cluster.settle(timeout=500.0), cluster.views()
+    half = n // 2
+    cluster.partition([list(range(half)), list(range(half, n))])
+    assert cluster.settle(timeout=500.0), cluster.views()
+    cluster.heal()
+    assert cluster.settle(timeout=500.0), cluster.views()
+    return cluster
+
+
+def _install_sequences(cluster: Cluster) -> dict:
+    """Per-process ordered list of (view id, membership) installs."""
+    seqs: dict = {}
+    for event in cluster.gather_trace().view_installs():
+        seqs.setdefault(event.pid, []).append((event.view_id, event.members))
+    return seqs
+
+
+def test_gossip_full_fanout_matches_heartbeat_install_sequences():
+    """Satellite determinism gate: at fanout >= n-1 the gossip plane
+    must be indistinguishable from all-to-all heartbeats — identical
+    installed-view sequences at every process on a seeded run."""
+    for n in (8, 16):
+        heartbeat = _partition_heal_run(n, fd_mode="heartbeat")
+        gossip = _partition_heal_run(n, fd_mode="gossip", gossip_fanout=n - 1)
+        assert _install_sequences(heartbeat) == _install_sequences(gossip)
+
+
+def test_gossip_sparse_fanout_settles_and_preserves_properties():
+    """Fanout 4 at n=32 (a real epidemic regime: each interval reaches
+    ~1/8 of the universe directly) still drives the full membership
+    life cycle.  fd_timeout must cover an epidemic round trip —
+    T*(log n / log(k+1)+2) ~ 21 at n=32, k=4, T=5 — so the scale
+    profile's 45 has a 2x margin."""
+    cluster = _partition_heal_run(
+        32,
+        fd_mode="gossip",
+        gossip_fanout=4,
+        stack=StackConfig(fd_timeout=45.0),
+        trace_level="membership",
+    )
+    members = {p.site for p in cluster.stack_at(0).view.members}
+    assert members == set(range(32))
+
+
+def test_gossip_sparse_fanout_detects_crash_indirectly():
+    """A crash must be detected even by sites the victim never gossiped
+    to directly: suspicion spreads through the entries of third-party
+    digests (the indirect-evidence path)."""
+    cluster = Cluster(
+        16,
+        config=ClusterConfig(
+            seed=3,
+            fd_mode="gossip",
+            gossip_fanout=3,
+            stack=StackConfig(fd_timeout=45.0),
+        ),
+    )
+    assert cluster.settle(timeout=500.0), cluster.views()
+    victim = cluster.stack_at(5).pid
+    cluster.crash(5)
+    cluster.run_for(200.0)
+    for stack in cluster.live_stacks():
+        assert victim not in stack.fd.reachable()
+        assert victim not in stack.view.members
+
+
+def test_gossip_refutation_bumps_counter_once_per_interval():
+    """SWIM refutation: seeing ourselves suspected under our live
+    incarnation pushes a fresh counter immediately — but at most once
+    per interval, so a storm of stale suspicions cannot amplify."""
+    cluster = Cluster(
+        8, config=ClusterConfig(seed=3, fd_mode="gossip", gossip_fanout=2)
+    )
+    assert cluster.settle(timeout=500.0)
+    stack = cluster.stack_at(0)
+    detector = stack.fd
+    assert isinstance(detector, GossipDetector)
+    src = cluster.stack_at(1).pid
+    slander = GossipDigest(
+        src,
+        None,
+        entries=(GossipEntry(0, stack.pid.incarnation, 1, suspect=True),),
+    )
+    before, sent_before = detector._counter, detector.digests_sent
+    detector.on_digest(src, slander)
+    assert detector._counter == before + 1
+    assert detector.digests_sent > sent_before
+    sent_after = detector.digests_sent
+    detector.on_digest(src, slander)  # within the same interval: ignored
+    assert detector._counter == before + 1
+    assert detector.digests_sent == sent_after
+
+
+def test_gossip_refutation_suppressed_at_full_fanout():
+    """At fanout >= n-1 every peer hears us directly each interval, so
+    refutation is suppressed (it would also break the bit-for-bit
+    heartbeat equivalence the determinism test relies on)."""
+    cluster = Cluster(
+        4, config=ClusterConfig(seed=3, fd_mode="gossip", gossip_fanout=3)
+    )
+    assert cluster.settle(timeout=500.0)
+    stack = cluster.stack_at(0)
+    detector = stack.fd
+    src = cluster.stack_at(1).pid
+    slander = GossipDigest(
+        src,
+        None,
+        entries=(GossipEntry(0, stack.pid.incarnation, 1, suspect=True),),
+    )
+    before = detector._counter
+    detector.on_digest(src, slander)
+    assert detector._counter == before
+
+
+def test_scale_profile_partition_heal_preserves_properties():
+    """The whole scale profile at once — gossip fanout 4 plus the
+    fanout-8 flush aggregation tree — through a partition/heal cycle,
+    with the Section 2 and Section 6 checkers on the full trace."""
+    cluster = _partition_heal_run(
+        24,
+        fd_mode="gossip",
+        gossip_fanout=4,
+        tree_fanout=8,
+        stack=StackConfig(
+            fd_timeout=45.0,
+            membership=MembershipConfig(flush_stall_timeout=90.0),
+        ),
+    )
+    assert_all_properties(cluster.gather_trace())
+    members = {p.site for p in cluster.stack_at(0).view.members}
+    assert members == set(range(24))
+
+
+def test_figure2_checked_workload_with_gossip():
+    """The figure-2 schedule plus a multicast client under the gossip
+    plane: every view-synchrony and enriched-view check must pass with
+    zero violations, exactly as under heartbeats."""
+    from repro.ports import make_cluster
+    from repro.workload.clients import MulticastClient
+    from repro.workload.runner import run_checked_workload
+    from repro.workload.scenarios import figure2_scenario
+
+    cluster = make_cluster(
+        "sim", 6, seed=10, fd_mode="gossip", gossip_fanout=5
+    )
+    report = run_checked_workload(
+        cluster,
+        figure2_scenario(),
+        client_factories=[lambda c: MulticastClient(c, interval=20.0)],
+    )
+    assert report.settled, cluster.views()
+    assert report.violations == [], report.violations[:5]
+    assert report.events_checked > 0

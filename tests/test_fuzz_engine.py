@@ -127,6 +127,60 @@ def test_workload_spec_rejects_unknown_client_kind():
         WorkloadSpec(clients=(("tcp", 10.0),))
 
 
+def test_rarity_weight_counts_and_reload(tmp_path):
+    corpus = Corpus(tmp_path)
+    common = frozenset({("vroot", 1)})
+    corpus.add(_entry(seed=1, signature=common))
+    corpus.add(_entry(seed=2, signature=common))
+    rare = _entry(
+        seed=3, signature=frozenset({("vroot", 1), ("mode", "N", "S", "Failure")})
+    )
+    corpus.add(rare)
+    # ("vroot", 1) is in all three entries, the mode edge only in one.
+    assert corpus.feature_counts == {
+        ("vroot", 1): 3,
+        ("mode", "N", "S", "Failure"): 1,
+    }
+    assert corpus.rarity_weight(rare) == pytest.approx(1 + 1 / 3 + 1)
+    # Counts rebuild from disk: a resumed campaign weighs identically.
+    reloaded = Corpus(tmp_path)
+    assert reloaded.feature_counts == corpus.feature_counts
+
+
+def test_parent_selection_prefers_rare_features():
+    from collections import Counter
+
+    corpus = Corpus()
+    crowd_sig = frozenset({("vroot", 1)})
+    crowd = [_entry(seed=100 + i, signature=crowd_sig) for i in range(10)]
+    rare = _entry(
+        seed=3,
+        signature=frozenset(
+            {("vroot", 1), ("mode", "N", "S", "Failure"), ("part", 2)}
+        ),
+    )
+    for entry in [*crowd, rare]:
+        corpus.add(entry)
+
+    def picks(seed: int) -> Counter:
+        engine = FuzzEngine(
+            FuzzConfig(seed=seed, fresh_prob=0.0), corpus=corpus
+        )
+        counts: Counter = Counter()
+        for _ in range(300):
+            counts[engine.next_entry().parent] += 1
+        return counts
+
+    counts = picks(7)
+    # Weights: rare = 1 + 1/11 + 1 + 1 ~ 3.09, each crowd entry
+    # 1 + 1/11 ~ 1.09 -> rare expects ~22% of picks vs ~9% uniform.
+    assert counts[rare.entry_id] > 45
+    assert sum(counts.values()) == 300
+    # Same seed, same corpus -> the exact same pick sequence.
+    assert picks(7) == counts
+    assert picks(8) != counts
+
+
 # -- mutation ----------------------------------------------------------------
 
 

@@ -356,6 +356,36 @@ def test_recovered_incarnation_gets_new_phase():
     assert before != after
 
 
+@pytest.mark.parametrize("fd_mode", ["heartbeat", "gossip"])
+def test_sweep_cost_tracks_live_peers_not_universe(fd_mode):
+    """The periodic expiry sweep must examine O(live peers) entries,
+    not every site the detector ever heard: a mostly-dead universe of
+    24 sites with 4 survivors sweeps 3 peers per tick, not 23."""
+    from repro.vsync.stack import StackConfig
+
+    config = ClusterConfig(
+        fd_mode=fd_mode,
+        gossip_fanout=4,
+        # Gossip needs the epidemic-round timeout (docs/scaling.md);
+        # harmless for the heartbeat flavour.
+        stack=StackConfig(fd_timeout=45.0),
+    )
+    cluster = Cluster(24, config=config)
+    assert cluster.settle()
+    for site in range(4, 24):
+        cluster.crash(site)
+    cluster.run_for(100.0)  # let reachability converge on the survivors
+    survivors = [cluster.stacks[site] for site in range(4)]
+    assert all(len(s.fd.reachable()) == 4 for s in survivors)
+    for stack in survivors:
+        stack.fd.sweep_examined = 0
+    window = 200.0
+    cluster.run_for(window)
+    for stack in survivors:
+        sweeps = window / stack.fd.interval
+        assert 0 < stack.fd.sweep_examined <= (sweeps + 2) * 3
+
+
 def test_staggered_heartbeats_do_not_share_an_instant():
     cluster = Cluster(6, config=ClusterConfig(latency=ConstantLatency(1.0)))
     cluster.settle()

@@ -22,17 +22,19 @@ from repro.apps.replicated_db import _LookupReply, _LookupRequest
 from repro.apps.replicated_file import _WriteAck
 from repro.core.group_object import _OpMsg
 from repro.core.settlement import StateAdopt, StateOffer, StateRequest
-from repro.core.state_transfer import TAck, TChunk, TSmallPiece
+from repro.core.state_transfer import TAck, TChunk, TOffer, TResume, TSmallPiece
 from repro.errors import CodecError
 from repro.evs.eview import EvDelta, EView, EViewStructure, Subview, SvSet
 from repro.obs.snapshot import MetricSample, MetricsSnapshot
 from repro.evs.messages import EvChange, EvRepairReq, EvReq
+from repro.fd.gossip import GossipDigest, GossipEntry
 from repro.fd.heartbeat import Heartbeat
 from repro.gms.messages import (
     Leave,
     PredecessorPlan,
     VcAbort,
     VcFlush,
+    VcFlushBatch,
     VcInstall,
     VcNack,
     VcPrepare,
@@ -94,8 +96,19 @@ def _samples():
         delta,
         msg,
         Heartbeat(p1, vid, last_seqno=9, eview_seq=2),
+        GossipEntry(site=2, incarnation=3, counter=17, suspect=True),
+        GossipDigest(
+            sender=p1,
+            view_id=vid,
+            last_seqno=9,
+            eview_seq=2,
+            entries=(
+                GossipEntry(site=0, incarnation=0, counter=5),
+                GossipEntry(site=2, incarnation=3, counter=17, suspect=True),
+            ),
+        ),
         VcPropose(p1, frozenset({p0, p1})),
-        VcPrepare((p0, 5), frozenset({p0, p1})),
+        VcPrepare((p0, 5), frozenset({p0, p1}), direct=True),
         VcNack((p0, 5), p2),
         VcAbort((p0, 5)),
         Leave(p1),
@@ -109,6 +122,22 @@ def _samples():
             structure=structure,
             evlog=(delta,),
             reachable=frozenset({p0, p1}),
+        ),
+        VcFlushBatch(
+            round_id=(p0, 5),
+            flushes=(
+                VcFlush(
+                    round_id=(p0, 5),
+                    sender=p2,
+                    view_id=vid,
+                    max_epoch=4,
+                    received=(),
+                    eview_seq=2,
+                    structure=structure,
+                    evlog=(),
+                    reachable=frozenset({p0, p2}),
+                ),
+            ),
         ),
         VcInstall(
             round_id=(p0, 5),
@@ -127,7 +156,9 @@ def _samples():
         RetransmitRequest(vid, (3, 4, 7)),
         DirectPayload({"blob": "x" * 10}),
         SubviewScoped(frozenset({p0, p1}), ["nested", {"deep": (1, 2.5)}]),
-        StateRequest(session=(p0, 2)),
+        StateRequest(
+            session=(p0, 2), accepts_chunks=True, have_version=3, have_digest=0x1F2E
+        ),
         StateOffer(
             session=(p0, 2),
             sender=p1,
@@ -139,6 +170,17 @@ def _samples():
         TChunk(transfer=(p1, 1), index=0, payload=["bulk", 7], last=False),
         TAck(transfer=(p1, 1), index=0),
         TSmallPiece(transfer=(p1, 1), payload={"meta": 1}, large_chunks=3),
+        TOffer(
+            transfer=(p1, 2),
+            session=(p0, 2),
+            kind="diff",
+            total_chunks=4,
+            base_version=3,
+            target_version=11,
+            sender=p1,
+            last_epoch=4,
+        ),
+        TResume(transfer=(p1, 2), next_index=1),
         _OpMsg(("write", "a", "0:1")),
         _AcquireReq(requester=p2),
         _ReleaseReq(requester=p2),
