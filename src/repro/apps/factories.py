@@ -45,6 +45,13 @@ def _db(n_sites: int) -> Callable[[ProcessId], Any]:
     return lambda pid: ParallelLookupDatabase({"all": lambda k, v: True})
 
 
+@_register("store")
+def _store(n_sites: int) -> Callable[[ProcessId], Any]:
+    from repro.apps.versioned_store import VersionedStore
+
+    return lambda pid: VersionedStore()
+
+
 @_register("lock")
 def _lock(n_sites: int) -> Callable[[ProcessId], Any]:
     from repro.apps.lock_manager import MajorityLockManager

@@ -30,6 +30,7 @@ from typing import Any, Iterable
 from repro.core.group_object import AppStateOffer, GroupObject
 from repro.core.mode_functions import StaticMajorityModeFunction
 from repro.core.modes import Mode
+from repro.core.versioning import newest_incarnations
 from repro.evs.eview import EView
 from repro.types import MessageId, ProcessId, SiteId
 
@@ -192,9 +193,10 @@ class MajorityLockManager(GroupObject):
     def merge_app_states(self, offers: list[AppStateOffer]) -> Any:
         """At most one majority can have granted a lock, so at most one
         offer carries a non-None holder; prefer it (highest version wins
-        ties defensively)."""
+        ties defensively).  Retired-incarnation offers are dropped first
+        so a stale pre-crash holder cannot resurface."""
         best = max(
-            offers,
+            newest_incarnations(offers),
             key=lambda o: (o.state is not None, o.version, o.sender),
         )
         return best.state

@@ -33,6 +33,7 @@ from typing import Any, Callable
 from repro.core.group_object import AppStateOffer, GroupObject
 from repro.core.mode_functions import AlwaysFullModeFunction
 from repro.core.modes import Mode
+from repro.core.versioning import newest_incarnations
 from repro.evs.eview import EView
 from repro.types import MessageId, ProcessId
 
@@ -220,8 +221,18 @@ class ParallelLookupDatabase(GroupObject):
 
     def merge_app_states(self, offers: list[AppStateOffer]) -> Any:
         """Partition repair: the database is the union of what every
-        concurrent partition accumulated."""
+        concurrent partition accumulated.
+
+        Offers attributed to retired incarnations of a site are dropped
+        before folding: a crashed-and-recovered site can be represented
+        twice (its stale pre-crash state via a donor cluster that never
+        merged it, and its live incarnation), and folding in
+        ``(version, sender)`` order would let the retired copy shadow
+        records the newer incarnation overwrote.
+        """
         merged: dict[Any, Any] = {}
-        for offer in sorted(offers, key=lambda o: (o.version, o.sender)):
+        for offer in sorted(
+            newest_incarnations(offers), key=lambda o: (o.version, o.sender)
+        ):
             merged.update(offer.state)
         return merged

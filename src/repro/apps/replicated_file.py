@@ -31,6 +31,7 @@ from typing import Any, Mapping
 from repro.core.group_object import AppStateOffer, GroupObject
 from repro.core.mode_functions import QuorumModeFunction
 from repro.core.modes import Mode
+from repro.core.versioning import QuorumTally, newest_incarnations
 from repro.errors import ApplicationError
 from repro.evs.eview import EView
 from repro.types import MessageId, ProcessId, SiteId
@@ -66,11 +67,10 @@ class ReplicatedFile(GroupObject):
         super().__init__(QuorumModeFunction(votes))
         self.votes = dict(votes)
         self.files: dict[str, tuple[Any, MessageId]] = {}
-        self._pending: dict[MessageId, WriteHandle] = {}
-        # Self-delivery is synchronous inside multicast, so our own
-        # replica's acknowledgement can arrive before the handle is
-        # registered; it parks here until write() drains it.
-        self._early_acks: dict[MessageId, set[ProcessId]] = {}
+        # Quorum bookkeeping (pending handles, vote counting, the
+        # early-ack race with synchronous self-delivery) lives in the
+        # shared tally; votes are the static per-site weights.
+        self._tally = QuorumTally(votes)
         self.reads_served = 0
         self.stale_reads_possible = 0
 
@@ -96,9 +96,7 @@ class ReplicatedFile(GroupObject):
             handle.status = "aborted"  # a view change is in progress
             return handle
         handle.msg_id = msg_id
-        self._pending[msg_id] = handle
-        for replica in self._early_acks.pop(msg_id, set()):
-            self._count_ack(msg_id, replica)
+        self._tally.open(msg_id, handle, self.pid)
         return handle
 
     def read(self, name: str) -> Any:
@@ -133,37 +131,18 @@ class ReplicatedFile(GroupObject):
             self.files[name] = (value, msg_id)
         self._persist()
         if sender == self.pid:
-            self._count_ack(msg_id, self.pid)  # our own replica counts
+            self._tally.ack(msg_id, self.pid, self.pid)  # our replica counts
         else:
             self.stack.send_direct(sender, _WriteAck(msg_id))
 
     def on_app_direct(self, sender: ProcessId, payload: Any) -> None:
         if isinstance(payload, _WriteAck):
-            self._count_ack(payload.msg_id, sender)
-
-    def _count_ack(self, msg_id: MessageId, replica: ProcessId) -> None:
-        handle = self._pending.get(msg_id)
-        if handle is None:
-            if msg_id.sender == self.pid:
-                self._early_acks.setdefault(msg_id, set()).add(replica)
-            return
-        if handle.done:
-            return
-        if replica in handle.ackers:
-            return
-        handle.ackers.add(replica)
-        handle.acked_votes += self.votes.get(replica.site, 0)
-        if 2 * handle.acked_votes > sum(self.votes.values()):
-            handle.status = "committed"
-            del self._pending[msg_id]
+            self._tally.ack(payload.msg_id, sender, self.pid)
 
     def on_view(self, eview: EView) -> None:
         # A view change aborts unacknowledged writes: their quorum can no
         # longer be certified in the view they were issued in (2.2).
-        for msg_id, handle in list(self._pending.items()):
-            handle.status = "aborted"
-            del self._pending[msg_id]
-        self._early_acks.clear()
+        self._tally.abort_all()
         super().on_view(eview)
 
     # ------------------------------------------------------------------
@@ -181,9 +160,10 @@ class ReplicatedFile(GroupObject):
         """With quorum votes at most one donor cluster can exist, but a
         divergence-tolerant merge keeps us safe even under false
         suspicions: per file, the write with the greatest identifier
-        wins (identifiers embed the view epoch, so later quorums win)."""
+        wins (identifiers embed the view epoch, so later quorums win).
+        Offers from retired incarnations of a site are dropped first."""
         merged: dict[str, tuple[Any, MessageId]] = {}
-        for offer in offers:
+        for offer in newest_incarnations(offers):
             for name, (value, stamp) in offer.state.items():
                 if name not in merged or merged[name][1] < stamp:
                     merged[name] = (value, stamp)

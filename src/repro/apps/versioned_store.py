@@ -1,0 +1,408 @@
+"""Versioned record store: the client-serving group object.
+
+``repro.apps.replicated_db`` demonstrates the paper's weak-consistency
+example with an opaque grow-only record set; this object grows that
+data model into what an external client tier needs — agreements as
+living versioned data rather than static rows:
+
+* **append-only per-key version chains**: a put never overwrites; it
+  appends a :class:`~repro.core.versioning.VersionEntry` stamped with
+  the write's :class:`~repro.core.versioning.Provenance`
+  ``(view_epoch, writer, seq)``, so the full audit history of every key
+  survives partitions and merges;
+* **provenance-aware reconciliation**: partition repair is a
+  deterministic provenance-union of the divergent chains
+  (:func:`~repro.core.versioning.merge_chains`) — *every* partition's
+  writes survive with correct attribution, not last-writer-wins;
+* **read-your-writes tokens**: a committed put returns its provenance;
+  a later read presenting that token is refused (``retry``) by any
+  replica whose chain does not yet contain the write;
+* **quorum acknowledgements**: a put is acknowledged only after a
+  majority of the current view applied it
+  (:class:`~repro.core.versioning.QuorumTally`), so an acked write is
+  carried by at least one donor of every future merge and can never be
+  lost — the invariant the ``acked_write_loss`` fuzz checker enforces
+  on traces.
+
+Writes are allowed in every view (each partition keeps serving its
+clients; chains make the repair safe), which makes this the store-side
+half of the paper's partition-availability story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.group_object import AppStateOffer, GroupObject
+from repro.core.mode_functions import AlwaysFullModeFunction
+from repro.core.modes import Mode
+from repro.core.versioning import (
+    Provenance,
+    QuorumTally,
+    VersionEntry,
+    merge_chains,
+    newest_incarnations,
+    provenance_of,
+)
+from repro.evs.eview import EView
+from repro.trace.events import AppEvent
+from repro.types import MessageId, ProcessId
+
+_CHAINS_KEY = "versioned_store.chains"
+_LOG_KEY = "versioned_store.log"
+
+#: Appended writes between full-base compactions of the persisted state.
+_COMPACT_EVERY = 4096
+
+
+def prov_tuple(prov: Provenance) -> tuple[int, int, int, int]:
+    """Trace/wire-friendly flat form of a provenance coordinate."""
+    return (prov.view_epoch, prov.writer.site, prov.writer.incarnation, prov.seq)
+
+
+def prov_from_tuple(raw: tuple[int, int, int, int]) -> Provenance:
+    epoch, site, incarnation, seq = raw
+    return Provenance(int(epoch), ProcessId(int(site), int(incarnation)), int(seq))
+
+
+@dataclass
+class PutHandle:
+    """Client-visible completion state of one put."""
+
+    key: Any
+    value: Any
+    client: str = ""
+    client_seq: int = 0
+    msg_id: MessageId | None = None
+    acked_votes: int = 0
+    status: str = "pending"  # pending | committed | aborted
+    ackers: set[ProcessId] = field(default_factory=set)
+    #: Read-your-writes token, set when the put commits.
+    token: Provenance | None = None
+    #: Completion callback (service tier replies to the client here).
+    on_done: Callable[["PutHandle"], None] | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of one get/history call."""
+
+    status: str  # ok | missing | retry
+    value: Any = None
+    prov: Provenance | None = None
+    chain: tuple[VersionEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class _StoreAck:
+    msg_id: MessageId
+
+
+class VersionedStore(GroupObject):
+    """Append-only versioned key space with quorum-acked writes."""
+
+    def __init__(self, audit_trace: bool = True) -> None:
+        super().__init__(AlwaysFullModeFunction())
+        #: key -> append-only chain ordered by provenance.
+        self.chains: dict[Any, tuple[VersionEntry, ...]] = {}
+        #: (client, client_seq) -> (key, prov): the exactly-once index.
+        self._client_index: dict[tuple[str, int], tuple[Any, Provenance]] = {}
+        self._tally = QuorumTally({})
+        self.audit_trace = audit_trace
+        self.puts_committed = 0
+        self.puts_aborted = 0
+        self.gets_served = 0
+        self.ryw_retries = 0
+        #: Writes appended to the persisted op log since the last
+        #: full-base write (compaction trigger).
+        self._log_len = 0
+
+    def bind(self, stack) -> None:
+        super().bind(stack)
+        persisted = stack.storage.read(_CHAINS_KEY)
+        log = stack.storage.read(_LOG_KEY)
+        if persisted is not None or log:
+            self.chains = dict(persisted or ())
+            for key, entry in log or ():
+                self.chains[key] = self.chains.get(key, ()) + (entry,)
+            self._log_len = len(log or ())
+            self._reindex()
+            if self.audit_trace:
+                # A recovered incarnation re-enters holding these
+                # versions; record it so trace audits (the acked-write
+                # checker) see disk-restored state, not just adoptions.
+                self._record_state()
+
+    # ------------------------------------------------------------------
+    # External operations
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        key: Any,
+        value: Any,
+        client: str = "",
+        client_seq: int = 0,
+        on_done: Callable[[PutHandle], None] | None = None,
+    ) -> PutHandle:
+        """Append a new version of ``key``.
+
+        Returns a handle that commits once a majority of the current
+        view applied the write; a view change aborts it and the client
+        retries with the same ``(client, client_seq)``, which the
+        exactly-once index collapses onto the original entry.
+        """
+        handle = PutHandle(key, value, client, client_seq, on_done=on_done)
+        if client:
+            done = self._client_index.get((client, client_seq))
+            if done is not None:
+                # A retry of a write that already landed: committed with
+                # its original provenance, no new chain entry.
+                handle.status = "committed"
+                handle.token = done[1]
+                self.puts_committed += 1
+                self._finish(handle)
+                return handle
+        if self.mode is not Mode.NORMAL:
+            handle.status = "aborted"
+            self.puts_aborted += 1
+            self._finish(handle)
+            return handle
+        msg_id = self.submit_op(("put", key, value, client, client_seq))
+        if msg_id is None:
+            handle.status = "aborted"  # a view change is in progress
+            self.puts_aborted += 1
+            self._finish(handle)
+            return handle
+        handle.msg_id = msg_id
+        committed = self._tally.open(msg_id, handle, self.pid)
+        if committed is not None:
+            self._committed(committed)
+        return handle
+
+    def get(self, key: Any, ryw: Provenance | None = None) -> ReadResult:
+        """Read the newest version of ``key``.
+
+        Served in any view (possibly stale across a partition).  With a
+        read-your-writes token the read is refused (``retry``) unless
+        this replica's chain already contains the tokened write — the
+        client then retries, typically against the replica that acked.
+        """
+        if self.mode is None or self.mode is Mode.SETTLING:
+            return ReadResult("retry")
+        self.gets_served += 1
+        chain = self.chains.get(key, ())
+        if ryw is not None and all(e.prov != ryw for e in chain):
+            self.ryw_retries += 1
+            return ReadResult("retry")
+        if not chain:
+            return ReadResult("missing")
+        head = chain[-1]
+        return ReadResult("ok", head.value, head.prov)
+
+    def history(self, key: Any, ryw: Provenance | None = None) -> ReadResult:
+        """The full audit chain of ``key``, oldest first."""
+        if self.mode is None or self.mode is Mode.SETTLING:
+            return ReadResult("retry")
+        self.gets_served += 1
+        chain = self.chains.get(key, ())
+        if ryw is not None and all(e.prov != ryw for e in chain):
+            self.ryw_retries += 1
+            return ReadResult("retry")
+        if not chain:
+            return ReadResult("missing")
+        head = chain[-1]
+        return ReadResult("ok", head.value, head.prov, chain)
+
+    def leader(self) -> ProcessId | None:
+        """Leader-read anchor: the least member of the current view."""
+        if self.mode is not Mode.NORMAL or self.stack.view is None:
+            return None
+        return min(self.stack.view.members)
+
+    def op_allowed(self, op: Any, mode: Mode) -> bool:
+        return mode is Mode.NORMAL
+
+    # ------------------------------------------------------------------
+    # Replication machinery
+    # ------------------------------------------------------------------
+
+    def apply_op(self, sender: ProcessId, op: Any, msg_id: MessageId) -> None:
+        kind, key, value, client, client_seq = op
+        if kind != "put":
+            return
+        prov = provenance_of(msg_id)
+        duplicate = bool(client) and (client, client_seq) in self._client_index
+        if not duplicate:
+            entry = VersionEntry(value, prov, client, client_seq)
+            self.chains[key] = self.chains.get(key, ()) + (entry,)
+            if client:
+                self._client_index[(client, client_seq)] = (key, prov)
+            self._persist_entry(key, entry)
+            if self.audit_trace:
+                self._record(
+                    "store_apply",
+                    {
+                        "key": key,
+                        "prov": prov_tuple(prov),
+                        "client": client,
+                        "client_seq": client_seq,
+                    },
+                )
+        # Acknowledge even duplicates: the writer's retry still needs
+        # its quorum certificate.
+        if sender == self.pid:
+            committed = self._tally.ack(msg_id, self.pid, self.pid)
+            if committed is not None:
+                self._committed(committed)
+        else:
+            self.stack.send_direct(sender, _StoreAck(msg_id))
+
+    def on_app_direct(self, sender: ProcessId, payload: Any) -> None:
+        if isinstance(payload, _StoreAck):
+            committed = self._tally.ack(payload.msg_id, sender, self.pid)
+            if committed is not None:
+                self._committed(committed)
+
+    def _committed(self, handle: PutHandle) -> None:
+        self.puts_committed += 1
+        done = None
+        if handle.client:
+            done = self._client_index.get((handle.client, handle.client_seq))
+        if done is not None:
+            handle.token = done[1]
+        elif handle.msg_id is not None:
+            handle.token = provenance_of(handle.msg_id)
+        if self.audit_trace and handle.token is not None:
+            self._record(
+                "store_ack",
+                {
+                    "key": handle.key,
+                    "prov": prov_tuple(handle.token),
+                    "client": handle.client,
+                    "client_seq": handle.client_seq,
+                },
+            )
+        self._finish(handle)
+
+    def _finish(self, handle: PutHandle) -> None:
+        if handle.on_done is not None:
+            callback, handle.on_done = handle.on_done, None
+            callback(handle)
+
+    def on_view(self, eview: EView) -> None:
+        # Quorums are per view: abort what the old view cannot certify
+        # and retally over the new membership (one vote per site).
+        for handle in self._tally.abort_all():
+            self.puts_aborted += 1
+            self._finish(handle)
+        self._tally = QuorumTally({m.site: 1 for m in eview.members})
+        super().on_view(eview)
+
+    def on_mode_change(self, change, eview: EView) -> None:
+        if change.new is Mode.NORMAL and self.audit_trace:
+            self._record_state()
+
+    # ------------------------------------------------------------------
+    # Shared-state policies
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[Any, tuple[VersionEntry, ...]]:
+        return dict(self.chains)
+
+    def adopt_state(self, state: dict[Any, tuple[VersionEntry, ...]]) -> None:
+        """Union the decided state into the local chains.
+
+        Adoption must not *replace*: settlement offers are snapshots,
+        and a put can commit between the moment this replica's offer
+        was taken and the moment the decision arrives (Section 6.2's
+        undisturbed internal operations — a same-membership reinstall
+        settles while client ops keep flowing).  Replacing chains with
+        the decided snapshot would silently drop those concurrent,
+        possibly already-acked writes on every replica at once.  The
+        chain set is a grow-only provenance union, so merging the
+        decision with what is held locally is deterministic, idempotent
+        and always safe.
+        """
+        merged: dict[Any, tuple[VersionEntry, ...]] = {}
+        for key in set(state) | set(self.chains):
+            merged[key] = merge_chains(
+                (tuple(state.get(key, ())), self.chains.get(key, ()))
+            )
+        self.chains = merged
+        self._reindex()
+        self._persist()
+        if self.audit_trace:
+            self._record_state()
+
+    def merge_app_states(self, offers: list[AppStateOffer]) -> Any:
+        """Partition repair: provenance-union every donor's chains.
+
+        Offers from retired incarnations of a site are dropped first —
+        their surviving writes are also carried by whichever donor
+        cluster merged them, and the retired copy must not shadow the
+        newer incarnation's chains.
+        """
+        live = newest_incarnations(offers)
+        merged: dict[Any, tuple[VersionEntry, ...]] = {}
+        keys = {key for offer in live for key in offer.state}
+        for key in keys:
+            merged[key] = merge_chains(
+                offer.state.get(key, ()) for offer in live
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reindex(self) -> None:
+        self._client_index = {
+            (e.client, e.client_seq): (key, e.prov)
+            for key, chain in self.chains.items()
+            for e in chain
+            if e.client
+        }
+
+    def _persist_entry(self, key: Any, entry: VersionEntry) -> None:
+        """O(1) durability for one applied write: append to the op log.
+
+        Rewriting (and snapshotting) the whole chain set on every put is
+        O(total state) work on the serving path; on realnet that stalls
+        the shared event loop long enough to trip the failure detector
+        under load.  Instead each apply appends ``(key, entry)`` —
+        ``entry`` is a frozen dataclass, so stable storage shares it
+        without a copy — and the base is rewritten only on adoption or
+        every ``_COMPACT_EVERY`` appends.
+        """
+        if self.stack is None:
+            return
+        self.stack.storage.append(_LOG_KEY, (key, entry))
+        self._log_len += 1
+        if self._log_len >= _COMPACT_EVERY:
+            self._persist()
+
+    def _persist(self) -> None:
+        """Full-base write: persist every chain and reset the op log."""
+        if self.stack is not None:
+            self.stack.storage.write(_CHAINS_KEY, tuple(self.chains.items()))
+            self.stack.storage.write(_LOG_KEY, [])
+            self._log_len = 0
+
+    def _record_state(self) -> None:
+        provs = sorted(
+            prov_tuple(e.prov) for chain in self.chains.values() for e in chain
+        )
+        self._record("store_state", {"provs": tuple(provs)})
+
+    def _record(self, tag: str, data: Any) -> None:
+        stack = self.stack
+        if stack is not None:
+            stack.recorder.record(
+                AppEvent(time=stack.now, pid=stack.pid, tag=tag, data=data)
+            )

@@ -17,6 +17,15 @@ Commands:
 ``experiments``
     List the paper experiments and the benchmark files that regenerate
     them.
+``serve`` / ``load``
+    The client service tier: ``serve`` boots a realnet cluster running
+    the versioned record store and keeps serving the client wire
+    protocol (``docs/protocol.md`` §8); ``load`` offers open-loop load
+    against an already-running cluster over real TCP connections and
+    prints throughput plus p50/p99 latency with an SLO verdict.  The
+    in-run equivalent is ``run --client-rate`` (works on both
+    runtimes, and additionally checks that no acknowledged write was
+    lost across the run's faults).
 ``realnet``
     Run the stacks over real TCP sockets: the partition/merge demo
     (default), or one standalone node of a multi-process deployment
@@ -102,12 +111,82 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 1 if _report_properties(cluster) else 0
 
 
+def _print_load_results(load_report, verdict, unit: str) -> None:
+    """Load + SLO tables shared by ``run --client-rate`` and ``load``."""
+    table = Table("open-loop client load", ["metric", "value"])
+    table.add("offered ops", load_report.offered)
+    table.add("completed", load_report.completed)
+    table.add("acked ok", load_report.ok)
+    for status, count in load_report.by_status.items():
+        table.add(f"  status={status}", count)
+    table.add("late send slots", load_report.late)
+    table.add(f"duration ({unit})", round(load_report.duration, 3))
+    table.add(f"achieved ops/{unit}", round(load_report.achieved_rate, 1))
+    table.show()
+    slo = Table(f"client latency ({unit})", ["op", "count", "p50", "p99"])
+    for op, row in sorted(verdict.per_op.items()):
+        slo.add(op, int(row["count"]), round(row["p50"], 4), round(row["p99"], 4))
+    slo.add("overall", verdict.count, round(verdict.p50, 4), round(verdict.p99, 4))
+    slo.show()
+    print(
+        f"SLO p99 target {verdict.target_p99:g}{unit}: "
+        f"{'met' if verdict.met else 'MISSED'} (worst p99 {verdict.p99:g}{unit})"
+    )
+
+
+def _run_client_load(args: argparse.Namespace, cluster, schedule, tail) -> int:
+    """The ``run --client-rate`` path: open-loop load + faults + checks."""
+    from repro.workload.openloop import LoadSpec
+    from repro.workload.runner import run_client_load
+
+    scale = cluster.time_scale
+    spec = LoadSpec(
+        rate=args.client_rate / scale,
+        duration=args.duration * scale,
+        clients=args.client_count,
+        n_keys=args.client_keys,
+        key_dist=args.client_dist,
+        read_fraction=args.client_reads,
+        read_mode=args.client_read_mode,
+        seed=args.seed,
+    )
+    result = run_client_load(
+        cluster, spec, schedule, tail=tail, slo_p99=args.client_slo
+    )
+    unit = "s" if args.runtime != "sim" else "u"
+    _print_load_results(result.load, result.verdict, unit)
+    report = result.workload
+    if args.export:
+        from repro.trace.export import dump_trace
+
+        with open(args.export, "w", encoding="utf-8") as handle:
+            count = dump_trace(report.trace, handle)
+        print(f"exported {count} trace events to {args.export}")
+    _export_metrics(report.metrics, args.metrics, args.metrics_jsonl)
+    print("property checks:")
+    violations = _print_reports(report.reports)
+    if not result.load.completed:
+        print("no client operation completed", file=sys.stderr)
+        return 1
+    return 1 if violations else 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     generator = RandomFaultGenerator(
         n_sites=args.sites, seed=args.seed, duration=args.duration,
         asymmetric=args.asymmetric,
     )
     schedule = generator.generate()
+    if args.no_faults:
+        from repro.net.faults import FaultSchedule
+
+        schedule = FaultSchedule()
+    if args.client_rate:
+        if args.app == "none":
+            args.app = "store"  # client load only makes sense over the store
+        elif args.app != "store":
+            raise SystemExit("--client-rate serves the 'store' app; "
+                             f"got --app {args.app}")
     if args.runtime == "realnet-proc":
         # Applications travel by name: the driver passes --app on each
         # child's command line instead of shipping a closure.
@@ -134,6 +213,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed, loss_prob=args.loss, **knobs,
     )
     try:
+        if args.client_rate:
+            return _run_client_load(
+                args, cluster, schedule, generator.settle_tail
+            )
         report = run_checked_workload(
             cluster, schedule, tail=generator.settle_tail
         )
@@ -293,6 +376,89 @@ def cmd_realnet_node(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot a realnet store cluster and serve external clients."""
+    cluster = make_cluster(
+        "realnet", args.sites,
+        app_factory=app_factory("store", args.sites),
+        seed=args.seed, scale=args.scale, codec=args.codec,
+    )
+    try:
+        if not cluster.settle(timeout=args.timeout):
+            print("cluster failed to form a view; views:", file=sys.stderr)
+            for site, view in cluster.views().items():
+                print(f"  site {site}: {view}", file=sys.stderr)
+            return 1
+        book = cluster.cluster.address_book
+        spec = ",".join(
+            f"{site}:{host}:{port}" for site, (host, port) in sorted(book.items())
+        )
+        print(f"store cluster serving (sites={args.sites} codec={args.codec})")
+        for site, (host, port) in sorted(book.items()):
+            print(f"  site {site}: {host}:{port}")
+        print(f"\ndrive it with:  repro load --book {spec}")
+        if args.duration:
+            cluster.run_for(args.duration)
+        else:
+            print("Ctrl-C to stop")
+            try:
+                while True:
+                    cluster.run_for(3600.0)
+            except KeyboardInterrupt:
+                print("\nstopping")
+        return 0
+    finally:
+        cluster.close()
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """Open-loop load against an already-running store cluster."""
+    from repro.workload.openloop import (
+        LoadSpec,
+        LoadTarget,
+        OpenLoopLoad,
+        slo_verdict,
+    )
+
+    if args.book:
+        book = _parse_book(args.book)
+    elif args.targets:
+        book = {}
+        for site, target in enumerate(args.targets):
+            host, _, port = target.rpartition(":")
+            book[site] = (host or args.host, int(port))
+    else:
+        book = {
+            site: (args.host, args.base_port + site)
+            for site in range(args.sites)
+        }
+    spec = LoadSpec(
+        rate=args.rate,
+        duration=args.duration,
+        clients=args.clients,
+        n_keys=args.keys,
+        key_dist=args.dist,
+        read_fraction=args.reads,
+        history_fraction=args.history,
+        read_mode=args.read_mode,
+        seed=args.seed,
+    )
+    with LoadTarget(book) as target:
+        print(
+            f"offering {spec.rate:g} ops/s for {spec.duration:g}s "
+            f"({spec.total_ops} ops, {spec.clients} connections, "
+            f"{spec.key_dist} keys over {spec.n_keys}) at "
+            + ", ".join(f"{h}:{p}" for h, p in book.values())
+        )
+        report = OpenLoopLoad(target, spec).run()
+        verdict = slo_verdict(target, args.slo)
+    _print_load_results(report, verdict, "s")
+    if not report.completed:
+        print("no operation completed: are the servers up?", file=sys.stderr)
+        return 1
+    return 0 if verdict.met or not args.slo_strict else 1
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
@@ -517,6 +683,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--asymmetric", action="store_true",
                      help="include one-way link cuts in the generated "
                           "schedule (asymmetric failures)")
+    run.add_argument("--no-faults", action="store_true",
+                     help="drop the generated fault schedule: a fault-free "
+                          "run of --duration units (throughput/latency "
+                          "measurement mode, usually with --client-rate)")
     run.add_argument("--scale", type=float, default=1.0,
                      help="realnet only: stretch protocol timers (and the "
                           "schedule with them) by this factor")
@@ -529,6 +699,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--gossip-fanout", type=int, default=None,
                      help="digest fanout for --fd-mode gossip "
                           "(see docs/scaling.md for the timeout math)")
+    run.add_argument("--client-rate", type=float, default=0.0,
+                     metavar="OPS_PER_UNIT",
+                     help="offer open-loop client load against the store "
+                          "app at this rate (store ops per scenario unit; "
+                          "~100 units/s of wall time on realnet).  Implies "
+                          "--app store and runs the AckedWriteLoss checker "
+                          "over the merged trace")
+    run.add_argument("--client-count", type=int, default=8,
+                     help="client connections/identities for --client-rate")
+    run.add_argument("--client-keys", type=int, default=1_000_000,
+                     help="keyspace size for --client-rate")
+    run.add_argument("--client-dist", choices=("zipfian", "uniform"),
+                     default="zipfian",
+                     help="key popularity distribution for --client-rate")
+    run.add_argument("--client-reads", type=float, default=0.9,
+                     help="fraction of client ops that are gets "
+                          "(the rest are puts)")
+    run.add_argument("--client-read-mode", choices=("any", "leader"),
+                     default="any",
+                     help="serve gets from any replica or the leader only")
+    run.add_argument("--client-slo", type=float, default=50.0,
+                     help="p99 latency target in scenario units "
+                          "(for the SLO verdict line)")
     run.add_argument("--export", metavar="FILE", default=None,
                      help="write the trace as JSON lines to FILE")
     run.add_argument("--metrics", metavar="FILE", default=None,
@@ -599,6 +792,61 @@ def build_parser() -> argparse.ArgumentParser:
     rnode.add_argument("--trace-level", default="full",
                        help="supervised mode: trace recorder level")
     rnode.set_defaults(func=cmd_realnet_node)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot a realnet store cluster and serve external clients "
+             "(drive it with 'repro load' from another terminal)",
+    )
+    serve.add_argument("--sites", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="stretch every protocol timer by this factor")
+    serve.add_argument("--codec", choices=("bin", "json"), default="bin",
+                       help="preferred wire codec (negotiated per link)")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="wall seconds to wait for the initial view")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="serve for this many wall seconds "
+                            "(0 = until Ctrl-C)")
+    serve.set_defaults(func=cmd_serve)
+
+    load = sub.add_parser(
+        "load",
+        help="open-loop client load against a running store cluster "
+             "(see 'repro serve')",
+    )
+    load.add_argument("targets", nargs="*", metavar="HOST:PORT",
+                      help="server sockets, one per site in site order; "
+                           "default derives host:base-port..+sites-1")
+    load.add_argument("--book", default=None, metavar="SITE:HOST:PORT,...",
+                      help="explicit site address book (the line "
+                           "'repro serve' prints); overrides targets")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--base-port", type=int, default=7400)
+    load.add_argument("--sites", type=int, default=3)
+    load.add_argument("--rate", type=float, default=200.0,
+                      help="offered store ops per wall second")
+    load.add_argument("--duration", type=float, default=10.0,
+                      help="wall seconds of offered load")
+    load.add_argument("--clients", type=int, default=8,
+                      help="concurrent client connections/identities")
+    load.add_argument("--keys", type=int, default=1_000_000,
+                      help="keyspace size")
+    load.add_argument("--dist", choices=("zipfian", "uniform"),
+                      default="zipfian", help="key popularity distribution")
+    load.add_argument("--reads", type=float, default=0.9,
+                      help="fraction of ops that are gets")
+    load.add_argument("--history", type=float, default=0.0,
+                      help="fraction of ops that are history reads")
+    load.add_argument("--read-mode", choices=("any", "leader"), default="any",
+                      help="serve gets from any replica or the leader only")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--slo", type=float, default=1.0,
+                      help="p99 latency target in wall seconds")
+    load.add_argument("--slo-strict", action="store_true",
+                      help="exit non-zero when the p99 target is missed")
+    load.set_defaults(func=cmd_load)
 
     obs = sub.add_parser(
         "obs", help="observability: unified metrics report / live watch"

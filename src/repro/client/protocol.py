@@ -1,0 +1,171 @@
+"""Client wire vocabulary: ``CLI_KIND`` frames on the node socket.
+
+External clients talk to a serving node over the node's *normal*
+listening socket, reusing the transport's ``hello``/``welcome``
+negotiation — the client protocol works over both wire codecs with no
+extra port and no extra configuration, exactly like the obs snapshot
+service (:mod:`repro.obs.watch`):
+
+* JSON: request ``{"k": "cli_req", "p": <tagged ClientRequest>}``,
+  reply ``{"k": "cli_rep", "p": <tagged ClientReply>}``.
+* bin1: a body opening with the frame-kind byte :data:`CLI_KIND`
+  (``0x04``) followed by the bin1-encoded dataclass.
+
+Unlike obs polls, replies are **asynchronous**: a put is answered only
+once a quorum of the current view applied it, so the server keeps the
+connection's ``send`` callback and replies when the store commits.
+``req_id`` matches replies to pipelined requests on one connection.
+
+Reply statuses and the client's obligations:
+
+=============  ==========================================================
+``ok``         the operation completed; ``prov`` carries the version
+               provenance (for puts this is the read-your-writes token)
+``missing``    a read of a key with no versions
+``retry``      a view change aborted the operation (or a read could not
+               satisfy its read-your-writes token / the replica is
+               settling): resubmit unchanged — ``(client, client_seq)``
+               makes put retries exactly-once
+``not_leader`` a leader-mode read reached a non-leader replica;
+               ``leader_site`` names the replica to redial
+``error``      the request was malformed or the node has no store
+=============  ==========================================================
+
+Provenance travels as the flat tuple ``(view_epoch, writer_site,
+writer_incarnation, seq)``; history chains as tuples of ``(value,
+prov, client, client_seq)``.  Flat shapes keep the client payloads
+independent of the protocol-internal dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import CodecError
+
+__all__ = [
+    "CLI_KIND",
+    "ClientRequest",
+    "ClientReply",
+    "client_request_frame",
+    "client_reply_frame",
+    "parse_client_request",
+    "parse_client_reply",
+]
+
+#: Frame-kind byte for bin1 client frames (msg 0x01, obs 0x02, ctl 0x03).
+CLI_KIND = 0x04
+
+#: The operations a request may name.
+OPS = ("put", "get", "history", "ping")
+
+#: Read routing modes: served by whichever replica was dialed, or only
+#: by the current view's leader (least member).
+READ_MODES = ("any", "leader")
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """One client operation as it travels on the wire."""
+
+    req_id: int
+    op: str  # one of OPS
+    key: Any = None
+    value: Any = None
+    client: str = ""
+    client_seq: int = 0
+    read_mode: str = "any"  # one of READ_MODES
+    #: Read-your-writes token: the flat provenance of the client's last
+    #: acked put, or None for an unconditional read.
+    ryw: tuple | None = None
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """The server's answer to one :class:`ClientRequest`."""
+
+    req_id: int
+    status: str  # ok | missing | retry | not_leader | error
+    value: Any = None
+    prov: tuple | None = None
+    #: For history: ((value, prov, client, client_seq), ...) oldest first.
+    chain: tuple = ()
+    #: For not_leader: the site to redial (-1 when unknown).
+    leader_site: int = -1
+
+
+# -- frame builders / parsers (both codecs) --------------------------------
+#
+# codec_bin imports are deferred to call time: the shared payload
+# registry in repro.realnet.codec registers these dataclasses at its own
+# import, and a module-level import here would cycle through the
+# partially-initialised codec_bin when codec_bin is imported first.
+
+
+def client_request_frame(fmt: Any, request: ClientRequest) -> bytes:
+    """One framed client request in the connection's negotiated format."""
+    from repro.realnet.codec import _LEN, encode_frame, encode_value
+    from repro.realnet.codec_bin import encode_value_bin
+
+    if fmt.binary:
+        body = bytes([CLI_KIND]) + encode_value_bin(request)
+        return _LEN.pack(len(body)) + body
+    return encode_frame({"k": "cli_req", "p": encode_value(request)})
+
+
+def client_reply_frame(fmt: Any, reply: ClientReply) -> bytes:
+    """One framed client reply in the connection's negotiated format."""
+    from repro.realnet.codec import _LEN, encode_frame, encode_value
+    from repro.realnet.codec_bin import encode_value_bin
+
+    if fmt.binary:
+        body = bytes([CLI_KIND]) + encode_value_bin(reply)
+        return _LEN.pack(len(body)) + body
+    return encode_frame({"k": "cli_rep", "p": encode_value(reply)})
+
+
+def parse_client_request(fmt: Any, body: bytes) -> ClientRequest | None:
+    """Decode a non-``msg`` frame body as a client request, or None.
+
+    None means "not a client frame" (some other control kind); a frame
+    that *is* a client frame but carries garbage raises
+    :class:`CodecError` like every other malformed body.
+    """
+    from repro.realnet.codec import decode_frame_body, decode_value
+    from repro.realnet.codec_bin import decode_value_bin
+
+    if fmt.binary:
+        if not body or body[0] != CLI_KIND:
+            return None
+        value = decode_value_bin(body[1:])
+    else:
+        try:
+            frame = decode_frame_body(body)
+        except CodecError:
+            return None  # not even JSON: some other layer's bytes
+        if frame.get("k") != "cli_req":
+            return None
+        value = decode_value(frame.get("p"))
+    if not isinstance(value, ClientRequest):
+        raise CodecError(f"client request frame carried {type(value).__name__}")
+    return value
+
+
+def parse_client_reply(fmt: Any, body: bytes) -> ClientReply | None:
+    """Decode one frame body as a client reply, or None for other kinds."""
+    from repro.realnet.codec import decode_frame_body, decode_value
+    from repro.realnet.codec_bin import decode_value_bin
+
+    if fmt.binary:
+        if not body or body[0] != CLI_KIND:
+            return None
+        value = decode_value_bin(body[1:])
+    else:
+        frame = decode_frame_body(body)
+        if frame.get("k") != "cli_rep":
+            return None
+        value = decode_value(frame.get("p"))
+    if not isinstance(value, ClientReply):
+        raise CodecError(f"client reply frame carried {type(value).__name__}")
+    return value

@@ -1,0 +1,172 @@
+"""Server side of the client protocol: route requests into the store.
+
+One :class:`StoreService` fronts one node's :class:`~repro.apps.
+versioned_store.VersionedStore`.  The core router
+(:meth:`handle_request`) is runtime-agnostic — it maps a
+:class:`~repro.client.protocol.ClientRequest` to store calls and hands
+every :class:`~repro.client.protocol.ClientReply` to a callback, which
+is what makes replies *asynchronous*: a put's reply fires from the
+store's quorum-commit callback, not from the request dispatch.  The
+sim client port calls the router directly; on realnet
+:meth:`handle_control` adapts it to the transport's control hook,
+parsing ``CLI_KIND`` frames and writing framed replies back through
+the connection's ``send`` callback.
+
+Retry-on-view-change is the client's half of the contract: the service
+never blocks an operation across a view change — it answers ``retry``
+(put aborted by the view change, read refused while settling or by a
+read-your-writes token) and the client resubmits, with put idempotence
+guaranteed by the store's ``(client, client_seq)`` index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.apps.versioned_store import (
+    PutHandle,
+    VersionedStore,
+    prov_from_tuple,
+    prov_tuple,
+)
+from repro.client.protocol import (
+    OPS,
+    ClientReply,
+    ClientRequest,
+    client_reply_frame,
+    parse_client_request,
+)
+from repro.errors import CodecError
+
+ReplyCb = Callable[[ClientReply], None]
+
+
+class StoreService:
+    """Request router for one serving replica."""
+
+    def __init__(self, store: VersionedStore, registry: Any = None) -> None:
+        self.store = store
+        self._registry = registry
+        self._requests = None
+        self._duration = None
+        if registry is not None:
+            self._requests = registry.counter(
+                "client_requests_total",
+                "Client store requests served, by operation and reply status.",
+                ("op", "status"),
+            )
+            self._duration = registry.histogram(
+                "client_op_duration",
+                "Server-side latency of client store operations "
+                "(request dispatch to reply, in the runtime's clock units).",
+                ("op",),
+            )
+
+    # ------------------------------------------------------------------
+    # Core router (both runtimes)
+    # ------------------------------------------------------------------
+
+    def handle_request(self, request: ClientRequest, reply_cb: ReplyCb) -> None:
+        """Serve one request; every path ends in exactly one reply."""
+        start = self._registry.now() if self._registry is not None else 0.0
+
+        def finish(reply: ClientReply) -> None:
+            if self._requests is not None:
+                self._requests.labels(request.op, reply.status).inc()
+                self._duration.labels(request.op).observe(
+                    self._registry.now() - start
+                )
+            reply_cb(reply)
+
+        op = request.op
+        if op == "put":
+            self._put(request, finish)
+        elif op == "get" or op == "history":
+            finish(self._read(request))
+        elif op == "ping":
+            finish(ClientReply(request.req_id, "ok"))
+        else:
+            finish(ClientReply(request.req_id, "error", value=f"unknown op {op!r}"))
+
+    def _put(self, request: ClientRequest, finish: ReplyCb) -> None:
+        req_id = request.req_id
+
+        def on_done(handle: PutHandle) -> None:
+            if handle.status == "committed" and handle.token is not None:
+                finish(ClientReply(req_id, "ok", prov=prov_tuple(handle.token)))
+            else:
+                # Aborted by a view change (or refused mid-settlement):
+                # the client resubmits; the exactly-once index collapses
+                # a retry of a write that actually landed.
+                finish(ClientReply(req_id, "retry"))
+
+        self.store.put(
+            request.key,
+            request.value,
+            client=request.client,
+            client_seq=request.client_seq,
+            on_done=on_done,
+        )
+
+    def _read(self, request: ClientRequest) -> ClientReply:
+        req_id = request.req_id
+        store = self.store
+        if request.read_mode == "leader":
+            leader = store.leader()
+            if leader is None:
+                return ClientReply(req_id, "retry")
+            if leader != store.pid:
+                return ClientReply(req_id, "not_leader", leader_site=leader.site)
+        ryw = prov_from_tuple(request.ryw) if request.ryw is not None else None
+        if request.op == "history":
+            result = store.history(request.key, ryw=ryw)
+        else:
+            result = store.get(request.key, ryw=ryw)
+        if result.status != "ok":
+            return ClientReply(req_id, result.status)
+        chain = tuple(
+            (e.value, prov_tuple(e.prov), e.client, e.client_seq)
+            for e in result.chain
+        )
+        return ClientReply(
+            req_id,
+            "ok",
+            value=result.value,
+            prov=prov_tuple(result.prov) if result.prov is not None else None,
+            chain=chain,
+        )
+
+    # ------------------------------------------------------------------
+    # Realnet adapter: the transport's client-frame hook
+    # ------------------------------------------------------------------
+
+    def handle_control(
+        self, fmt: Any, body: bytes, send: Callable[[bytes], None]
+    ) -> bytes | None:
+        """Serve one ``CLI_KIND`` frame; None for other control kinds.
+
+        Replies (including deferred put acks) travel through ``send`` on
+        the originating connection, so the synchronous return is always
+        None for frames this layer owns.
+        """
+        try:
+            request = parse_client_request(fmt, body)
+        except CodecError:
+            # A recognisable client frame with a garbled payload: tell
+            # the peer rather than leaving its request hanging.
+            send(client_reply_frame(fmt, ClientReply(-1, "error", value="bad request")))
+            return None
+        if request is None:
+            return None
+        if request.op not in OPS:
+            send(
+                client_reply_frame(
+                    fmt,
+                    ClientReply(request.req_id, "error", value=f"unknown op {request.op!r}"),
+                )
+            )
+            return None
+        self.handle_request(
+            request, lambda reply: send(client_reply_frame(fmt, reply))
+        )
+        return None

@@ -1,0 +1,192 @@
+"""In-process client port: the client API on the simulator runtime.
+
+The simulator has no sockets, but workloads must drive the store
+through the *same* request/reply vocabulary and retry semantics as the
+TCP clients, so this port routes real
+:class:`~repro.client.protocol.ClientRequest` objects through a real
+:class:`~repro.client.service.StoreService` on the target site — only
+the wire framing is skipped.  Everything above the frame layer is
+shared: deferred put replies, ``retry`` on view change with idempotent
+resubmission, ``not_leader`` redirects, read-your-writes tokens.
+
+Two calling styles:
+
+* :meth:`submit` returns a :class:`PendingOp` immediately and completes
+  it as virtual time advances — the form workload drivers use from
+  inside scheduler callbacks;
+* :meth:`put` / :meth:`get` / :meth:`history` block by running the
+  cluster until the operation completes — the form tests use at the
+  top level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.client.protocol import ClientReply, ClientRequest
+from repro.client.service import StoreService
+
+#: Scenario units between resubmissions of a retried operation.
+RETRY_DELAY = 20.0
+
+#: Attempts before a PendingOp gives up with its last reply.
+MAX_ATTEMPTS = 10
+
+
+@dataclass
+class PendingOp:
+    """Completion state of one client operation (across retries)."""
+
+    request: ClientRequest
+    site: int
+    reply: ClientReply | None = None
+    attempts: int = 0
+    #: Transient replies consumed by the retry loop (for diagnostics).
+    retries: list[str] = field(default_factory=list)
+    #: Fired once with this op when the final reply lands (open-loop
+    #: load measures completion latency through it).
+    on_done: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.reply is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.reply is not None and self.reply.status == "ok"
+
+    def _finish(self, reply: ClientReply) -> None:
+        self.reply = reply
+        callback, self.on_done = self.on_done, None
+        if callback is not None:
+            callback(self)
+
+
+class SimStoreClient:
+    """The client API of one external client, over a sim cluster."""
+
+    def __init__(
+        self,
+        cluster: Any,
+        site: int = 0,
+        client_id: str = "c0",
+        read_mode: str = "any",
+        retry_delay: float = RETRY_DELAY,
+        max_attempts: int = MAX_ATTEMPTS,
+    ) -> None:
+        self.cluster = cluster
+        self.site = site
+        self.client_id = client_id
+        self.read_mode = read_mode
+        self.retry_delay = retry_delay
+        self.max_attempts = max_attempts
+        #: Read-your-writes token: provenance of our last acked put.
+        self.last_token: tuple | None = None
+        self._seq = 0
+        self._req = 0
+
+    # ------------------------------------------------------------------
+    # Async form (usable from scheduler callbacks)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        op: str,
+        key: Any = None,
+        value: Any = None,
+        read_mode: str | None = None,
+        ryw: tuple | None = None,
+        on_done: Any = None,
+    ) -> PendingOp:
+        """Issue one operation; completion arrives as the sim runs."""
+        self._req += 1
+        if op == "put":
+            self._seq += 1
+        request = ClientRequest(
+            req_id=self._req,
+            op=op,
+            key=key,
+            value=value,
+            client=self.client_id,
+            client_seq=self._seq if op == "put" else 0,
+            read_mode=read_mode or self.read_mode,
+            ryw=ryw,
+        )
+        pending = PendingOp(request, self.site, on_done=on_done)
+        self._dispatch(pending, self.site)
+        return pending
+
+    def _dispatch(self, pending: PendingOp, site: int) -> None:
+        pending.attempts += 1
+        app = None
+        try:
+            app = self.cluster.app_at(site)
+        except Exception:
+            pass
+        stack = getattr(app, "stack", None)
+        if app is None or stack is None or not getattr(stack, "alive", False):
+            # The dialed replica is down: same as a connection refusal —
+            # back off and try again (the site may recover).
+            self._reschedule(pending, site)
+            return
+        service = StoreService(app, registry=self.cluster.metrics)
+        service.handle_request(
+            pending.request, lambda reply: self._on_reply(pending, site, reply)
+        )
+
+    def _on_reply(self, pending: PendingOp, site: int, reply: ClientReply) -> None:
+        if pending.done:
+            return
+        if reply.status == "retry" and pending.attempts < self.max_attempts:
+            pending.retries.append(reply.status)
+            self._reschedule(pending, site)
+            return
+        if (
+            reply.status == "not_leader"
+            and reply.leader_site >= 0
+            and pending.attempts < self.max_attempts
+        ):
+            pending.retries.append(reply.status)
+            self._dispatch(pending, reply.leader_site)
+            return
+        if pending.request.op == "put" and reply.status == "ok":
+            self.last_token = reply.prov
+        pending._finish(reply)
+
+    def _reschedule(self, pending: PendingOp, site: int) -> None:
+        if pending.attempts >= self.max_attempts:
+            pending._finish(ClientReply(pending.request.req_id, "retry"))
+            return
+        self.cluster.after(
+            self.retry_delay * self.cluster.time_scale,
+            self._dispatch,
+            pending,
+            site,
+        )
+
+    # ------------------------------------------------------------------
+    # Blocking form (top-level callers)
+    # ------------------------------------------------------------------
+
+    def _wait(self, pending: PendingOp, timeout: float) -> PendingOp:
+        deadline = self.cluster.now + timeout * self.cluster.time_scale
+        while not pending.done and self.cluster.now < deadline:
+            self.cluster.run_for(self.retry_delay * self.cluster.time_scale)
+        if pending.reply is None:
+            pending._finish(ClientReply(pending.request.req_id, "retry"))
+        return pending
+
+    def put(self, key: Any, value: Any, timeout: float = 2000.0) -> PendingOp:
+        return self._wait(self.submit("put", key, value), timeout)
+
+    def get(
+        self, key: Any, ryw: tuple | None = None, timeout: float = 2000.0
+    ) -> PendingOp:
+        return self._wait(self.submit("get", key, ryw=ryw), timeout)
+
+    def history(self, key: Any, timeout: float = 2000.0) -> PendingOp:
+        return self._wait(self.submit("history", key), timeout)
+
+    def close(self) -> None:
+        """Symmetry with the TCP clients; nothing to release."""

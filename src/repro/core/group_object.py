@@ -106,6 +106,7 @@ class GroupObject(ModeTrackingApp):
         self.delta_log_cap = delta_log_cap
         self.fresh = False
         self.version = 0
+        self._prev_members: frozenset[ProcessId] | None = None
         self._buffered_ops: list[tuple[ProcessId, Any, MessageId]] = []
         self._applied_ops: set[MessageId] = set()
         # Lineage digest of the applied set (order independent, see
@@ -126,6 +127,11 @@ class GroupObject(ModeTrackingApp):
 
     def bind(self, stack) -> None:
         super().bind(stack)
+        # A recovered incarnation resumes its persisted operation-count
+        # lineage: offers must not claim version 0 over restored state —
+        # last-process-to-fail selection breaks ties by version, and the
+        # stale-transfer detector compares offer versions.
+        self.version = int(stack.storage.read(_VERSION_KEY, 0))
         self._transfer_rx = IncrementalReceiver(stack, self._on_transfer_complete)
         fn = self.automaton.mode_function
         if getattr(fn, "dynamic", False):
@@ -262,6 +268,16 @@ class GroupObject(ModeTrackingApp):
         self._persist_meta()
 
     def _on_adopt(self, adopt: StateAdopt) -> None:
+        eview = self.stack.eview if self.stack is not None else None
+        if (
+            adopt.view_id is not None
+            and eview is not None
+            and adopt.view_id != eview.view_id
+        ):
+            # Decided under another view's structure (the multicast
+            # straddled a view change): not installable here — see
+            # StateAdopt.  The session covering this view re-issues.
+            return
         state, applied, version = adopt.state
         self.adopt_state(state)
         self._applied_ops = set(applied)
@@ -296,6 +312,22 @@ class GroupObject(ModeTrackingApp):
         if self.mode is not Mode.NORMAL and not self._i_am_donor(eview):
             self.fresh = False
         self.stack.storage.write(_EPOCH_KEY, eview.view.epoch)
+        # On a non-expanding view change, reconcile *before* driving
+        # settlement: a single subview of fresh members needs no
+        # settlement, and the synchronous Reconcile completes (and
+        # clears) any session carried over from the churn window —
+        # driving settlement first would let it re-issue its adopt into
+        # this view, clobbering operations applied after the donor's
+        # snapshot was taken.  An expansion must settle first: under
+        # flat views the joiners share our subview while unfresh, so an
+        # early reconcile would strand them in S-mode.
+        expanded = (
+            self._prev_members is None
+            or not eview.members <= self._prev_members
+        )
+        self._prev_members = eview.members
+        if not expanded:
+            self._maybe_reconcile()
         self.settlement.on_view(eview)
         self._maybe_reconcile()
 

@@ -82,10 +82,21 @@ class StateOffer:
 
 @dataclass(frozen=True)
 class StateAdopt:
-    """Leader -> view (view-synchronous): the reconstructed state."""
+    """Leader -> view (view-synchronous): the reconstructed state.
+
+    ``view_id`` names the view whose e-view structure the decision was
+    made under.  A decision is only installable in that view: a
+    multicast straddling a view change can be reassigned to the next
+    view by the membership layer, where the donor set may have grown
+    (a healed branch, a recovered incarnation) — installing it there
+    would overwrite state the decision never merged.  Receivers drop
+    such strays; the session re-issues (or restarts and re-decides)
+    under the new view.
+    """
 
     session: SessionId
     state: Any
+    view_id: Any = None
 
 
 @dataclass
@@ -138,11 +149,43 @@ class SettlementEngine:
 
     # -- events from the group object -------------------------------------------
 
+    def _session_valid(self, eview: EView) -> bool:
+        """Whether the running session may keep driving this e-view.
+
+        The continuation rule is only sound while the donor structure
+        *shrinks*: a view change that surfaces a donor subview the
+        session is not collecting from (a healed partition branch, a
+        recovered incarnation carrying state) must restart the session,
+        or the adopt would overwrite that branch's state without ever
+        merging it.  Likewise a creation session must restart when a
+        donor appears or a new member (a potential last-to-fail
+        candidate) joins, and any session is moot once the view lost
+        FULL capability.
+        """
+        session = self.session
+        assert session is not None
+        fn = self.obj.automaton.mode_function
+        if fn.capability(eview) is not Capability.FULL:
+            return False
+        verdict = classify_enriched(eview, fn.n_capable)
+        if session.kind == "creation":
+            return (
+                not verdict.donor_subviews
+                and eview.members <= session.responders
+            )
+        if not verdict.donor_subviews:
+            return False
+        reps = {min(sv.members) for sv in verdict.donor_subviews}
+        return reps <= session.responders
+
     def on_view(self, eview: EView) -> None:
         """A view change: continue the session if allowed, else restart."""
         self._arm_retry()
         if self.session is not None:
-            survivors_ok = self.session.pending <= eview.members
+            survivors_ok = (
+                self.session.pending <= eview.members
+                and self._session_valid(eview)
+            )
             if self.enriched_continuation and survivors_ok and self._i_lead(eview):
                 self.stats.sessions_continued += 1
                 # The new view invalidates the previous adopt multicast:
@@ -210,6 +253,15 @@ class SettlementEngine:
         session = self.session
         if session is None or not self._i_lead(eview):
             return
+        if not session.adopted_sent and not self._session_valid(eview):
+            # The structure changed underneath the session (see
+            # _session_valid); restart so the new donor set is heard.
+            # A session whose adopt is already out keeps driving its
+            # collapse phase — the decision was made under a structure
+            # the adopt's view-synchronous delivery matches.
+            self._abandon()
+            self.maybe_start(eview)
+            return
         stack = self.obj.stack
         assert stack is not None
         # Phase 1: mark -- collapse sv-sets into one.
@@ -230,7 +282,9 @@ class SettlementEngine:
         if not session.adopted_sent:
             state = self._decide(session)
             session.adopted_sent = True
-            stack.multicast(StateAdopt(session.session_id, state))
+            stack.multicast(
+                StateAdopt(session.session_id, state, eview.view_id)
+            )
             return
         # Phase 5: collapse subviews once everyone could adopt.
         sids = [sv.sid for sv in eview.structure.subviews]

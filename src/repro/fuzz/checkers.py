@@ -340,6 +340,66 @@ class SubviewMergeAtomicityChecker(TraceChecker):
 
 
 @register_checker
+class AckedWriteLossChecker(TraceChecker):
+    """No acknowledged client write may vanish from the store.
+
+    :class:`~repro.apps.versioned_store.VersionedStore` records three
+    audit events: ``store_ack`` when a put earns its quorum certificate
+    (the client saw "ok"), ``store_apply`` when a member appends a
+    version, and ``store_state`` whenever a member's whole chain set is
+    *replaced* (state adoption after settlement, or a disk restore on
+    recovery) — carrying the full provenance inventory it now holds.
+
+    Replaying those per process — ``store_state`` resets the process's
+    holdings, ``store_apply`` adds to them — yields what each process
+    retains at the end of the run.  Every acked provenance must appear
+    in the union over processes still alive at the end: merges are
+    provenance-unions, so losing an acked write means a state decision
+    discarded a version some client was promised.
+    """
+
+    name = "AckedWriteLoss"
+
+    def run(self, rec: TraceRecorder, ctx: CheckContext) -> CheckReport:
+        report = self.report()
+        acked: dict[tuple, tuple] = {}  # prov -> (time, pid, key)
+        holdings: dict = {}  # pid -> set of prov tuples
+        # Replay in time order: a later store_state replaces holdings,
+        # so ordering against store_apply matters.
+        for ev in sorted(rec.of_type(AppEvent), key=lambda e: e.time):
+            if not isinstance(ev.data, dict):
+                continue
+            if ev.tag == "store_ack":
+                prov = tuple(ev.data.get("prov", ()))
+                if prov:
+                    acked.setdefault(prov, (ev.time, ev.pid, ev.data.get("key")))
+            elif ev.tag == "store_apply":
+                prov = tuple(ev.data.get("prov", ()))
+                if prov:
+                    holdings.setdefault(ev.pid, set()).add(prov)
+            elif ev.tag == "store_state":
+                holdings[ev.pid] = {
+                    tuple(p) for p in ev.data.get("provs", ())
+                }
+        if not acked:
+            return report
+        dead = {ev.pid for ev in rec.events if type(ev) is CrashEvent}
+        retained: set = set()
+        for pid, provs in holdings.items():
+            if pid not in dead:
+                retained |= provs
+        for prov, (time, pid, key) in sorted(acked.items()):
+            report.checked += 1
+            if prov not in retained:
+                report.violation(
+                    f"write {prov} on key {key!r} was acked to its client "
+                    f"by {pid} at t={time:g} but no live process retains "
+                    f"it at the end of the run"
+                )
+        return report
+
+
+@register_checker
 class ZombieIncarnationChecker(TraceChecker):
     """No event from a crashed or superseded incarnation.
 

@@ -33,7 +33,7 @@ from repro.fuzz.signature import (
 
 #: Workload client kinds -> driver constructors (resolved lazily so the
 #: corpus module stays importable without a cluster).
-CLIENT_KINDS = ("mcast", "file", "lock", "query")
+CLIENT_KINDS = ("mcast", "file", "lock", "query", "store")
 
 
 def _client_factory(kind: str, interval: float) -> Callable:
@@ -44,6 +44,7 @@ def _client_factory(kind: str, interval: float) -> Callable:
         "file": _clients.FileClient,
         "lock": _clients.LockClient,
         "query": _clients.QueryClient,
+        "store": _clients.StoreClient,
     }.get(kind)
     if ctor is None:
         raise ReproError(

@@ -180,6 +180,9 @@ class ClusterPort(Protocol):
     idempotent everywhere.
     """
 
+    #: Which backend this port fronts: one of :data:`RUNTIMES`.
+    runtime: str
+
     # -- time ----------------------------------------------------------
 
     @property

@@ -268,6 +268,21 @@ def _register_obs_payloads() -> None:
         register_payload(cls)
 
 
+def _register_client_payloads() -> None:
+    """The client service tier: the store's replicated types (version
+    provenance, chain entries, its quorum ack) and the external
+    request/reply vocabulary.  Registered at import like every other
+    group so the bin1 schema fingerprint is identical across
+    processes."""
+    from repro.apps.versioned_store import _StoreAck
+    from repro.client.protocol import ClientReply, ClientRequest
+    from repro.core.versioning import Provenance, VersionEntry
+
+    for cls in (Provenance, VersionEntry, _StoreAck, ClientRequest, ClientReply):
+        register_payload(cls)
+
+
 _register_stack_payloads()
 _register_harness_payloads()
 _register_obs_payloads()
+_register_client_payloads()

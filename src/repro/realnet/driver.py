@@ -83,6 +83,9 @@ class RealClusterDriver:
     that internally.
     """
 
+    #: ClusterPort runtime tag (client/workload code branches on it).
+    runtime = "realnet"
+
     def __init__(
         self,
         n_sites: int,

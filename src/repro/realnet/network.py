@@ -108,6 +108,11 @@ class RealNetwork:
         #: None`` consulted after the obs handler: the supervised node's
         #: lifecycle control protocol (see repro.realnet.procnode).
         self.control_handler: Any = None
+        #: Optional third-stage control hook ``(fmt, body, send) ->
+        #: bytes | None`` serving external client requests; ``send``
+        #: writes framed replies back on the originating connection at
+        #: any later time (see repro.client.service.StoreService).
+        self.client_handler: Any = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -307,16 +312,23 @@ class RealNetwork:
         stats.delivered += 1
         proc.deliver_network(ProcessId(msg.src_site, msg.src_inc), payload)
 
-    def _on_control(self, fmt: Any, body: bytes) -> bytes | None:
+    def _on_control(
+        self, fmt: Any, body: bytes, send: Any = None
+    ) -> bytes | None:
         """Serve non-``msg`` frames: obs snapshot polls, then the
-        node's control protocol (when one is installed)."""
+        node's control protocol, then the client service (when those
+        hooks are installed)."""
         from repro.obs.watch import handle_obs_control
 
         reply = handle_obs_control(fmt, body, self.snapshot_provider)
         if reply is not None:
             return reply
         if self.control_handler is not None:
-            return self.control_handler(fmt, body)
+            reply = self.control_handler(fmt, body)
+            if reply is not None:
+                return reply
+        if self.client_handler is not None and send is not None:
+            return self.client_handler(fmt, body, send)
         return None
 
     # -- introspection -------------------------------------------------
@@ -356,6 +368,7 @@ class RealNetwork:
             "reads": 0,
             "max_frames_per_read": 0,
             "bad_connections": 0,
+            "bad_frames": 0,
         }
         codecs: dict[str, int] = {}
         for link in self._links.values():
@@ -375,6 +388,7 @@ class RealNetwork:
             totals["reads"] = server.reads
             totals["max_frames_per_read"] = server.max_frames_per_read
             totals["bad_connections"] = server.bad_connections
+            totals["bad_frames"] = server.bad_frames
         totals["codecs"] = codecs
         return totals
 

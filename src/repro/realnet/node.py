@@ -160,7 +160,25 @@ class RealNode:
             obs=self.obs,
         )
         self.network.register(self.stack)
+        self._wire_client_service()
         return self.stack
+
+    def _wire_client_service(self) -> None:
+        """Serve external clients when the app is a versioned store.
+
+        ``CLI_KIND`` frames on this node's normal listening socket are
+        routed into the store through a :class:`~repro.client.service.
+        StoreService`; nodes running other apps leave the hook unset and
+        such frames are logged and dropped by the transport.
+        """
+        from repro.apps.versioned_store import VersionedStore
+
+        if not isinstance(self.app, VersionedStore):
+            return
+        from repro.client.service import StoreService
+
+        service = StoreService(self.app, registry=self.metrics)
+        self.network.client_handler = service.handle_control
 
     async def start(self) -> GroupStack:
         """Single-phase convenience start (standalone nodes)."""

@@ -287,6 +287,9 @@ class _ProcStackProxy:
 class ProcRealClusterDriver:
     """Blocking :class:`~repro.ports.ClusterPort` over child processes."""
 
+    #: ClusterPort runtime tag (client/workload code branches on it).
+    runtime = "realnet-proc"
+
     def __init__(
         self, n_sites: int, config: ProcClusterConfig | None = None
     ) -> None:

@@ -326,16 +326,19 @@ class FrameServer:
         port: int,
         on_msg: Callable[[ParsedMsg], None],
         accept_formats: tuple[str, ...] = (FORMAT_JSON,),
-        on_control: Callable[[Any, bytes], "bytes | None"] | None = None,
+        on_control: Callable[[Any, bytes, Callable[[bytes], None]], "bytes | None"]
+        | None = None,
     ) -> None:
         self._host = host
         self._port = port
         self._on_msg = on_msg
         self._accept = accept_formats
         #: Optional handler for non-``msg`` frame bodies: called with
-        #: (negotiated format, body); a bytes return is written back on
-        #: the connection (the obs snapshot service), None ignores the
-        #: frame as before.
+        #: (negotiated format, body, send) where ``send(data)`` writes
+        #: framed bytes back on the originating connection at any later
+        #: time (the client service's deferred put replies); a bytes
+        #: return is written back immediately (the obs snapshot
+        #: service), None ignores the frame as before.
         self._on_control = on_control
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -344,6 +347,10 @@ class FrameServer:
         self.reads = 0
         self.max_frames_per_read = 0
         self.bad_connections = 0
+        #: Well-framed bodies that failed to parse, logged and dropped
+        #: without killing the connection (frame *lengths* are still
+        #: trusted once negotiated; a cap violation closes the link).
+        self.bad_frames = 0
         #: Connections by negotiated format name (lifetime counts).
         self.format_counts: dict[str, int] = {}
 
@@ -411,6 +418,14 @@ class FrameServer:
         buf = bytearray()
         fmt: Any = None  # negotiated after the hello
         on_msg = self._on_msg
+
+        def send(data: bytes) -> None:
+            # Per-connection reply channel handed to the control hook;
+            # safe to call after the dispatching frame (deferred client
+            # replies), a no-op once the peer is gone.
+            if not writer.is_closing():
+                writer.write(data)
+
         try:
             while True:
                 chunk = await reader.read(READ_CHUNK)
@@ -463,21 +478,33 @@ class FrameServer:
                         pos = frame_end
                         continue
                     walked += 1
-                    parsed = fmt.parse_msg_at(buf, body_start, frame_end)
-                    if parsed is None:
-                        # Not a msg frame: offer it to the control hook
-                        # (obs snapshot polls); unknown kinds stay
-                        # ignored so future frames don't kill the link.
-                        if self._on_control is not None:
-                            reply = self._on_control(
-                                fmt, bytes(buf[body_start:frame_end])
-                            )
-                            if reply is not None:
-                                writer.write(reply)
-                                await writer.drain()
-                    else:
-                        msgs += 1
-                        on_msg(parsed)
+                    try:
+                        parsed = fmt.parse_msg_at(buf, body_start, frame_end)
+                        if parsed is None:
+                            # Not a msg frame: offer it to the control
+                            # hook (obs polls, client requests); unknown
+                            # kinds stay ignored so future frames don't
+                            # kill the link.
+                            if self._on_control is not None:
+                                reply = self._on_control(
+                                    fmt, bytes(buf[body_start:frame_end]), send
+                                )
+                                if reply is not None:
+                                    writer.write(reply)
+                                    await writer.drain()
+                        else:
+                            msgs += 1
+                            on_msg(parsed)
+                    except CodecError as exc:
+                        # The framing is intact (the length prefix was
+                        # sane), only this body is garbage: drop the one
+                        # frame and keep the link — a single bad payload
+                        # must not sever an otherwise healthy peer.
+                        self.bad_frames += 1
+                        logger.info(
+                            "server %s:%s: dropped bad frame: %s",
+                            self._host, self._port, exc,
+                        )
                     pos = frame_end
                 if pos:
                     del buf[:pos]

@@ -101,6 +101,9 @@ class ClusterConfig:
 class Cluster:
     """A set of sites running group stacks over one simulated network."""
 
+    #: ClusterPort runtime tag (client/workload code branches on it).
+    runtime = "sim"
+
     def __init__(
         self,
         n_sites: int,

@@ -145,6 +145,65 @@ class LockClient(_Driver):
                     self.stats.succeeded += 1
 
 
+class StoreClient(_Driver):
+    """Closed-loop puts/gets through the client service tier.
+
+    Each live site gets one in-process client identity
+    (:class:`~repro.client.sim.SimStoreClient`, which works on any
+    co-located runtime); every tick each identity alternates a put and
+    a read-your-writes get.  Unlike the open-loop generator this paces
+    off completion of the *tick*, which is what fuzz schedules want: a
+    steady trickle of acknowledged writes whose provenance the trace
+    checkers can audit.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterPort,
+        interval: float = 15.0,
+        n_keys: int = 16,
+    ) -> None:
+        super().__init__(cluster, interval)
+        self.n_keys = n_keys
+        self._counter = 0
+        self._clients: dict[int, Any] = {}
+        self.pending: list[Any] = []
+
+    def _client(self, site: int) -> Any:
+        client = self._clients.get(site)
+        if client is None:
+            from repro.client.sim import SimStoreClient
+
+            client = self._clients[site] = SimStoreClient(
+                self.cluster, site=site, client_id=f"store{site}"
+            )
+        return client
+
+    def tick(self) -> None:
+        self._counter += 1
+        for site, _stack in self._live():
+            client = self._client(site)
+            key = f"k{(site + self._counter) % self.n_keys}"
+            self.stats.attempted += 1
+
+            def done(p: Any) -> None:
+                if p.ok:
+                    self.stats.succeeded += 1
+                else:
+                    self.stats.rejected += 1
+
+            if self._counter % 2:
+                op = client.submit("put", key, f"{site}:{self._counter}", on_done=done)
+            else:
+                op = client.submit("get", key, ryw=client.last_token, on_done=done)
+            self.pending.append(op)
+
+    def acked_puts(self) -> list[Any]:
+        return [
+            p for p in self.pending if p.request.op == "put" and p.ok
+        ]
+
+
 class QueryClient(_Driver):
     """Inserts and parallel look-ups against the replicated database."""
 

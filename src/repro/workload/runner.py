@@ -115,3 +115,93 @@ def run_checked_workload(
         check_wall_s=check_wall,
         metrics=metrics,
     )
+
+
+@dataclass
+class ClientLoadReport:
+    """A checked run under open-loop client load.
+
+    Bundles the usual :class:`WorkloadReport` (trace, property checks,
+    metrics) with what the load generator measured
+    (:class:`~repro.workload.openloop.LoadReport`) and the SLO verdict
+    derived from the cluster's latency histograms.
+    """
+
+    workload: WorkloadReport
+    load: Any  # repro.workload.openloop.LoadReport
+    verdict: Any  # repro.workload.openloop.SloVerdict
+
+    @property
+    def ok(self) -> bool:
+        return self.workload.ok and self.load.completed > 0
+
+
+def run_client_load(
+    cluster: ClusterPort,
+    spec: Any,
+    schedule: FaultSchedule | None = None,
+    *,
+    tail: float = 250.0,
+    settle_timeout: float = 600.0,
+    settle_poll: float = 10.0,
+    slo_p99: float = 50.0,
+    checkers: Sequence[str] | None = ("AckedWriteLoss",),
+    enriched: bool = True,
+) -> ClientLoadReport:
+    """Open-loop client load plus a fault schedule, then the checks.
+
+    The client-tier sibling of :func:`run_checked_workload`: instead of
+    closed-loop workload drivers it runs an
+    :class:`~repro.workload.openloop.OpenLoopLoad` with ``spec``
+    (**backend-time** rate/duration, like the spec itself) against an
+    armed scenario-unit fault schedule, settles, and checks the merged
+    trace — the paper's property checks plus the named fuzz checkers
+    (by default ``AckedWriteLoss``: no write acked to a client may
+    vanish across the run's partitions and settlements).  ``slo_p99``
+    is in scenario units and converted via ``time_scale``, like every
+    other duration here.
+
+    The load starts against a *formed* group (an initial settle), so
+    the latency histograms price faults, not bootstrap.
+    """
+    from repro.fuzz.checkers import CheckContext, make_checkers, run_checkers
+    from repro.workload.openloop import OpenLoopLoad, slo_verdict
+
+    scale = cluster.time_scale
+    schedule = schedule if schedule is not None else FaultSchedule()
+    cluster.settle(timeout=settle_timeout * scale, poll=settle_poll * scale)
+    start = cluster.now
+    cluster.arm(schedule)
+    load_report = OpenLoopLoad(cluster, spec).run()
+    # The load grid may end before the fault horizon does; let the rest
+    # of the schedule (plus the settle tail) play out before checking.
+    remaining = start + schedule.horizon * scale - cluster.now
+    cluster.run_for(max(0.0, remaining) + tail * scale)
+    settled = cluster.settle(
+        timeout=settle_timeout * scale, poll=settle_poll * scale
+    )
+    t0 = time.perf_counter()
+    trace = cluster.gather_trace()
+    reports = check_cluster(cluster, enriched=enriched, trace=trace)
+    if checkers:
+        reports += run_checkers(
+            trace, make_checkers(checkers), CheckContext(time_scale=scale)
+        )
+    check_wall = time.perf_counter() - t0
+    snap_fn = getattr(cluster, "metrics_snapshot", None)
+    metrics = snap_fn() if callable(snap_fn) else None
+    workload = WorkloadReport(
+        runtime_now=cluster.now,
+        settled=settled,
+        schedule_actions=len(schedule.actions),
+        horizon=schedule.horizon + tail,
+        trace=trace,
+        reports=reports,
+        check_wall_s=check_wall,
+        metrics=metrics,
+    )
+    return ClientLoadReport(
+        workload=workload,
+        load=load_report,
+        verdict=slo_verdict(cluster, slo_p99 * scale),
+    )

@@ -321,3 +321,51 @@ def test_lock_survives_heal_with_transfer():
     cluster.run_for(300)
     assert all(cluster.apps[s].holder == holder for s in range(5))
     assert all(cluster.apps[s].mode is Mode.NORMAL for s in range(5))
+
+
+def test_db_merge_drops_retired_incarnation_offers():
+    """Regression: a retired incarnation's stale offer (carried by a
+    donor cluster that never merged it) must not shadow records the
+    site's live incarnation overwrote — even when the stale offer
+    carries a higher state version."""
+    from repro.core.group_object import AppStateOffer
+    from repro.types import ProcessId
+
+    db = ParallelLookupDatabase(PREDICATES)
+    stale = AppStateOffer(
+        ProcessId(3, 0), {"x": "old", "only-old": 1}, version=9, last_epoch=1
+    )
+    live = AppStateOffer(
+        ProcessId(3, 1), {"x": "new"}, version=2, last_epoch=3
+    )
+    peer = AppStateOffer(ProcessId(0, 0), {"y": 2}, version=5, last_epoch=3)
+    merged = db.merge_app_states([stale, live, peer])
+    assert merged["x"] == "new"
+    assert merged["y"] == 2
+    assert "only-old" not in merged
+
+
+def test_db_crash_recover_partition_merge_keeps_newest_writes():
+    """The shadowing schedule end to end: crash, recover, diverge in a
+    partition, merge — the recovered incarnation's overwrite wins."""
+    cluster = db_cluster()
+    cluster.apps[0].insert("x", "v1")
+    cluster.run_for(30)
+    cluster.partition([[0, 1], [2, 3]])
+    assert cluster.settle(timeout=500)
+    cluster.run_for(200)
+    cluster.crash(3)
+    cluster.run_for(100)
+    cluster.recover(3)
+    assert cluster.settle(timeout=1000)
+    cluster.run_for(200)
+    cluster.app_at(3).insert("x", "v2")  # the live incarnation overwrites
+    cluster.app_at(0).insert("left", 1)
+    cluster.run_for(50)
+    cluster.heal()
+    assert cluster.settle(timeout=2000)
+    cluster.run_for(300)
+    for site in range(4):
+        records = cluster.app_at(site).records
+        assert records.get("x") == "v2", f"site {site}: {records.get('x')!r}"
+        assert records.get("left") == 1

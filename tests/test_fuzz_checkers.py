@@ -305,3 +305,83 @@ def test_register_checker_requires_a_name():
         @register_checker
         class Nameless(TraceChecker):
             pass
+
+
+# -- acked write loss -------------------------------------------------------
+
+from repro.fuzz.checkers import AckedWriteLossChecker  # noqa: E402
+
+PROV = (1, 0, 0, 1)
+
+
+def _app(rec, t, pid, tag, data):
+    rec.record(AppEvent(time=t, pid=pid, tag=tag, data=data))
+
+
+def _ack(rec, t, pid, prov=PROV, key="k"):
+    _app(rec, t, pid, "store_ack", {"key": key, "prov": prov, "client": "c", "client_seq": 1})
+
+
+def _apply(rec, t, pid, prov=PROV, key="k"):
+    _app(rec, t, pid, "store_apply", {"key": key, "prov": prov, "client": "c", "client_seq": 1})
+
+
+def _state(rec, t, pid, provs):
+    _app(rec, t, pid, "store_state", {"provs": tuple(provs)})
+
+
+def test_acked_write_loss_passes_when_any_live_process_retains():
+    rec = TraceRecorder()
+    _apply(rec, 1.0, P0)
+    _apply(rec, 1.1, P1)
+    _ack(rec, 1.2, P0)
+    # P1 adopts a state without the write, but P0 still holds it.
+    _state(rec, 2.0, P1, [])
+    report = AckedWriteLossChecker().run(rec, CTX)
+    assert report.checked == 1 and report.ok
+
+
+def test_acked_write_loss_flags_universal_loss():
+    rec = TraceRecorder()
+    _apply(rec, 1.0, P0)
+    _apply(rec, 1.1, P1)
+    _ack(rec, 1.2, P0)
+    # Every holder adopts a merged state that dropped the acked write —
+    # the realnet settlement race this checker exists to catch.
+    _state(rec, 2.0, P0, [(1, 0, 0, 7)])
+    _state(rec, 2.1, P1, [])
+    report = AckedWriteLossChecker().run(rec, CTX)
+    assert not report.ok
+    assert "no live process retains" in report.violations[0]
+
+
+def test_acked_write_loss_ignores_holdings_of_crashed_processes():
+    rec = TraceRecorder()
+    _apply(rec, 1.0, P0)
+    _ack(rec, 1.1, P0)
+    rec.record(CrashEvent(time=2.0, pid=P0))
+    report = AckedWriteLossChecker().run(rec, CTX)
+    # The only holder died and nobody else ever applied it: flagged.
+    assert not report.ok
+    # A recovered incarnation restoring it from disk clears the flag.
+    p0b = ProcessId(0, 1)
+    rec.record(RecoverEvent(time=2.5, pid=p0b))
+    _state(rec, 2.6, p0b, [PROV])
+    report = AckedWriteLossChecker().run(rec, CTX)
+    assert report.ok
+
+
+def test_acked_write_loss_replays_states_in_time_order():
+    rec = TraceRecorder()
+    _ack(rec, 1.0, P0)
+    # State reset happens *before* the apply: the write survives.
+    _state(rec, 0.5, P0, [])
+    _apply(rec, 1.5, P0)
+    report = AckedWriteLossChecker().run(rec, CTX)
+    assert report.ok
+
+
+def test_acked_write_loss_silent_without_store_traffic():
+    rec = TraceRecorder()
+    report = AckedWriteLossChecker().run(rec, CTX)
+    assert report.checked == 0 and report.ok

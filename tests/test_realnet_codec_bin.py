@@ -20,6 +20,9 @@ import pytest
 from repro.apps.lock_manager import _AcquireReq, _Denied, _ReleaseReq
 from repro.apps.replicated_db import _LookupReply, _LookupRequest
 from repro.apps.replicated_file import _WriteAck
+from repro.apps.versioned_store import _StoreAck
+from repro.client.protocol import ClientReply, ClientRequest
+from repro.core.versioning import Provenance, VersionEntry
 from repro.core.group_object import _OpMsg
 from repro.core.settlement import StateAdopt, StateOffer, StateRequest
 from repro.core.state_transfer import TAck, TChunk, TOffer, TResume, TSmallPiece
@@ -166,7 +169,33 @@ def _samples():
             version=5,
             last_epoch=4,
         ),
-        StateAdopt(session=(p0, 2), state={"files": {"a": "1:3"}}),
+        StateAdopt(session=(p0, 2), state={"files": {"a": "1:3"}}, view_id=vid),
+        Provenance(view_epoch=4, writer=p1, seq=7),
+        VersionEntry(
+            value="v1",
+            prov=Provenance(view_epoch=4, writer=p1, seq=7),
+            client="c0",
+            client_seq=3,
+        ),
+        _StoreAck(MessageId(p1, vid, 9)),
+        ClientRequest(
+            req_id=11,
+            op="put",
+            key="user42",
+            value="v1",
+            client="c0",
+            client_seq=3,
+            read_mode="leader",
+            ryw=(4, 1, 0, 7),
+        ),
+        ClientReply(
+            req_id=11,
+            status="ok",
+            value="v1",
+            prov=(4, 1, 0, 7),
+            chain=(("v0", (3, 0, 0, 2), "c0", 1),),
+            leader_site=0,
+        ),
         TChunk(transfer=(p1, 1), index=0, payload=["bulk", 7], last=False),
         TAck(transfer=(p1, 1), index=0),
         TSmallPiece(transfer=(p1, 1), payload={"meta": 1}, large_chunks=3),
