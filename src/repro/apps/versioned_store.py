@@ -149,6 +149,7 @@ class VersionedStore(GroupObject):
         client: str = "",
         client_seq: int = 0,
         on_done: Callable[[PutHandle], None] | None = None,
+        trace: Any = None,
     ) -> PutHandle:
         """Append a new version of ``key``.
 
@@ -156,6 +157,8 @@ class VersionedStore(GroupObject):
         view applied the write; a view change aborts it and the client
         retries with the same ``(client, client_seq)``, which the
         exactly-once index collapses onto the original entry.
+        ``trace`` names the causal parent of the replication multicast
+        (the serving tier's request span; tracing only).
         """
         handle = PutHandle(key, value, client, client_seq, on_done=on_done)
         if client:
@@ -173,7 +176,7 @@ class VersionedStore(GroupObject):
             self.puts_aborted += 1
             self._finish(handle)
             return handle
-        msg_id = self.submit_op(("put", key, value, client, client_seq))
+        msg_id = self.submit_op(("put", key, value, client, client_seq), trace)
         if msg_id is None:
             handle.status = "aborted"  # a view change is in progress
             self.puts_aborted += 1

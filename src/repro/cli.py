@@ -208,6 +208,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             knobs["fd_mode"] = args.fd_mode
         if args.gossip_fanout is not None:
             knobs["gossip_fanout"] = args.gossip_fanout
+    if args.tracing:
+        knobs["tracing"] = True
     cluster = make_cluster(
         args.runtime, args.sites, app_factory=factory,
         seed=args.seed, loss_prob=args.loss, **knobs,
@@ -354,6 +356,7 @@ def cmd_realnet_node(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 codec=args.codec,
                 trace_level=args.trace_level,
+                tracing=args.tracing,
             )
         )
         return 0
@@ -372,6 +375,7 @@ def cmd_realnet_node(args: argparse.Namespace) -> int:
             stack_config=realnet_stack_config(args.scale),
             seed=args.seed,
             codec=args.codec,
+            tracing=args.tracing,
             on_view=lambda view: print(f"  installed {view}"),
         )
     )
@@ -517,6 +521,95 @@ def cmd_obs_watch(args: argparse.Namespace) -> int:
     return watch(
         targets, interval=args.interval, count=args.count, codec=args.codec
     )
+
+
+def _run_trace_demo(runtime: str, sites: int, seed: int) -> list:
+    """One client put + one partition/heal on a traced store cluster.
+
+    The acceptance scenario behind ``obs trace --demo``: boots the
+    versioned store with ``tracing=True``, drives a put through the
+    client service (the root-span entry point), forces a view change
+    with a partition/heal, and returns the flight-recorder dumps — the
+    same span taxonomy on either runtime.
+    """
+    cluster = make_cluster(
+        runtime, sites, app_factory=app_factory("store", sites),
+        seed=seed, tracing=True,
+    )
+    try:
+        scale = cluster.time_scale
+        if not cluster.settle(timeout=600.0 * scale, poll=10.0 * scale):
+            raise SystemExit("traced demo cluster failed to settle")
+        if runtime == "sim":
+            from repro.client.sim import SimStoreClient
+
+            client = SimStoreClient(cluster)
+            reply = client.put("k", "v").reply
+        else:
+            from repro.client.client import DriverStoreClient
+
+            client = DriverStoreClient(cluster)
+            reply = client.put("k", "v")
+            client.close()
+        if reply is None or reply.status != "ok":
+            raise SystemExit(f"traced demo put failed: {reply}")
+        minority = max(1, sites // 3)
+        left = list(range(sites - minority))
+        right = list(range(sites - minority, sites))
+        cluster.partition([left, right])
+        cluster.settle(timeout=600.0 * scale, poll=10.0 * scale)
+        cluster.heal()
+        cluster.settle(timeout=600.0 * scale, poll=10.0 * scale)
+        return [recorder.dump() for recorder in cluster.flight_recorders()]
+    finally:
+        cluster.close()
+
+
+def cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Merge flight-recorder dumps into causal trees and print them."""
+    import asyncio
+
+    from repro.obs.trace_analysis import (
+        build_trees,
+        render_trees,
+        write_perfetto,
+    )
+    from repro.obs.tracing import load_dump
+
+    dumps: list = []
+    if args.demo:
+        dumps += _run_trace_demo(args.runtime, args.sites, args.seed)
+    for path in args.files or ():
+        dumps += [load_dump(path)]
+    if args.targets:
+        from repro.obs.watch import fetch_traces
+
+        targets = []
+        for spec in args.targets:
+            host, _, port = spec.rpartition(":")
+            targets.append((host or "127.0.0.1", int(port)))
+        pulled = asyncio.run(fetch_traces(targets, codec=args.codec))
+        for (host, port), dump in zip(targets, pulled):
+            if dump is None:
+                print(
+                    f"note: {host}:{port} answered no trace "
+                    "(down, or tracing off)", file=sys.stderr,
+                )
+        dumps += pulled
+    if not args.demo and not args.files and not args.targets:
+        raise SystemExit(
+            "nothing to analyze: give HOST:PORT targets, --files dumps, "
+            "or --demo"
+        )
+    trees = build_trees(dumps)
+    if not trees:
+        print("no spans found (is tracing enabled on the cluster?)")
+        return 1
+    print(render_trees(trees, limit=args.limit))
+    if args.perfetto:
+        write_perfetto(args.perfetto, trees)
+        print(f"\nexported Perfetto trace-event JSON to {args.perfetto}")
+    return 0
 
 
 def _fuzz_config(args: argparse.Namespace, **overrides):
@@ -699,6 +792,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--gossip-fanout", type=int, default=None,
                      help="digest fanout for --fd-mode gossip "
                           "(see docs/scaling.md for the timeout math)")
+    run.add_argument("--tracing", action="store_true",
+                     help="causal tracing + per-node flight recorders "
+                          "(see docs/observability.md)")
     run.add_argument("--client-rate", type=float, default=0.0,
                      metavar="OPS_PER_UNIT",
                      help="offer open-loop client load against the store "
@@ -791,6 +887,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="supervised mode: simulated send loss probability")
     rnode.add_argument("--trace-level", default="full",
                        help="supervised mode: trace recorder level")
+    rnode.add_argument("--tracing", action="store_true",
+                       help="record causal spans into the flight recorder "
+                            "(served over the obs frame)")
     rnode.set_defaults(func=cmd_realnet_node)
 
     serve = sub.add_parser(
@@ -886,6 +985,32 @@ def build_parser() -> argparse.ArgumentParser:
     owatch.add_argument("--codec", choices=("bin", "json"), default="bin",
                         help="preferred wire codec for the obs frames")
     owatch.set_defaults(func=cmd_obs_watch)
+    otrace = obs_sub.add_parser(
+        "trace",
+        help="reconstruct causal trees from flight-recorder dumps "
+             "(live node pulls, dump files, or a built-in demo run) "
+             "with critical paths and Perfetto export",
+    )
+    otrace.add_argument("targets", nargs="*", metavar="HOST:PORT",
+                        help="running traced nodes to pull rings from")
+    otrace.add_argument("--files", nargs="+", metavar="FILE", default=None,
+                        help="flight-recorder dump files (repro-flight-v1 "
+                             "JSON, as written on checker violations)")
+    otrace.add_argument("--demo", action="store_true",
+                        help="run the acceptance scenario (one client put "
+                             "+ one partition/heal view change) on a traced "
+                             "cluster and analyze its rings")
+    otrace.add_argument("--runtime", choices=("sim", "realnet"), default="sim",
+                        help="--demo backend")
+    otrace.add_argument("--sites", type=int, default=3, help="--demo size")
+    otrace.add_argument("--seed", type=int, default=7)
+    otrace.add_argument("--limit", type=int, default=0,
+                        help="print only the first N trees (0 = all)")
+    otrace.add_argument("--perfetto", metavar="FILE", default=None,
+                        help="also export Chrome/Perfetto trace-event JSON")
+    otrace.add_argument("--codec", choices=("bin", "json"), default="bin",
+                        help="preferred wire codec for live pulls")
+    otrace.set_defaults(func=cmd_obs_trace)
 
     fuzz = sub.add_parser(
         "fuzz", help="coverage-guided protocol fuzzer (see docs/fuzzing.md)"

@@ -79,6 +79,9 @@ class ClientRequest:
     #: Read-your-writes token: the flat provenance of the client's last
     #: acked put, or None for an unconditional read.
     ryw: tuple | None = None
+    #: Client-minted causal context; the service adopts it as the root
+    #: of the operation's trace (tracing only, zero bytes when off).
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -93,6 +96,9 @@ class ClientReply:
     chain: tuple = ()
     #: For not_leader: the site to redial (-1 when unknown).
     leader_site: int = -1
+    #: The operation's root causal context, echoed back so a client can
+    #: correlate its reply with the server-side trace (tracing only).
+    trace: Any = None
 
 
 # -- frame builders / parsers (both codecs) --------------------------------

@@ -21,6 +21,7 @@ guaranteed by the store's ``(client, client_seq)`` index.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable
 
 from repro.apps.versioned_store import (
@@ -44,9 +45,12 @@ ReplyCb = Callable[[ClientReply], None]
 class StoreService:
     """Request router for one serving replica."""
 
-    def __init__(self, store: VersionedStore, registry: Any = None) -> None:
+    def __init__(
+        self, store: VersionedStore, registry: Any = None, obs: Any = None
+    ) -> None:
         self.store = store
         self._registry = registry
+        self._obs = obs
         self._requests = None
         self._duration = None
         if registry is not None:
@@ -61,26 +65,45 @@ class StoreService:
                 "(request dispatch to reply, in the runtime's clock units).",
                 ("op",),
             )
+        if registry is not None:
+            self._now = registry.now
+        elif obs is not None:
+            self._now = obs.registry.now
+        else:
+            self._now = lambda: 0.0
 
     # ------------------------------------------------------------------
     # Core router (both runtimes)
     # ------------------------------------------------------------------
 
     def handle_request(self, request: ClientRequest, reply_cb: ReplyCb) -> None:
-        """Serve one request; every path ends in exactly one reply."""
-        start = self._registry.now() if self._registry is not None else 0.0
+        """Serve one request; every path ends in exactly one reply.
+
+        With tracing on, the request is a root event: its context is
+        minted here (or taken from a tracing client's ``request.trace``),
+        parents every downstream protocol span, and is echoed back on
+        the reply so drivers can correlate.
+        """
+        start = self._now()
+        obs = self._obs
+        ctx = obs.client_ctx(request.trace) if obs is not None else request.trace
 
         def finish(reply: ClientReply) -> None:
             if self._requests is not None:
                 self._requests.labels(request.op, reply.status).inc()
-                self._duration.labels(request.op).observe(
-                    self._registry.now() - start
+                self._duration.labels(request.op).observe(self._now() - start)
+            if obs is not None:
+                obs.client_op(
+                    self.store.pid, request.op, ctx, start, self._now(),
+                    reply.status,
                 )
+            if ctx is not None and reply.trace is None:
+                reply = replace(reply, trace=ctx)
             reply_cb(reply)
 
         op = request.op
         if op == "put":
-            self._put(request, finish)
+            self._put(request, finish, ctx, start)
         elif op == "get" or op == "history":
             finish(self._read(request))
         elif op == "ping":
@@ -88,10 +111,21 @@ class StoreService:
         else:
             finish(ClientReply(request.req_id, "error", value=f"unknown op {op!r}"))
 
-    def _put(self, request: ClientRequest, finish: ReplyCb) -> None:
+    def _put(
+        self,
+        request: ClientRequest,
+        finish: ReplyCb,
+        ctx: Any = None,
+        start: float = 0.0,
+    ) -> None:
         req_id = request.req_id
+        obs = self._obs
 
         def on_done(handle: PutHandle) -> None:
+            if obs is not None:
+                obs.put_quorum(
+                    self.store.pid, start, self._now(), ctx, handle.status
+                )
             if handle.status == "committed" and handle.token is not None:
                 finish(ClientReply(req_id, "ok", prov=prov_tuple(handle.token)))
             else:
@@ -100,12 +134,15 @@ class StoreService:
                 # a retry of a write that actually landed.
                 finish(ClientReply(req_id, "retry"))
 
+        if obs is not None:
+            obs.put_route(self.store.pid, start, ctx)
         self.store.put(
             request.key,
             request.value,
             client=request.client,
             client_seq=request.client_seq,
             on_done=on_done,
+            trace=ctx,
         )
 
     def _read(self, request: ClientRequest) -> ClientReply:

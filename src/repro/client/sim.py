@@ -130,7 +130,9 @@ class SimStoreClient:
             # back off and try again (the site may recover).
             self._reschedule(pending, site)
             return
-        service = StoreService(app, registry=self.cluster.metrics)
+        service = StoreService(
+            app, registry=self.cluster.metrics, obs=self.cluster.obs
+        )
         service.handle_request(
             pending.request, lambda reply: self._on_reply(pending, site, reply)
         )

@@ -24,7 +24,7 @@ Subclasses implement the abstract-data-type half: ``snapshot_state`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.core.mode_functions import ModeFunction
@@ -211,11 +211,13 @@ class GroupObject(ModeTrackingApp):
     # External operations
     # ------------------------------------------------------------------
 
-    def submit_op(self, op: Any) -> MessageId | None:
+    def submit_op(self, op: Any, trace: Any = None) -> MessageId | None:
         """Multicast an external operation to the group.
 
         Raises :class:`ApplicationError` if the current mode does not
         admit it (callers can pre-check with :meth:`can_submit`).
+        ``trace`` optionally names the causal parent of the multicast
+        (e.g. a client request's root span; tracing only).
         """
         if self.stack is None or self.mode is None:
             raise ApplicationError("object not running yet")
@@ -224,7 +226,7 @@ class GroupObject(ModeTrackingApp):
             raise ApplicationError(
                 f"operation {op!r} not allowed in mode {self.mode}"
             )
-        return self.stack.multicast(_OpMsg(op))
+        return self.stack.multicast(_OpMsg(op), trace)
 
     def can_submit(self, op: Any) -> bool:
         return (
@@ -278,6 +280,9 @@ class GroupObject(ModeTrackingApp):
             # straddled a view change): not installable here — see
             # StateAdopt.  The session covering this view re-issues.
             return
+        obs = self.stack.obs if self.stack is not None else None
+        if obs is not None and adopt.trace is not None:
+            obs.settle_adopt(self.pid, self.stack.now, adopt.trace)
         state, applied, version = adopt.state
         self.adopt_state(state)
         self._applied_ops = set(applied)
@@ -391,17 +396,24 @@ class GroupObject(ModeTrackingApp):
 
     def answer_state_request(self, src: ProcessId, request: StateRequest) -> None:
         """Donor side of phase 2: whole blob or announced chunk stream."""
+        obs = self.stack.obs
+        if obs is not None and request.trace is not None:
+            obs.settle_offer(self.pid, self.stack.now, request.trace)
         size = self.transfer_chunk_size
         if not request.accepts_chunks or size is None:
             # Either side predates (or disabled) chunked transfer: the
             # legacy single-message StateOffer keeps mixed clusters
             # interoperable in both directions.
-            self.stack.send_direct(src, self.make_offer(request.session))
+            offer = self.make_offer(request.session)
+            if request.trace is not None:
+                offer = replace(offer, trace=request.trace)
+            self.stack.send_direct(src, offer)
             return
         kind, chunks, base_version = self._plan_stream(request, size)
         last_epoch = int(self.stack.storage.read(_EPOCH_KEY, 0))
         target_version = self.version
         session = request.session
+        trace = request.trace
         sender = IncrementalSender(
             self.stack,
             src,
@@ -414,6 +426,7 @@ class GroupObject(ModeTrackingApp):
                 target_version=target_version,
                 sender=self.pid,
                 last_epoch=last_epoch,
+                trace=trace,
             ),
             chunks=chunks,
         )
@@ -485,6 +498,7 @@ class GroupObject(ModeTrackingApp):
                 snapshot=snapshot,
                 version=version,
                 last_epoch=offer.last_epoch,
+                trace=offer.trace,
             ),
         )
 

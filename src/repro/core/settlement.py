@@ -34,7 +34,7 @@ application can safely do.  Experiment E9 measures the difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.core.classify import classify_enriched
@@ -67,6 +67,8 @@ class StateRequest:
     accepts_chunks: bool = False
     have_version: int = -1
     have_digest: int = 0
+    #: Causal context of the leader's settle.round span (tracing only).
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,7 @@ class StateOffer:
     snapshot: Any
     version: int
     last_epoch: int  # highest view epoch persisted before this offer
+    trace: Any = None  # settle.round context, echoed from the request
 
 
 @dataclass(frozen=True)
@@ -97,6 +100,7 @@ class StateAdopt:
     session: SessionId
     state: Any
     view_id: Any = None
+    trace: Any = None  # settle.round context (tracing only)
 
 
 @dataclass
@@ -269,9 +273,13 @@ class SettlementEngine:
         if len(ssids) > 1:
             stack.sv_set_merge(ssids)
             return  # resume from on_eview when the change lands
+        obs = stack.obs
+        ctx = obs.settle_ctx(self.obj.pid) if obs is not None else None
         # Phase 2: collect.
         if session.pending:
             request = self.obj.build_state_request(session.session_id)
+            if ctx is not None:
+                request = replace(request, trace=ctx)
             for responder in session.pending:
                 if responder == self.obj.pid:
                     self._offer_locally(request)
@@ -283,7 +291,8 @@ class SettlementEngine:
             state = self._decide(session)
             session.adopted_sent = True
             stack.multicast(
-                StateAdopt(session.session_id, state, eview.view_id)
+                StateAdopt(session.session_id, state, eview.view_id, trace=ctx),
+                ctx,
             )
             return
         # Phase 5: collapse subviews once everyone could adopt.
@@ -330,6 +339,13 @@ class SettlementEngine:
 
     def _offer_locally(self, request: StateRequest) -> None:
         offer = self.obj.make_offer(request.session)
+        if request.trace is not None:
+            offer = replace(offer, trace=request.trace)
+            obs = self.obj.stack.obs if self.obj.stack else None
+            if obs is not None:
+                obs.settle_offer(
+                    self.obj.pid, self.obj.stack.now, request.trace
+                )
         self.on_offer(self.obj.pid, offer)
 
     # -- message hooks (wired through the group object) ---------------------------------

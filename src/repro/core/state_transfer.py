@@ -224,6 +224,9 @@ class TOffer:
     target_version: int
     sender: ProcessId
     last_epoch: int
+    #: Causal context the stream runs under (the settlement round's
+    #: span when the transfer serves a settlement; tracing only).
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -293,7 +296,9 @@ class IncrementalSender:
         self.done = True
         obs = self.stack.obs
         if obs is not None:
-            obs.transfer_done(self.stack.pid, self.peer, self.stack.now)
+            obs.transfer_done(
+                self.stack.pid, self.peer, self.stack.now, trace=self.offer.trace
+            )
         if self.on_done is not None:
             self.on_done()
 

@@ -96,6 +96,11 @@ class _Round:
     replies: dict[ProcessId, VcFlush] = field(default_factory=dict)
     attempts: int = 0
     timer: object = None
+    #: Tracing: the view change's root context (carried across round
+    #: restarts), the round's agree-span context, and the round start.
+    trace: object = None
+    agree: object = None
+    t0: float = 0.0
 
 
 @dataclass
@@ -181,11 +186,15 @@ class ViewAgreement:
         target = (self.stack.fd.reachable() | {self.stack.pid}) - (
             self._quarantined() - {self.stack.pid}
         )
+        obs = self.stack.obs
+        root = obs.view_trigger(self.stack.pid, now) if obs is not None else None
         candidate = min_process(target)
         if candidate == self.stack.pid:
-            self._start_round(target)
+            self._start_round(target, trace=root)
         else:
-            self.stack.send(candidate, VcPropose(self.stack.pid, target))
+            self.stack.send(
+                candidate, VcPropose(self.stack.pid, target, trace=root)
+            )
 
     # -- coordinator side ---------------------------------------------------------
 
@@ -196,35 +205,51 @@ class ViewAgreement:
         candidate = min_process(target)
         if candidate != self.stack.pid:
             # We are not the right coordinator; forward.
-            self.stack.send(candidate, VcPropose(self.stack.pid, target))
+            self.stack.send(
+                candidate, VcPropose(self.stack.pid, target, trace=msg.trace)
+            )
             return
         if self._round is not None:
             extra = target - self._round.members
             if extra:
                 self._start_round(self._round.members | extra)
             return
-        self._start_round(target)
+        self._start_round(target, trace=msg.trace)
 
-    def _start_round(self, members: frozenset[ProcessId]) -> None:
+    def _start_round(
+        self, members: frozenset[ProcessId], trace: object = None
+    ) -> None:
         members = members | {self.stack.pid}
         candidate = min_process(members)
         if candidate != self.stack.pid:
             # A smaller identifier belongs in the coordinator seat.
             self._cancel_round()
-            self.stack.send(candidate, VcPropose(self.stack.pid, members))
+            self.stack.send(
+                candidate, VcPropose(self.stack.pid, members, trace=trace)
+            )
             return
         if self._round is not None and self._round.members == members:
             # The same round is already running; restarting it here would
             # reset its timeout forever and silent members could never be
             # dropped.  Let the round's own timer drive retries/shrinks.
             return
+        if trace is None and self._round is not None:
+            trace = self._round.trace  # restarts stay in the same tree
         self._cancel_round()
         self._round_counter += 1
         round_id: RoundId = (self.stack.pid, self._round_counter)
-        rnd = _Round(round_id, members)
+        obs = self.stack.obs
+        agree = None
+        if obs is not None:
+            if trace is None:
+                trace = obs.view_trigger(self.stack.pid, self.stack.now)
+            agree = obs.view_agree_ctx(trace)
+        rnd = _Round(
+            round_id, members, trace=trace, agree=agree, t0=self.stack.now
+        )
         rnd.timer = self.stack.set_timer(self.config.round_timeout, self._round_timeout)
         self._round = rnd
-        prepare = VcPrepare(round_id, members)
+        prepare = VcPrepare(round_id, members, trace=agree)
         own = self.stack.pid
         if self._round_tree(own, members) is None:
             self.stack.send_many((m for m in members if m != own), prepare)
@@ -268,7 +293,9 @@ class ViewAgreement:
             # Maybe the prepare or the reply was lost — or, in tree
             # mode, a relay on the path died.  Ask again directly,
             # bypassing the tree in both directions.
-            prepare = VcPrepare(rnd.round_id, rnd.members, direct=True)
+            prepare = VcPrepare(
+                rnd.round_id, rnd.members, direct=True, trace=rnd.agree
+            )
             self.stack.send_many(missing, prepare)
             rnd.timer = self.stack.set_timer(
                 self.config.round_timeout, self._round_timeout
@@ -405,7 +432,21 @@ class ViewAgreement:
             )
 
         structure = EViewStructure(tuple(subviews), tuple(svsets))
-        install = VcInstall(rnd.round_id, view, structure, predecessors)
+        install = VcInstall(
+            rnd.round_id, view, structure, predecessors, trace=rnd.agree
+        )
+        obs = self.stack.obs
+        if obs is not None:
+            obs.view_agreed(
+                self.stack.pid,
+                rnd.agree,
+                rnd.t0,
+                self.stack.now,
+                attrs=(
+                    ("view", str(view.view_id)),
+                    ("members", str(len(view.members))),
+                ),
+            )
         self._cancel_round()
         own = self.stack.pid
         tree = self._round_tree(own, view.members)
@@ -480,22 +521,27 @@ class ViewAgreement:
             self.stack.send(coordinator, VcNack(msg.round_id, self.stack.pid))
             self._start_round(
                 (msg.members | self.stack.fd.reachable())
-                - (self._quarantined() - {self.stack.pid})
+                - (self._quarantined() - {self.stack.pid}),
+                trace=msg.trace,
             )
             return
         if candidate < coordinator:
             self.stack.send(coordinator, VcNack(msg.round_id, candidate))
             self.stack.send(
-                candidate, VcPropose(self.stack.pid, msg.members | {candidate})
+                candidate,
+                VcPropose(
+                    self.stack.pid, msg.members | {candidate}, trace=msg.trace
+                ),
             )
             return
-        self._flush_to(msg.round_id, coordinator, tree=tree)
+        self._flush_to(msg.round_id, coordinator, tree=tree, trace=msg.trace)
 
     def _flush_to(
         self,
         round_id: RoundId,
         coordinator: ProcessId,
         tree: AggregationTree | None = None,
+        trace: object = None,
     ) -> None:
         if self.view is None:
             return
@@ -504,7 +550,7 @@ class ViewAgreement:
             self._flush_since = self.stack.now
             obs = self.stack.obs
             if obs is not None:
-                obs.view_change_started(self.stack.pid, self.stack.now)
+                obs.view_change_started(self.stack.pid, self.stack.now, trace=trace)
             self.stack.channels.suspend()
             self.stack.evs.suspend()
         self._flushed_round = round_id
@@ -602,13 +648,14 @@ class ViewAgreement:
             return  # we have moved on to a newer round
         if self.view is not None and msg.view.view_id <= self.view.view_id:
             return  # never regress
-        self._install(msg.view, msg.structure, msg.predecessors)
+        self._install(msg.view, msg.structure, msg.predecessors, trace=msg.trace)
 
     def _install(
         self,
         view: View,
         structure: EViewStructure,
         predecessors,
+        trace: object = None,
     ) -> None:
         prev_view_id = self.view.view_id if self.view is not None else None
         if prev_view_id is not None and prev_view_id in predecessors:
@@ -639,7 +686,9 @@ class ViewAgreement:
         )
         obs = self.stack.obs
         if obs is not None:
-            obs.view_installed(self.stack.pid, self.stack.now)
+            obs.view_installed(
+                self.stack.pid, self.stack.now, trace=trace, view=view.view_id
+            )
         self.stack.app.on_view(self.stack.evs.eview)
         self.stack.channels.activate()
         self.stack.channels.flush_pending_sends()

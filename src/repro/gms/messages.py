@@ -22,7 +22,7 @@ The protocol (DESIGN.md §4.1) uses five message types:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.evs.eview import EvDelta, EViewStructure
 from repro.gms.view import View
@@ -34,10 +34,15 @@ RoundId = tuple[ProcessId, int]
 
 @dataclass(frozen=True)
 class VcPropose:
-    """Request that ``target`` become the next view."""
+    """Request that ``target`` become the next view.
+
+    ``trace`` roots the causal tree of the resulting view change at the
+    proposer's trigger (tracing only; ``None`` when tracing is off).
+    """
 
     sender: ProcessId
     target: frozenset[ProcessId]
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,9 @@ class VcPrepare:
     round_id: RoundId
     members: frozenset[ProcessId]
     direct: bool = False
+    #: Causal context of the coordinator's agree span; members parent
+    #: their flush spans under it (tracing only).
+    trace: Any = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +112,9 @@ class VcInstall:
     view: View
     structure: EViewStructure
     predecessors: Mapping[ViewId, PredecessorPlan] = field(default_factory=dict)
+    #: Causal context of the round's agree span; members parent their
+    #: install spans under it (tracing only).
+    trace: Any = None
 
 
 @dataclass(frozen=True)

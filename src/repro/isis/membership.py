@@ -326,13 +326,15 @@ class PrimaryPartitionAgreement(ViewAgreement):
         self._transfer_pending = False
         super()._decide(rnd)
 
-    def _install(self, view: View, structure: EViewStructure, predecessors) -> None:
+    def _install(
+        self, view: View, structure: EViewStructure, predecessors, trace=None
+    ) -> None:
         # Isis views are flat: collapse whatever structure the generic
         # decision computed into the degenerate single-subview form.
         flat = EViewStructure.degenerate(
             view.epoch, view.coordinator, view.members
         )
-        super()._install(view, flat, predecessors)
+        super()._install(view, flat, predecessors, trace=trace)
         self._endorsed = None
         if not self._bootstrapping:
             # Every non-bootstrap install comes from a primary round, so

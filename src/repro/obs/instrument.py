@@ -21,10 +21,16 @@ from typing import Any, Callable
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanMap
+from repro.obs.tracing import TraceCtx, Tracer
 
 __all__ = ["ClusterObs"]
 
 _MODES = ("N", "R", "S")
+
+
+def _site(pid: Any) -> int:
+    """Site number for span lanes; -1 for non-ProcessId reporters."""
+    return getattr(pid, "site", -1)
 
 
 class _ModeTracker:
@@ -62,10 +68,21 @@ class _ModeTracker:
 
 
 class ClusterObs:
-    """Instrument families + span state for one cluster's registry."""
+    """Instrument families + span state for one cluster's registry.
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    ``tracer`` (optional, attached by the cluster when tracing is on)
+    turns the same hook calls into causal :class:`SpanEvent` records:
+    the stacks report protocol events exactly once, and this class
+    fans them out to metrics and to the flight recorder.  Every
+    tracing path is guarded by ``self.tracer is None`` so a cluster
+    with metrics but no tracing pays a single attribute check.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, tracer: Tracer | None = None
+    ) -> None:
         self.registry = registry
+        self.tracer = tracer
         r = registry
         self.view_changes = r.counter(
             "view_changes_total", "Views installed, per process", ("pid",)
@@ -127,10 +144,21 @@ class ClusterObs:
             "Chunked transfers resumed from a persisted cursor",
             ("pid",),
         )
-        self._mcast = SpanMap(4096)  # msg_id -> multicast time
-        self._transfers = SpanMap(512)  # (pid, peer) -> start time
+        self.spans_evicted = r.counter(
+            "spans_evicted_total",
+            "Open spans evicted from bounded span maps before closing"
+            " (each one is a lost latency observation)",
+            ("map",),
+        )
+        self._mcast = SpanMap(  # msg_id -> multicast time
+            4096, on_evict=lambda _key: self.spans_evicted.labels("mcast").inc()
+        )
+        self._transfers = SpanMap(  # (pid, peer) -> start time
+            512, on_evict=lambda _key: self.spans_evicted.labels("transfer").inc()
+        )
         self._flush: dict[str, float] = {}  # pid -> flush start
-        self._settle: dict[str, tuple[float, str]] = {}  # pid -> (start, kind)
+        self._settle: dict[str, tuple] = {}  # pid -> (start, kind, ctx)
+        self._view_ctx: dict[str, TraceCtx] = {}  # pid -> last install ctx
         self._modes = _ModeTracker(r.now)
         for mode in _MODES:
             r.gauge_callback(
@@ -143,15 +171,66 @@ class ClusterObs:
 
     # -- gms: view changes -------------------------------------------------
 
-    def view_change_started(self, pid: Any, at: float) -> None:
-        self._flush.setdefault(str(pid), at)
+    def view_trigger(
+        self, pid: Any, at: float, cause: TraceCtx | None = None
+    ) -> TraceCtx | None:
+        """Root span of a view change, minted where it was triggered.
 
-    def view_installed(self, pid: Any, at: float) -> None:
+        Returns the context to put on ``VcPropose`` / hand to the local
+        round; None when tracing is off.
+        """
+        t = self.tracer
+        if t is None:
+            return None
+        return t.span("view.change", pid, _site(pid), at, parent=cause)
+
+    def view_agree_ctx(self, root: TraceCtx | None) -> TraceCtx | None:
+        """Child context for a round's agree span (travels in
+        ``VcPrepare``/``VcInstall``; the event itself is emitted by
+        :meth:`view_agreed` when the round decides)."""
+        t = self.tracer
+        if t is None or root is None:
+            return None
+        return t.mint(root)
+
+    def view_agreed(
+        self, pid: Any, ctx: TraceCtx | None, t0: float, t1: float, attrs=()
+    ) -> None:
+        """Coordinator decided: emit the agree span for ``ctx``."""
+        t = self.tracer
+        if t is not None and ctx is not None:
+            t.span("view.agree", pid, _site(pid), t0, t1, ctx=ctx, attrs=attrs)
+
+    def view_change_started(
+        self, pid: Any, at: float, trace: TraceCtx | None = None
+    ) -> None:
+        self._flush.setdefault(str(pid), at)
+        t = self.tracer
+        if t is not None and trace is not None:
+            t.span("view.flush", pid, _site(pid), at, parent=trace)
+
+    def view_installed(
+        self, pid: Any, at: float, trace: TraceCtx | None = None, view: Any = None
+    ) -> None:
         label = str(pid)
         self.view_changes.labels(label).inc()
         start = self._flush.pop(label, None)
         if start is not None:
             self.view_change_duration.labels(label).observe(at - start)
+        t = self.tracer
+        if t is not None and trace is not None:
+            attrs = (("view", str(view)),) if view is not None else ()
+            ctx = t.span(
+                "view.install",
+                pid,
+                _site(pid),
+                start if start is not None else at,
+                at,
+                parent=trace,
+                attrs=attrs,
+            )
+            # Settlement rounds triggered by this install parent here.
+            self._view_ctx[label] = ctx
 
     # -- evs ---------------------------------------------------------------
 
@@ -160,33 +239,148 @@ class ClusterObs:
 
     # -- vsync: multicast and delivery ------------------------------------
 
-    def multicast_sent(self, pid: Any, msg_id: Any, at: float) -> None:
+    def multicast_sent(
+        self, pid: Any, msg_id: Any, at: float, parent: TraceCtx | None = None
+    ) -> TraceCtx | None:
+        """Returns the send's causal context (rides on the Message), or
+        None when tracing is off.  With tracing on, a *caused* multicast
+        (a client put, a settlement message) always gets a send span
+        parented under its cause; an uncaused one (steady workload
+        traffic) is root-sampled 1-in-``tracer.root_sample`` to keep the
+        span pipeline off the hottest path — see
+        :meth:`Tracer.sample_root`."""
         self.multicasts.labels(str(pid)).inc()
         self._mcast.open(msg_id, at)
+        t = self.tracer
+        if t is None:
+            return None
+        if parent is None and not t.sample_root():
+            return None
+        return t.span("mcast.send", pid, _site(pid), at, parent=parent)
 
-    def message_delivered(self, pid: Any, msg_id: Any, at: float) -> None:
+    def message_delivered(
+        self, pid: Any, msg_id: Any, at: float, trace: TraceCtx | None = None
+    ) -> None:
         label = str(pid)
         self.deliveries.labels(label).inc()
         start = self._mcast.get(msg_id)
         if start is not None:
             self.delivery_latency.labels(label).observe(at - start)
+        t = self.tracer
+        if t is not None and trace is not None:
+            t.span(
+                "mcast.deliver",
+                label,  # already stringified for the metric labels
+                _site(pid),
+                start if start is not None else at,
+                at,
+                parent=trace,
+            )
 
     # -- settlement --------------------------------------------------------
 
     def settlement_event(self, pid: Any, tag: str, kind: str, at: float) -> None:
         label = str(pid)
+        t = self.tracer
         if tag == "settle_start":
-            self._settle[label] = (at, kind)
+            ctx = None
+            if t is not None:
+                ctx = t.mint(self._view_ctx.get(label))
+            self._settle[label] = (at, kind, ctx)
         elif tag == "settle_done":
             entry = self._settle.pop(label, None)
             if entry is not None:
                 self.settlement_duration.labels(label, entry[1]).observe(
                     at - entry[0]
                 )
+                if t is not None and entry[2] is not None:
+                    t.span(
+                        "settle.round",
+                        pid,
+                        _site(pid),
+                        entry[0],
+                        at,
+                        ctx=entry[2],
+                        attrs=(("kind", entry[1]), ("outcome", "done")),
+                    )
             self.settlements.labels(label, "done").inc()
         elif tag == "settle_abandon":
-            self._settle.pop(label, None)
+            entry = self._settle.pop(label, None)
+            if entry is not None and t is not None and entry[2] is not None:
+                t.span(
+                    "settle.round",
+                    pid,
+                    _site(pid),
+                    entry[0],
+                    at,
+                    ctx=entry[2],
+                    attrs=(("kind", entry[1]), ("outcome", "abandoned")),
+                )
             self.settlements.labels(label, "abandoned").inc()
+
+    def settle_ctx(self, pid: Any) -> TraceCtx | None:
+        """The open settlement round's context (for StateRequest et al)."""
+        entry = self._settle.get(str(pid))
+        return entry[2] if entry is not None else None
+
+    def settle_offer(
+        self, pid: Any, at: float, trace: TraceCtx | None
+    ) -> None:
+        """Donor answered a state request (instant, child of the round)."""
+        t = self.tracer
+        if t is not None and trace is not None:
+            t.span("settle.offer", pid, _site(pid), at, parent=trace)
+
+    def settle_adopt(
+        self, pid: Any, at: float, trace: TraceCtx | None
+    ) -> None:
+        """Member adopted settled state (instant, child of the round)."""
+        t = self.tracer
+        if t is not None and trace is not None:
+            t.span("settle.adopt", pid, _site(pid), at, parent=trace)
+
+    # -- client service ----------------------------------------------------
+
+    def client_ctx(self, trace: TraceCtx | None = None) -> TraceCtx | None:
+        """Root context for one client request.
+
+        Echoes a caller-supplied context (a tracing client) or mints a
+        fresh root; passes ``trace`` through unchanged when tracing is
+        off, so untraced servers still echo client contexts back."""
+        t = self.tracer
+        if t is None or trace is not None:
+            return trace
+        return t.mint()
+
+    def client_op(
+        self, pid: Any, op: str, ctx: TraceCtx | None,
+        t0: float, t1: float, status: str,
+    ) -> None:
+        """The request's root span (dispatch to reply), named by op."""
+        t = self.tracer
+        if t is not None and ctx is not None:
+            t.span(
+                "client." + op, pid, _site(pid), t0, t1,
+                ctx=ctx, attrs=(("status", status),),
+            )
+
+    def put_route(self, pid: Any, at: float, parent: TraceCtx | None) -> None:
+        """Put handed to the store (instant, child of the request)."""
+        t = self.tracer
+        if t is not None and parent is not None:
+            t.span("put.route", pid, _site(pid), at, parent=parent)
+
+    def put_quorum(
+        self, pid: Any, t0: float, t1: float,
+        parent: TraceCtx | None, status: str,
+    ) -> None:
+        """Put dispatch to quorum certificate (or abort)."""
+        t = self.tracer
+        if t is not None and parent is not None:
+            t.span(
+                "put.quorum", pid, _site(pid), t0, t1,
+                parent=parent, attrs=(("status", status),),
+            )
 
     # -- modes -------------------------------------------------------------
 
@@ -210,10 +404,23 @@ class ClusterObs:
     def transfer_started(self, pid: Any, peer: Any, at: float) -> None:
         self._transfers.open((str(pid), str(peer)), at)
 
-    def transfer_done(self, pid: Any, peer: Any, at: float) -> None:
+    def transfer_done(
+        self, pid: Any, peer: Any, at: float, trace: TraceCtx | None = None
+    ) -> None:
         duration = self._transfers.close((str(pid), str(peer)), at)
         if duration is not None:
             self.transfer_duration.labels(str(pid)).observe(duration)
+        t = self.tracer
+        if t is not None and trace is not None:
+            t.span(
+                "transfer.stream",
+                pid,
+                _site(pid),
+                at - duration if duration is not None else at,
+                at,
+                parent=trace,
+                attrs=(("peer", str(peer)),),
+            )
 
     # -- faults ------------------------------------------------------------
 

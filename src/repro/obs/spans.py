@@ -8,14 +8,16 @@ pid); the end side looks it up and observes the duration.
 
 The map is bounded: when it is full, the oldest open span is evicted
 (FIFO).  Eviction loses the latency observation for that one interval —
-acceptable for a metrics layer — and caps memory on hot paths where
+acceptable for a metrics layer, but not silently: pass ``on_evict`` to
+count the loss (:class:`~repro.obs.instrument.ClusterObs` surfaces it
+as ``spans_evicted_total``).  The bound caps memory on hot paths where
 ends can be lost (a multicast whose sender crashes never closes).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 __all__ = ["SpanMap"]
 
@@ -23,14 +25,19 @@ __all__ = ["SpanMap"]
 class SpanMap:
     """Open-interval starts keyed by id, with FIFO eviction when full."""
 
-    __slots__ = ("_capacity", "_open", "_order")
+    __slots__ = ("_capacity", "_open", "_order", "_on_evict")
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        on_evict: Callable[[Hashable], None] | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("SpanMap capacity must be positive")
         self._capacity = capacity
         self._open: dict[Hashable, float] = {}
         self._order: deque[Hashable] = deque()
+        self._on_evict = on_evict
 
     def __len__(self) -> int:
         return len(self._open)
@@ -41,7 +48,8 @@ class SpanMap:
             return
         while len(self._open) >= self._capacity:
             old = self._order.popleft()
-            self._open.pop(old, None)
+            if self._open.pop(old, None) is not None and self._on_evict is not None:
+                self._on_evict(old)
         self._open[key] = at
         self._order.append(key)
 

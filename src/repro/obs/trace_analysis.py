@@ -1,0 +1,330 @@
+"""Causal-tree reconstruction, critical paths and Perfetto export.
+
+The flight recorders (:mod:`repro.obs.tracing`) capture *flat* span
+events, one ring per node, each on its own scheduler clock.  This
+module turns a set of :class:`~repro.obs.tracing.TraceDump` objects
+back into analysis-ready structure, in three steps:
+
+1. **merge** — every event's times are shifted onto one shared base
+   (``epoch + t``: wall seconds for realnet dumps, virtual seconds for
+   the simulator's zero epoch), and duplicate span ids across dumps
+   collapse (the in-process realnet ships one shared ring per cluster,
+   the proc runtime one ring per child);
+2. **trees** — events link up on ``parent`` into one causal tree per
+   ``trace_id``; an event whose parent never made it into any ring
+   (evicted, or the node crashed) roots its own orphan subtree rather
+   than vanishing;
+3. **analysis** — per-tree critical paths (the chain of spans that
+   determined when the root finished: ``view.change -> view.agree ->
+   view.install -> ...``), name-keyed latency breakdowns, a terminal
+   tree renderer and a Chrome/Perfetto ``traceEvents`` JSON exporter
+   for ``ui.perfetto.dev``.
+
+Everything here is pure post-processing over immutable dumps: no
+cluster handles, no codecs, no clocks — the same functions serve the
+``repro obs trace`` CLI, the workload post-mortems and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.obs.tracing import SpanEvent, TraceDump
+
+__all__ = [
+    "Span",
+    "TraceTree",
+    "build_trees",
+    "critical_path",
+    "breakdown",
+    "render_tree",
+    "render_trees",
+    "perfetto_events",
+    "write_perfetto",
+]
+
+
+@dataclass
+class Span:
+    """One merged span: its event, provenance, and resolved children.
+
+    ``t0``/``t1`` are on the merged time base (the dump's ``epoch`` plus
+    the event's local scheduler time), so spans from different realnet
+    processes compare directly.  ``orphan`` marks a span whose recorded
+    parent id was not found in any dump.
+    """
+
+    event: SpanEvent
+    node: str
+    runtime: str
+    t0: float
+    t1: float
+    children: list["Span"] = field(default_factory=list)
+    orphan: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.event.name
+
+    @property
+    def span_id(self) -> int:
+        return self.event.span_id
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        return {str(k): v for k, v in self.event.attrs}
+
+    def walk(self) -> Iterable["Span"]:
+        """This span, then every descendant, depth-first in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class TraceTree:
+    """One causal tree: the root span plus any orphan subtrees.
+
+    ``roots`` holds the true root (``parent == 0``) first when present,
+    then orphan subtrees of the same trace, each sorted by start time.
+    """
+
+    trace_id: int
+    roots: list[Span]
+
+    @property
+    def root(self) -> Span:
+        return self.roots[0]
+
+    @property
+    def kind(self) -> str:
+        """The root span's name — the tree's taxonomy entry point."""
+        return self.root.name
+
+    def spans(self) -> list[Span]:
+        return [span for root in self.roots for span in root.walk()]
+
+    @property
+    def start(self) -> float:
+        return min(root.t0 for root in self.roots)
+
+    @property
+    def end(self) -> float:
+        return max(span.t1 for span in self.spans())
+
+
+def build_trees(dumps: Iterable[TraceDump | None]) -> list[TraceTree]:
+    """Merge per-node dumps into causal trees, one per ``trace_id``.
+
+    ``None`` entries (traceless nodes skipped by the pullers) are
+    ignored.  Duplicate span ids — the same shared ring pulled through
+    several co-located nodes — keep the first occurrence.  Trees come
+    back sorted by start time; children within a span by start time.
+    """
+    by_id: dict[int, Span] = {}
+    for dump in dumps:
+        if dump is None:
+            continue
+        for event in dump.events:
+            if event.span_id in by_id:
+                continue
+            by_id[event.span_id] = Span(
+                event=event,
+                node=dump.node,
+                runtime=dump.runtime,
+                t0=dump.epoch + event.t0,
+                t1=dump.epoch + event.t1,
+            )
+    trees: dict[int, list[Span]] = {}
+    for span in by_id.values():
+        parent = by_id.get(span.event.parent) if span.event.parent else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            span.orphan = bool(span.event.parent)
+            trees.setdefault(span.event.trace_id, []).append(span)
+    for span in by_id.values():
+        span.children.sort(key=lambda s: (s.t0, s.span_id))
+    result = []
+    for trace_id, roots in trees.items():
+        roots.sort(key=lambda s: (s.orphan, s.t0, s.span_id))
+        result.append(TraceTree(trace_id=trace_id, roots=roots))
+    result.sort(key=lambda t: (t.start, t.trace_id))
+    return result
+
+
+def critical_path(tree: TraceTree) -> list[Span]:
+    """The chain of spans that determined when the tree finished.
+
+    Starting at the root, repeatedly descend into the child subtree
+    that *finished last* — the blocking dependency at every level.  For
+    a view install this reads ``view.change -> view.agree ->
+    view.install`` (then transfer, when state moved); for a client put
+    ``client.put -> put.quorum -> mcast.deliver``.
+    """
+
+    def subtree_end(span: Span) -> float:
+        return max(s.t1 for s in span.walk())
+
+    path = [tree.root]
+    span = tree.root
+    while span.children:
+        span = max(span.children, key=lambda s: (subtree_end(s), s.t0))
+        path.append(span)
+    return path
+
+
+def breakdown(tree: TraceTree) -> list[tuple[str, int, float]]:
+    """Per-span-name latency totals over one tree.
+
+    Returns ``(name, count, total_duration)`` rows sorted by total
+    duration, largest first — the "where did the time go" table the
+    CLI prints under each reconstructed tree.
+    """
+    totals: dict[str, tuple[int, float]] = {}
+    for span in tree.spans():
+        count, total = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, total + span.duration)
+    return sorted(
+        ((name, count, total) for name, (count, total) in totals.items()),
+        key=lambda row: (-row[2], row[0]),
+    )
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def _fmt_s(seconds: float) -> str:
+    """Human duration: sub-second as ms, else seconds."""
+    if abs(seconds) < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.3g}s"
+
+
+def render_tree(tree: TraceTree, *, base: float | None = None) -> str:
+    """One causal tree as indented terminal text.
+
+    ``base`` is the time origin offsets print against (default: the
+    tree's own start), so a multi-tree listing can share one origin.
+    """
+    origin = tree.start if base is None else base
+    lines = [
+        f"trace 0x{tree.trace_id:x} ({tree.kind}) — "
+        f"{len(tree.spans())} spans, {_fmt_s(tree.end - tree.start)}"
+    ]
+
+    def emit(span: Span, depth: int) -> None:
+        at = _fmt_s(span.t0 - origin)
+        wall = (
+            "instant"
+            if span.t1 == span.t0
+            else f"{_fmt_s(span.duration)}"
+        )
+        extra = "".join(
+            f" {key}={value}" for key, value in sorted(span.attrs.items())
+        )
+        orphan = " (orphaned)" if span.orphan else ""
+        lines.append(
+            f"{'  ' * (depth + 1)}{span.name} [{span.node}/{span.event.pid}] "
+            f"+{at} {wall}{extra}{orphan}"
+        )
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in tree.roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_trees(
+    trees: Sequence[TraceTree],
+    *,
+    limit: int = 0,
+    paths: bool = True,
+) -> str:
+    """Render ``trees`` (optionally only the first ``limit``) with a
+    critical-path line under each."""
+    shown = trees[:limit] if limit else trees
+    blocks = []
+    for tree in shown:
+        block = render_tree(tree)
+        if paths:
+            chain = critical_path(tree)
+            hops = " -> ".join(span.name for span in chain)
+            block += f"\n  critical path: {hops} ({_fmt_s(tree.end - tree.start)})"
+        blocks.append(block)
+    if limit and len(trees) > limit:
+        blocks.append(f"... {len(trees) - limit} more trees")
+    return "\n\n".join(blocks)
+
+
+# -- Perfetto / Chrome trace-event export -----------------------------------
+#
+# The exported file loads directly in ui.perfetto.dev or chrome://tracing:
+# the JSON object format with a "traceEvents" array of "X" (complete)
+# and "i" (instant) events, microsecond timestamps, one Perfetto
+# "process" per emitting node and one "thread" per stack pid.
+
+
+def perfetto_events(trees: Sequence[TraceTree]) -> list[dict[str, Any]]:
+    """Flatten causal trees into Chrome trace-event dicts."""
+    if not trees:
+        return []
+    origin = min(tree.start for tree in trees)
+    events: list[dict[str, Any]] = []
+    named: set[tuple[int, int]] = set()
+    tids: dict[str, int] = {}
+    for tree in trees:
+        for span in tree.spans():
+            pid = span.event.site
+            tid = tids.setdefault(span.event.pid, len(tids) + 1)
+            if (pid, 0) not in named:
+                named.add((pid, 0))
+                events.append({
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": f"site{pid} ({span.node})"},
+                })
+            if (pid, tid) not in named:
+                named.add((pid, tid))
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": span.event.pid},
+                })
+            base = {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "pid": pid,
+                "tid": tid,
+                "ts": (span.t0 - origin) * 1e6,
+                "args": {
+                    "trace_id": f"0x{tree.trace_id:x}",
+                    "span_id": f"0x{span.span_id:x}",
+                    "parent": f"0x{span.event.parent:x}",
+                    **span.attrs,
+                },
+            }
+            if span.t1 == span.t0:
+                events.append({**base, "ph": "i", "s": "t"})
+            else:
+                events.append({
+                    **base, "ph": "X", "dur": span.duration * 1e6,
+                })
+    return events
+
+
+def write_perfetto(path: str, trees: Sequence[TraceTree]) -> str:
+    """Write ``trees`` as a Perfetto-loadable trace-event JSON file."""
+    payload = {
+        "traceEvents": perfetto_events(trees),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+    return path

@@ -12,10 +12,24 @@ and reads back one **obs reply** carrying a
   (``0x02``); the reply carries the bin1-encoded snapshot after the
   kind byte.
 
+The same frame kind also serves **flight-recorder pulls** (``repro obs
+trace``): a request with the trace discriminator — JSON ``{"k":
+"obs_req", "what": "trace"}``, bin1 body ``[OBS_KIND, OBS_TRACE]`` —
+is answered with the node's :class:`~repro.obs.tracing.TraceDump`
+(JSON ``{"k": "obs_trace", "p": ...}``; bin1 ``[OBS_KIND, OBS_TRACE]``
++ encoded dump).  Nodes without tracing simply don't answer, and the
+client times out and reports the node as traceless.
+
 On the node, :class:`~repro.realnet.transport.FrameServer` hands any
 non-``msg`` frame to its ``on_control`` hook, which
 :func:`handle_obs_control` serves — protocol traffic and observability
 share one socket, one negotiation, and one codec registry.
+
+A node whose socket is down (or dies mid-read) is *skipped* for the
+poll, never fatal: :func:`fetch_snapshots` yields ``None`` for it and
+reports the skip through ``on_skip``, which :func:`watch` counts in its
+``watch_nodes_skipped_total`` gauge — the loop keeps polling and picks
+the node back up when it returns.
 """
 
 from __future__ import annotations
@@ -39,9 +53,12 @@ from repro.realnet.codec_bin import (
 
 __all__ = [
     "OBS_KIND",
+    "OBS_TRACE",
     "handle_obs_control",
     "fetch_snapshot",
     "fetch_snapshots",
+    "fetch_trace",
+    "fetch_traces",
     "render_watch",
     "watch",
 ]
@@ -49,18 +66,26 @@ __all__ = [
 #: Frame-kind byte for bin1 observability frames (``msg`` is 0x01).
 OBS_KIND = 0x02
 
+#: Sub-kind byte selecting a flight-recorder pull over 0x02.
+OBS_TRACE = 0x01
+
 _REQUEST_TIMEOUT = 5.0
 
 
 # -- frame builders / parsers (both codecs) --------------------------------
 
 
-def obs_request_body(fmt: Any) -> bytes:
+def obs_request_body(fmt: Any, what: str = "snapshot") -> bytes:
     if fmt.binary:
+        if what == "trace":
+            return bytes([OBS_KIND, OBS_TRACE])
         return bytes([OBS_KIND])
     import json
 
-    return json.dumps({"k": "obs_req"}).encode("utf-8")
+    frame: dict[str, Any] = {"k": "obs_req"}
+    if what != "snapshot":
+        frame["what"] = what
+    return json.dumps(frame).encode("utf-8")
 
 
 def obs_reply_frame(fmt: Any, snapshot: MetricsSnapshot) -> bytes:
@@ -71,15 +96,35 @@ def obs_reply_frame(fmt: Any, snapshot: MetricsSnapshot) -> bytes:
     return encode_frame({"k": "obs_snap", "p": encode_value(snapshot)})
 
 
-def parse_obs_request(fmt: Any, body: bytes) -> bool:
-    """Is this non-``msg`` frame body an obs request?"""
+def obs_trace_reply_frame(fmt: Any, dump: Any) -> bytes:
+    """One framed flight-recorder reply (a TraceDump) in ``fmt``."""
     if fmt.binary:
-        return len(body) == 1 and body[0] == OBS_KIND
+        body = bytes([OBS_KIND, OBS_TRACE]) + encode_value_bin(dump)
+        return _LEN.pack(len(body)) + body
+    return encode_frame({"k": "obs_trace", "p": encode_value(dump)})
+
+
+def parse_obs_request_kind(fmt: Any, body: bytes) -> str | None:
+    """``"snapshot"`` / ``"trace"`` if this body is an obs request."""
+    if fmt.binary:
+        if not body or body[0] != OBS_KIND or len(body) > 2:
+            return None
+        if len(body) == 1:
+            return "snapshot"
+        return "trace" if body[1] == OBS_TRACE else None
     try:
         frame = decode_frame_body(body)
     except CodecError:
-        return False
-    return frame.get("k") == "obs_req"
+        return None
+    if frame.get("k") != "obs_req":
+        return None
+    what = frame.get("what", "snapshot")
+    return what if what in ("snapshot", "trace") else None
+
+
+def parse_obs_request(fmt: Any, body: bytes) -> bool:
+    """Is this non-``msg`` frame body an obs *snapshot* request?"""
+    return parse_obs_request_kind(fmt, body) == "snapshot"
 
 
 def parse_obs_reply(fmt: Any, body: bytes) -> MetricsSnapshot | None:
@@ -97,20 +142,44 @@ def parse_obs_reply(fmt: Any, body: bytes) -> MetricsSnapshot | None:
     return value
 
 
+def parse_obs_trace_reply(fmt: Any, body: bytes) -> Any | None:
+    """The TraceDump if this body is a flight-recorder reply."""
+    from repro.obs.tracing import TraceDump
+
+    if fmt.binary:
+        if len(body) < 2 or body[0] != OBS_KIND or body[1] != OBS_TRACE:
+            return None
+        value = decode_value_bin(body[2:])
+    else:
+        frame = decode_frame_body(body)
+        if frame.get("k") != "obs_trace":
+            return None
+        value = decode_value(frame.get("p"))
+    if not isinstance(value, TraceDump):
+        raise CodecError(f"obs trace reply carried {type(value).__name__}")
+    return value
+
+
 def handle_obs_control(
     fmt: Any,
     body: bytes,
     provider: Callable[[], MetricsSnapshot] | None,
+    trace_provider: Callable[[], Any] | None = None,
 ) -> bytes | None:
     """Server-side hook: answer obs requests, ignore everything else.
 
     Wired into :class:`~repro.realnet.transport.FrameServer` as its
     ``on_control`` callback.  Returns the framed reply to write back,
-    or None for frames this layer does not understand.
+    or None for frames this layer does not understand (including trace
+    requests on nodes without tracing — the client times out rather
+    than the node guessing at an answer).
     """
-    if provider is None or not parse_obs_request(fmt, body):
-        return None
-    return obs_reply_frame(fmt, provider())
+    kind = parse_obs_request_kind(fmt, body)
+    if kind == "snapshot" and provider is not None:
+        return obs_reply_frame(fmt, provider())
+    if kind == "trace" and trace_provider is not None:
+        return obs_trace_reply_frame(fmt, trace_provider())
+    return None
 
 
 # -- the polling client ----------------------------------------------------
@@ -122,38 +191,47 @@ async def _read_raw_frame(reader: asyncio.StreamReader) -> bytes:
     return await reader.readexactly(length)
 
 
-async def fetch_snapshot(
+async def _negotiate(
+    host: str, port: int, codec: str
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter, Any]:
+    """Dial one node and run the hello/welcome codec negotiation."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        encode_frame(
+            {
+                "k": "hello",
+                "src": [-1, 0],  # not a site: an observer
+                "codecs": list(supported_formats(codec)),
+                "schema": schema_fingerprint(),
+            }
+        )
+    )
+    await writer.drain()
+    welcome = decode_frame_body(await _read_raw_frame(reader))
+    name = welcome.get("codec") if welcome.get("k") == "welcome" else None
+    fmt = WIRE_FORMATS[name if name in WIRE_FORMATS else FORMAT_JSON]
+    return reader, writer, fmt
+
+
+async def _fetch_obs(
     host: str,
     port: int,
     *,
-    codec: str = "bin",
-    timeout: float = _REQUEST_TIMEOUT,
-) -> MetricsSnapshot:
-    """Dial one node, negotiate, request and return its snapshot."""
+    what: str,
+    parse: Callable[[Any, bytes], Any],
+    codec: str,
+    timeout: float,
+) -> Any:
+    """One negotiated obs request/reply round trip."""
 
-    async def _go() -> MetricsSnapshot:
-        reader, writer = await asyncio.open_connection(host, port)
+    async def _go() -> Any:
+        reader, writer, fmt = await _negotiate(host, port, codec)
         try:
-            offer = supported_formats(codec)
-            writer.write(
-                encode_frame(
-                    {
-                        "k": "hello",
-                        "src": [-1, 0],  # not a site: an observer
-                        "codecs": list(offer),
-                        "schema": schema_fingerprint(),
-                    }
-                )
-            )
-            await writer.drain()
-            welcome = decode_frame_body(await _read_raw_frame(reader))
-            name = welcome.get("codec") if welcome.get("k") == "welcome" else None
-            fmt = WIRE_FORMATS[name if name in WIRE_FORMATS else FORMAT_JSON]
-            body = obs_request_body(fmt)
+            body = obs_request_body(fmt, what)
             writer.write(_LEN.pack(len(body)) + body)
             await writer.drain()
             while True:
-                reply = parse_obs_reply(fmt, await _read_raw_frame(reader))
+                reply = parse(fmt, await _read_raw_frame(reader))
                 if reply is not None:
                     return reply
         finally:
@@ -166,18 +244,90 @@ async def fetch_snapshot(
     return await asyncio.wait_for(_go(), timeout=timeout)
 
 
+async def fetch_snapshot(
+    host: str,
+    port: int,
+    *,
+    codec: str = "bin",
+    timeout: float = _REQUEST_TIMEOUT,
+) -> MetricsSnapshot:
+    """Dial one node, negotiate, request and return its snapshot."""
+    return await _fetch_obs(
+        host, port, what="snapshot", parse=parse_obs_reply,
+        codec=codec, timeout=timeout,
+    )
+
+
+async def fetch_trace(
+    host: str,
+    port: int,
+    *,
+    codec: str = "bin",
+    timeout: float = _REQUEST_TIMEOUT,
+) -> Any:
+    """Pull one node's flight recorder (a TraceDump) over 0x02.
+
+    Times out (the node never answers) when the node has no tracer.
+    """
+    return await _fetch_obs(
+        host, port, what="trace", parse=parse_obs_trace_reply,
+        codec=codec, timeout=timeout,
+    )
+
+
+#: Errors that mean "this node is down / mid-restart", not "the poll is
+#: broken": every per-node fetch swallows these and yields None so one
+#: dead socket can never abort a whole poll round.  IncompleteReadError
+#: (a node dying mid-read) is an EOFError, *not* an OSError — its
+#: absence here once aborted `repro obs watch` loops on node crashes.
+_SKIP_ERRORS = (
+    OSError,
+    EOFError,
+    CodecError,
+    asyncio.TimeoutError,
+    ConnectionError,
+)
+
+
 async def fetch_snapshots(
     targets: Sequence[tuple[str, int]],
     *,
     codec: str = "bin",
     timeout: float = _REQUEST_TIMEOUT,
+    on_skip: Callable[[], None] | None = None,
 ) -> list[MetricsSnapshot | None]:
-    """Poll every target concurrently; unreachable nodes yield None."""
+    """Poll every target concurrently; unreachable nodes yield None.
+
+    ``on_skip`` is called once per node skipped this round (socket
+    down, died mid-read, garbled reply, timeout) — the watch loop's
+    skip gauge hangs off it.
+    """
 
     async def _one(host: str, port: int) -> MetricsSnapshot | None:
         try:
             return await fetch_snapshot(host, port, codec=codec, timeout=timeout)
-        except (OSError, CodecError, asyncio.TimeoutError, ConnectionError):
+        except _SKIP_ERRORS:
+            if on_skip is not None:
+                on_skip()
+            return None
+
+    return list(
+        await asyncio.gather(*(_one(host, port) for host, port in targets))
+    )
+
+
+async def fetch_traces(
+    targets: Sequence[tuple[str, int]],
+    *,
+    codec: str = "bin",
+    timeout: float = _REQUEST_TIMEOUT,
+) -> list[Any]:
+    """Pull every target's flight recorder; traceless nodes yield None."""
+
+    async def _one(host: str, port: int) -> Any:
+        try:
+            return await fetch_trace(host, port, codec=codec, timeout=timeout)
+        except _SKIP_ERRORS:
             return None
 
     return list(
@@ -241,19 +391,43 @@ def watch(
     count: int = 0,
     codec: str = "bin",
     out: Callable[[str], None] = print,
+    registry: Any = None,
 ) -> int:
     """Poll ``targets`` every ``interval`` seconds, ``count`` times
     (0 = until interrupted).  Returns 0 if the final poll reached at
-    least one node."""
+    least one node.
+
+    Down nodes are skipped for the round, never fatal; cumulative skips
+    are exported as the ``watch_nodes_skipped_total`` gauge on
+    ``registry`` (one is created if not supplied) and shown per frame.
+    """
+    if registry is None:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry(clock=time.time, runtime="watch")
+    skips = [0]
+
+    def on_skip() -> None:
+        skips[0] += 1
+
+    registry.gauge_callback(
+        "watch_nodes_skipped_total",
+        "Node polls skipped because the node's socket was down",
+        lambda: float(skips[0]),
+    )
     polls = 0
     any_alive = False
     try:
         while True:
-            snapshots = asyncio.run(fetch_snapshots(targets, codec=codec))
+            snapshots = asyncio.run(
+                fetch_snapshots(targets, codec=codec, on_skip=on_skip)
+            )
             any_alive = any(s is not None for s in snapshots)
             stamp = time.strftime("%H:%M:%S")
             out(f"-- {stamp} --")
             out(render_watch(targets, snapshots))
+            if skips[0]:
+                out(f"(skipped node polls so far: {skips[0]})")
             polls += 1
             if count and polls >= count:
                 break

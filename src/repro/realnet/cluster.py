@@ -33,6 +33,7 @@ timeouts — a wedged cluster reports failure, it cannot hang the caller.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
 
@@ -42,6 +43,7 @@ from repro.net.topology import Topology
 from repro.obs.instrument import ClusterObs
 from repro.obs.registry import MetricsRegistry
 from repro.obs.snapshot import MetricsSnapshot
+from repro.obs.tracing import FlightRecorder, Tracer
 from repro.realnet.node import AppFactory, RealNode, realnet_stack_config
 from repro.realnet.transport import wait_for_condition
 from repro.realnet.wallclock import WallClockScheduler
@@ -87,6 +89,14 @@ class RealClusterConfig:
     #: Gate the in-stack observability hooks (the registry and its
     #: callback gauges always exist; see ClusterConfig.metrics).
     metrics: bool = True
+    #: Attach a causal tracer + flight recorder to the hooks (implies
+    #: the hooks are live even with ``metrics=False``); see
+    #: ClusterConfig.tracing.
+    tracing: bool = False
+    flight_budget: int = 256 * 1024
+    #: 1-in-N sampling gate for uncaused root spans (workload
+    #: multicasts); caused spans are always traced.
+    trace_sample: int = 16
     #: Failure-detection plane override: ``"heartbeat"`` / ``"gossip"``
     #: (``None`` keeps the stack profile's choice).  Same surface as
     #: the simulator's ClusterConfig, so a scale profile moves between
@@ -142,7 +152,28 @@ class RealCluster:
         self.metrics = MetricsRegistry(
             clock=lambda: self.now, runtime="realnet"
         )
-        self.obs = ClusterObs(self.metrics) if self.config.metrics else None
+        # One flight recorder and tracer for all co-located nodes: they
+        # share one wall-clock scheduler (one time base), exactly like
+        # the shared metrics registry above.  The wall epoch is pinned
+        # in start(), when the scheduler's t=0 is established.
+        self.flight: FlightRecorder | None = None
+        tracer = None
+        if self.config.tracing:
+            self.flight = FlightRecorder(
+                "cluster", "realnet",
+                budget=self.config.flight_budget,
+                epoch=time.time(),
+            )
+            tracer = Tracer(
+                self.flight,
+                lambda: self.now,
+                root_sample=self.config.trace_sample,
+            )
+        self.obs = (
+            ClusterObs(self.metrics, tracer)
+            if (self.config.metrics or tracer is not None)
+            else None
+        )
         self._register_collectors()
 
     def _register_collectors(self) -> None:
@@ -192,6 +223,10 @@ class RealCluster:
             raise SimulationError("cluster already started")
         self._started = True
         self.scheduler = WallClockScheduler()
+        if self.flight is not None:
+            # Wall time of the scheduler's t=0: lets `repro obs trace`
+            # merge this cluster's dump with other nodes' on one clock.
+            self.flight.epoch = time.time() - self.scheduler.now
         for site in sorted(self.topology.sites):
             node = self._make_node(site)
             await node.start_transport()
@@ -252,6 +287,7 @@ class RealCluster:
             obs=self.obs,
             metrics=self.metrics,
             metrics_source="cluster",
+            flight=self.flight,
         )
         self.nodes[site] = node
         return node
@@ -426,6 +462,10 @@ class RealCluster:
         if node is None or node.app is None:
             raise SimulationError(f"no process was ever started at site {site}")
         return node.app
+
+    def flight_recorders(self) -> list[FlightRecorder]:
+        """Live flight recorders (one, shared by the co-located nodes)."""
+        return [self.flight] if self.flight is not None else []
 
     def node_recorders(self) -> list[TraceRecorder]:
         """Every per-node recorder: live incarnations plus retired ones."""

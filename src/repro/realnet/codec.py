@@ -75,6 +75,21 @@ def registered_payloads() -> dict[str, type]:
 
 # -- value codec ----------------------------------------------------------
 
+#: Per-class cache: field names whose declared default is ``None``.
+#: Such fields are elided from the encoding when their value is None —
+#: the decoder already tolerates missing fields — so optional context
+#: fields (tracing) cost zero wire bytes while unused.
+_NONE_DEFAULT_FIELDS: dict[type, frozenset] = {}
+
+
+def _none_default_fields(cls: type) -> frozenset:
+    cached = _NONE_DEFAULT_FIELDS.get(cls)
+    if cached is None:
+        cached = _NONE_DEFAULT_FIELDS[cls] = frozenset(
+            f.name for f in fields(cls) if f.default is None
+        )
+    return cached
+
 
 def encode_value(value: Any) -> Any:
     """Encode ``value`` into the JSON-safe tagged representation."""
@@ -104,10 +119,14 @@ def encode_value(value: Any) -> Any:
             raise CodecError(
                 f"unregistered dataclass on the wire: {type(value).__module__}.{name}"
             )
-        return {
-            "__c__": name,
-            "f": {f.name: encode_value(getattr(value, f.name)) for f in fields(value)},
-        }
+        elidable = _none_default_fields(type(value))
+        encoded_fields = {}
+        for f in fields(value):
+            item = getattr(value, f.name)
+            if item is None and f.name in elidable:
+                continue
+            encoded_fields[f.name] = encode_value(item)
+        return {"__c__": name, "f": encoded_fields}
     raise CodecError(f"cannot encode {type(value).__name__} value for the wire: {value!r}")
 
 
@@ -260,11 +279,14 @@ def _register_harness_payloads() -> None:
 
 
 def _register_obs_payloads() -> None:
-    """Metric-snapshot payloads for ``repro obs watch``: registered with
-    both wire codecs so a watch client can poll mixed-codec clusters."""
+    """Metric-snapshot and tracing payloads for the 0x02 obs frames:
+    registered with both wire codecs so a watch/trace client can poll
+    mixed-codec clusters, and so :class:`~repro.obs.tracing.TraceCtx`
+    can ride inside any protocol payload."""
     from repro.obs.snapshot import MetricSample, MetricsSnapshot
+    from repro.obs.tracing import SpanEvent, TraceCtx, TraceDump
 
-    for cls in (MetricSample, MetricsSnapshot):
+    for cls in (MetricSample, MetricsSnapshot, TraceCtx, SpanEvent, TraceDump):
         register_payload(cls)
 
 

@@ -86,7 +86,15 @@ MSG_KIND = 0x01
 #
 # Derived from the shared registry; rebuilt whenever a new payload class
 # is registered (the registry only grows).  Encode side: class -> (id,
-# attrgetter over the field names).  Decode side: id -> (class, arity).
+# attrgetter over the field names).  Decode side: id -> (class, arity,
+# min_arity).
+#
+# Trailing fields whose dataclass default is ``None`` are *elidable*:
+# when their values are all None the encoder writes a reduced field
+# count and the decoder lets the constructor defaults fill them in.
+# This is what makes optional context fields (tracing) cost zero wire
+# bytes while unused, and lets a peer one optional-field generation
+# behind still decode.
 
 
 class _ClassTable:
@@ -95,20 +103,27 @@ class _ClassTable:
     def __init__(self) -> None:
         names = sorted(_REGISTRY)
         self.version = len(_REGISTRY)
-        self.by_class: dict[type, tuple[int, Callable[[Any], Any], int]] = {}
-        self.by_id: list[tuple[type, int]] = []
+        self.by_class: dict[type, tuple[int, Callable[[Any], Any], int, int]] = {}
+        self.by_id: list[tuple[type, int, int]] = []
         lines = []
         for class_id, name in enumerate(names):
             cls = _REGISTRY[name]
-            field_names = tuple(f.name for f in fields(cls))
+            class_fields = fields(cls)
+            field_names = tuple(f.name for f in class_fields)
             if len(field_names) > 1:
                 getter = attrgetter(*field_names)
             elif field_names:
                 getter = lambda v, _n=field_names[0]: (getattr(v, _n),)  # noqa: E731
             else:
                 getter = lambda v: ()  # noqa: E731
-            self.by_class[cls] = (class_id, getter, len(field_names))
-            self.by_id.append((cls, len(field_names)))
+            elidable = 0
+            for f in reversed(class_fields):
+                if f.default is not None:  # MISSING or a non-None default
+                    break
+                elidable += 1
+            arity = len(field_names)
+            self.by_class[cls] = (class_id, getter, arity, elidable)
+            self.by_id.append((cls, arity, arity - elidable))
             lines.append(f"{name}({','.join(field_names)})")
         self.fingerprint = hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
 
@@ -202,23 +217,56 @@ def _enc_dict(out: bytearray, value: dict) -> None:
 
 
 def _make_class_packer(
-    header: bytes, getter: Callable[[Any], Any], arity: int
+    headers: tuple[bytes, ...], getter: Callable[[Any], Any], arity: int
 ) -> Callable[[bytearray, Any], None]:
-    """Packer for one registered class: precomputed tag+id+arity bytes."""
-    if arity == 1:
+    """Packer for one registered class: precomputed tag+id+count bytes.
 
-        def pack1(out: bytearray, value: Any) -> None:
+    ``headers[k]`` is the header announcing ``arity - k`` fields; the
+    packer counts the trailing run of None values among the class's
+    elidable fields and picks the matching header, so unused optional
+    fields cost zero bytes.  Classes without elidable fields keep the
+    single-header fast paths.
+    """
+    elidable = len(headers) - 1
+    header = headers[0]
+    if elidable == 0:
+        if arity == 1:
+
+            def pack1(out: bytearray, value: Any) -> None:
+                out += header
+                _enc(out, getter(value)[0])
+
+            return pack1
+
+        def pack(out: bytearray, value: Any) -> None:
             out += header
-            _enc(out, getter(value)[0])
+            for item in getter(value):
+                _enc(out, item)
 
-        return pack1
+        return pack
 
-    def pack(out: bytearray, value: Any) -> None:
-        out += header
-        for item in getter(value):
-            _enc(out, item)
+    if arity == 1:  # one field, and it is optional
 
-    return pack
+        def pack1_opt(out: bytearray, value: Any) -> None:
+            item = getter(value)[0]
+            if item is None:
+                out += headers[1]
+            else:
+                out += header
+                _enc(out, item)
+
+        return pack1_opt
+
+    def pack_opt(out: bytearray, value: Any) -> None:
+        items = getter(value)
+        skip = 0
+        while skip < elidable and items[arity - 1 - skip] is None:
+            skip += 1
+        out += headers[skip]
+        for index in range(arity - skip):
+            _enc(out, items[index])
+
+    return pack_opt
 
 
 def _build_packers(table: _ClassTable) -> dict[type, Callable[[bytearray, Any], None]]:
@@ -234,11 +282,14 @@ def _build_packers(table: _ClassTable) -> dict[type, Callable[[bytearray, Any], 
         set: _make_container_packer(_T_SET),
         dict: _enc_dict,
     }
-    for cls, (class_id, getter, arity) in table.by_class.items():
-        header = bytearray([_T_CLASS])
-        _enc_uvarint(header, class_id)
-        _enc_uvarint(header, arity)
-        packers[cls] = _make_class_packer(bytes(header), getter, arity)
+    for cls, (class_id, getter, arity, elidable) in table.by_class.items():
+        headers = []
+        for skip in range(elidable + 1):
+            header = bytearray([_T_CLASS])
+            _enc_uvarint(header, class_id)
+            _enc_uvarint(header, arity - skip)
+            headers.append(bytes(header))
+        packers[cls] = _make_class_packer(tuple(headers), getter, arity)
     return packers
 
 
@@ -329,19 +380,19 @@ def _dec_at(buf: bytes, pos: int, by_id: list) -> tuple[Any, int]:
             class_id, pos = _uvarint_at(buf, pos - 1)
         if class_id >= len(by_id):
             raise CodecError(f"unknown wire payload class id: {class_id}")
-        cls, arity = by_id[class_id]
+        cls, arity, min_arity = by_id[class_id]
         n_fields = buf[pos]
         pos += 1
         if n_fields >= 0x80:
             n_fields, pos = _uvarint_at(buf, pos - 1)
-        if n_fields != arity:
+        if not min_arity <= n_fields <= arity:
             raise CodecError(
                 f"{cls.__name__}: field-layout mismatch "
                 f"(peer sent {n_fields} fields, local class has {arity})"
             )
         args = []
         append = args.append
-        for _ in range(arity):
+        for _ in range(n_fields):
             head = buf[pos]
             if head >= _SMALL_INT:
                 append(head & 0x7F)

@@ -280,6 +280,10 @@ class RealClusterDriver:
     def views(self) -> dict[SiteId, str]:
         return self.cluster.views()
 
+    def flight_recorders(self) -> list[Any]:
+        """The cluster's live flight recorders (reads are GIL-safe)."""
+        return self.cluster.flight_recorders()
+
     def gather_trace(self) -> TraceRecorder:
         """Merge the per-node recorders on the loop thread (a paused
         instant of the run), returning the global trace."""

@@ -104,6 +104,10 @@ class RealNetwork:
         #: metrics registry exists; serves ``repro obs watch`` requests
         #: arriving on the normal listening socket.
         self.snapshot_provider: Any = None
+        #: Callable returning a TraceDump, set by the node when tracing
+        #: is on; serves flight-recorder pulls over the same obs frame
+        #: kind (see repro.obs.watch).
+        self.trace_provider: Any = None
         #: Optional second-stage control hook ``(fmt, body) -> bytes |
         #: None`` consulted after the obs handler: the supervised node's
         #: lifecycle control protocol (see repro.realnet.procnode).
@@ -320,7 +324,9 @@ class RealNetwork:
         hooks are installed)."""
         from repro.obs.watch import handle_obs_control
 
-        reply = handle_obs_control(fmt, body, self.snapshot_provider)
+        reply = handle_obs_control(
+            fmt, body, self.snapshot_provider, self.trace_provider
+        )
         if reply is not None:
             return reply
         if self.control_handler is not None:

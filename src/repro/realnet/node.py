@@ -94,6 +94,7 @@ class RealNode:
         obs: Any = None,
         metrics: Any = None,
         metrics_source: str | None = None,
+        flight: Any = None,
     ) -> None:
         self.pid = pid
         self.address_book = address_book
@@ -137,6 +138,11 @@ class RealNode:
             # watch clients can tell shared from per-process registries.
             source = metrics_source or f"site{pid.site}"
             self.network.snapshot_provider = lambda: registry.snapshot(source)
+        # Flight recorder (may be shared across co-located nodes):
+        # serves `repro obs trace` pulls on the same listening socket.
+        self.flight = flight
+        if flight is not None:
+            self.network.trace_provider = flight.dump
         self.app: GroupApplication | None = None
         self.stack: GroupStack | None = None
 
@@ -177,7 +183,7 @@ class RealNode:
             return
         from repro.client.service import StoreService
 
-        service = StoreService(self.app, registry=self.metrics)
+        service = StoreService(self.app, registry=self.metrics, obs=self.obs)
         self.network.client_handler = service.handle_control
 
     async def start(self) -> GroupStack:
@@ -208,6 +214,7 @@ async def run_standalone(
     seed: int = 0,
     codec: str = "bin",
     quiet: bool = False,
+    tracing: bool = False,
     on_view: Callable[[Any], None] | None = None,
     stop_event: asyncio.Event | None = None,
 ) -> RealNode:
@@ -226,6 +233,19 @@ async def run_standalone(
     host, port = address_book[site]
     scheduler = WallClockScheduler()
     registry = MetricsRegistry(clock=lambda: scheduler.now, runtime="realnet")
+    flight = None
+    tracer = None
+    if tracing:
+        import time
+
+        from repro.obs.tracing import FlightRecorder, Tracer
+
+        # Per-process tracer, salted by site: span ids minted by
+        # different nodes never collide without coordination.
+        flight = FlightRecorder(
+            f"site{site}", "realnet", epoch=time.time() - scheduler.now
+        )
+        tracer = Tracer(flight, lambda: scheduler.now, salt=site)
     node = RealNode(
         ProcessId(site, incarnation),
         address_book,
@@ -239,7 +259,8 @@ async def run_standalone(
         port=port,
         codec=codec,
         quiet=quiet,
-        obs=ClusterObs(registry),
+        obs=ClusterObs(registry, tracer),
+        flight=flight,
     )
     stop = stop_event if stop_event is not None else asyncio.Event()
     loop = asyncio.get_running_loop()

@@ -101,6 +101,7 @@ class ProcClusterConfig:
     trace_level: str = "full"
     quiet: bool = True
     startup_timeout: float = 60.0
+    tracing: bool = False
 
 
 def _free_port(host: str) -> int:
@@ -366,6 +367,8 @@ class ProcRealClusterDriver:
             "--loss", str(cfg.loss_prob),
             "--trace-level", cfg.trace_level,
         ]
+        if cfg.tracing:
+            cmd.append("--tracing")
         env = dict(os.environ)
         src_dir = str(Path(__file__).resolve().parent.parent.parent)
         existing = env.get("PYTHONPATH")
@@ -774,6 +777,37 @@ class ProcRealClusterDriver:
             return_exceptions=True,
         )
         return [r for r in results if isinstance(r, tuple)]
+
+    def flight_recorders(self) -> list[Any]:
+        """Pull each child's flight-recorder ring and rehydrate locally.
+
+        Children own the live recorders; the ``flight`` control op ships
+        their rings as :class:`~repro.obs.tracing.TraceDump` values (the
+        dataclass is codec-registered), which rebuild into local
+        recorders so :func:`~repro.obs.tracing.dump_on_violations`
+        works uniformly across backends.  Empty when tracing is off.
+        """
+        if not self.config.tracing:
+            return []
+        from repro.obs.tracing import FlightRecorder, TraceDump
+
+        dumps = self._submit(self._flight_async(), timeout=ACTION_TIMEOUT * 2)
+        return [
+            FlightRecorder.from_dump(dump)
+            for dump in dumps
+            if isinstance(dump, TraceDump)
+        ]
+
+    async def _flight_async(self) -> list[Any]:
+        return list(
+            await asyncio.gather(
+                *(
+                    client.request("flight", timeout=ACTION_TIMEOUT)
+                    for _site, client in sorted(self._ctl.items())
+                ),
+                return_exceptions=True,
+            )
+        )
 
     def gather_trace(self) -> TraceRecorder:
         """Pull every child's recorders and merge on one time base.

@@ -47,6 +47,7 @@ from repro.errors import CodecError, SimulationError
 from repro.net.topology import Topology
 from repro.obs.instrument import ClusterObs
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import FlightRecorder, Tracer
 from repro.realnet.network import RealNetwork
 from repro.realnet.node import realnet_stack_config
 from repro.realnet.codec import _LEN, decode_frame_body, decode_value, encode_frame, encode_value
@@ -142,6 +143,9 @@ class NodeSupervisor:
         codec: str = "bin",
         trace_level: str = "full",
         quiet: bool = True,
+        tracing: bool = False,
+        flight_budget: int = 256 * 1024,
+        trace_sample: int = 16,
     ) -> None:
         if site not in address_book:
             raise ValueError(f"site {site} missing from the address book")
@@ -151,7 +155,23 @@ class NodeSupervisor:
         self.registry = MetricsRegistry(
             clock=lambda: self.scheduler.now, runtime="realnet"
         )
-        self.obs = ClusterObs(self.registry)
+        self.flight: FlightRecorder | None = None
+        tracer = None
+        if tracing:
+            # Per-process tracer, salted by site (see repro.obs.tracing):
+            # children mint span ids with no cross-process coordination.
+            self.flight = FlightRecorder(
+                f"site{site}", "realnet",
+                budget=flight_budget,
+                epoch=time.time() - self.scheduler.now,
+            )
+            tracer = Tracer(
+                self.flight,
+                lambda: self.scheduler.now,
+                salt=site,
+                root_sample=trace_sample,
+            )
+        self.obs = ClusterObs(self.registry, tracer)
         self.topology = Topology(sorted(self.address_book))
         self.store = StableStore()
         self.trace_level = trace_level
@@ -182,6 +202,8 @@ class NodeSupervisor:
         self.network.snapshot_provider = lambda: self.registry.snapshot(
             f"site{site}"
         )
+        if self.flight is not None:
+            self.network.trace_provider = self.flight.dump
         self.network.control_handler = self._handle_ctl
 
     # -- lifecycle -----------------------------------------------------
@@ -292,6 +314,11 @@ class NodeSupervisor:
             return True
         if op == "trace":
             return self._trace()
+        if op == "flight":
+            # The flight recorder's current ring (None without tracing);
+            # TraceDump is codec-registered, so it crosses the control
+            # protocol in either negotiated format.
+            return self.flight.dump() if self.flight is not None else None
         if op == "net_stats":
             return self._net_stats()
         if op == "shutdown":
@@ -364,6 +391,7 @@ async def run_supervised(
     codec: str = "bin",
     trace_level: str = "full",
     quiet: bool = True,
+    tracing: bool = False,
     stop_event: asyncio.Event | None = None,
 ) -> NodeSupervisor:
     """Run one supervised node until ``shutdown`` (or SIGINT/SIGTERM).
@@ -384,6 +412,7 @@ async def run_supervised(
         codec=codec,
         trace_level=trace_level,
         quiet=quiet,
+        tracing=tracing,
     )
     stop = stop_event if stop_event is not None else asyncio.Event()
     supervisor.stop_event = stop

@@ -23,6 +23,7 @@ from repro.net.latency import ConstantLatency
 from repro.obs.instrument import ClusterObs
 from repro.obs.registry import MetricsRegistry
 from repro.obs.snapshot import MetricsSnapshot
+from repro.obs.tracing import FlightRecorder, Tracer
 from repro.net.network import Network
 from repro.net.topology import Topology
 from repro.sim.rng import RngStreams
@@ -57,6 +58,14 @@ class ClusterConfig:
     the registry itself and its callback gauges always exist — they
     cost nothing until a snapshot is taken — so ``metrics=False`` (the
     bench fast path) still exports scheduler/network counters.
+
+    ``tracing`` attaches a causal :class:`~repro.obs.tracing.Tracer`
+    (backed by one byte-budgeted flight recorder for the whole simulated
+    cluster) to the same hooks; it implies the hooks are live even with
+    ``metrics=False``.  ``flight_budget`` bounds the recorder's ring in
+    approximate encoded bytes, and ``trace_sample`` is the 1-in-N gate
+    for *uncaused* root spans (steady workload multicasts); caused
+    spans are always traced — see :meth:`Tracer.sample_root`.
     """
 
     seed: int = 0
@@ -68,6 +77,9 @@ class ClusterConfig:
     trace_level: str = "full"
     trace_capacity: int | None = None
     metrics: bool = True
+    tracing: bool = False
+    flight_budget: int = 256 * 1024
+    trace_sample: int = 16
     # Scale knobs, applied onto ``stack`` (and its membership config) at
     # cluster construction so callers — including make_cluster(**knobs)
     # — can flip planes without building a whole StackConfig.  None
@@ -138,7 +150,25 @@ class Cluster:
         # deterministic function of the seed.
         self.metrics = MetricsRegistry(clock=lambda: self.scheduler.now,
                                        runtime="sim")
-        self.obs = ClusterObs(self.metrics) if self.config.metrics else None
+        self.flight: FlightRecorder | None = None
+        tracer = None
+        if self.config.tracing:
+            # One recorder and tracer for the whole simulated cluster:
+            # virtual time is already a global order, and a sim epoch of
+            # zero means dumps merge with realnet ones on the wall epoch.
+            self.flight = FlightRecorder(
+                "sim", "sim", budget=self.config.flight_budget, epoch=0.0
+            )
+            tracer = Tracer(
+                self.flight,
+                lambda: self.scheduler.now,
+                root_sample=self.config.trace_sample,
+            )
+        self.obs = (
+            ClusterObs(self.metrics, tracer)
+            if (self.config.metrics or tracer is not None)
+            else None
+        )
         self._register_collectors()
         self._incarnation: dict[SiteId, int] = {}
         self.stacks: dict[SiteId, GroupStack] = {}
@@ -361,6 +391,11 @@ class Cluster:
         if app is None:
             raise SimulationError(f"no process was ever started at site {site}")
         return app
+
+    def flight_recorders(self) -> list[FlightRecorder]:
+        """Live flight recorders (one for the whole sim); ClusterPort
+        accessor used by dump-on-violation and the trace CLI."""
+        return [self.flight] if self.flight is not None else []
 
     def gather_trace(self) -> TraceRecorder:
         """The full execution history: one shared recorder observes the

@@ -137,11 +137,14 @@ class Message:
     sender's enriched-view sequence number at multicast time; receivers
     delay delivery until they have applied that e-view change, which is
     exactly what makes e-view changes consistent cuts (Property 6.2).
+    ``trace`` is the causal context of the send (tracing only; ``None``
+    — zero wire bytes — when tracing is off).
     """
 
     msg_id: MessageId
     payload: Any = None
     eview_seq: int = 0
+    trace: Any = None
 
     def __str__(self) -> str:
         return f"Message({self.msg_id}, eview_seq={self.eview_seq})"

@@ -111,28 +111,36 @@ class ViewChannels:
 
     # -- sending ---------------------------------------------------------------
 
-    def multicast(self, payload: Any) -> MessageId | None:
+    def multicast(self, payload: Any, trace: Any = None) -> MessageId | None:
         """Multicast ``payload`` in the current view.
 
         Returns the message identifier, or None if the send was buffered
-        because a view change is in progress.
+        because a view change is in progress.  ``trace`` is the causal
+        parent of the send (e.g. a client put's root span); with tracing
+        on the send mints its own span and the context rides on the
+        :class:`Message` so receivers can parent their delivery spans.
         """
         if self.view is None:
             raise ViewSynchronyError("multicast before the first view")
         if self.suspended:
-            self.pending_sends.append(payload)
+            self.pending_sends.append((payload, trace))
             return None
         self._next_seqno += 1
         msg_id = MessageId(self.stack.pid, self.view.view_id, self._next_seqno)
-        msg = Message(msg_id, payload, eview_seq=self.stack.evs.applied_seq)
         recorder = self.stack.recorder
         if recorder.wants(MulticastEvent):
             recorder.record(
                 MulticastEvent(time=self.stack.now, pid=self.stack.pid, msg_id=msg_id)
             )
         obs = self.stack.obs
+        send_ctx = None
         if obs is not None:
-            obs.multicast_sent(self.stack.pid, msg_id, self.stack.now)
+            send_ctx = obs.multicast_sent(
+                self.stack.pid, msg_id, self.stack.now, parent=trace
+            )
+        msg = Message(
+            msg_id, payload, eview_seq=self.stack.evs.applied_seq, trace=send_ctx
+        )
         self.stack.send_many(self._peers, msg)
         self.on_app_message(msg)  # self-delivery path
         return msg_id
@@ -140,8 +148,8 @@ class ViewChannels:
     def flush_pending_sends(self) -> None:
         """Re-issue multicasts buffered during the last view change."""
         queued, self.pending_sends = self.pending_sends, []
-        for payload in queued:
-            self.multicast(payload)
+        for payload, trace in queued:
+            self.multicast(payload, trace)
 
     # -- receiving ----------------------------------------------------------------
 
@@ -262,7 +270,9 @@ class ViewChannels:
             )
         obs = self.stack.obs
         if obs is not None:
-            obs.message_delivered(self.stack.pid, msg.msg_id, self.stack.now)
+            obs.message_delivered(
+                self.stack.pid, msg.msg_id, self.stack.now, trace=msg.trace
+            )
         self.stack.deliver_app_message(msg.msg_id.sender, msg.payload, msg.msg_id)
 
     # -- flush / install -----------------------------------------------------------

@@ -243,9 +243,13 @@ class GroupStack(Process):
 
     # -- the paper's interface -----------------------------------------------------
 
-    def multicast(self, payload: Any) -> MessageId | None:
-        """View-synchronous multicast to the current view."""
-        return self.channels.multicast(payload)
+    def multicast(self, payload: Any, trace: Any = None) -> MessageId | None:
+        """View-synchronous multicast to the current view.
+
+        ``trace`` optionally names the causal parent of the send
+        (tracing only; ignored when the cluster has no tracer).
+        """
+        return self.channels.multicast(payload, trace)
 
     def multicast_subview(self, payload: Any) -> MessageId | None:
         """Multicast delivered (to the application) only within the

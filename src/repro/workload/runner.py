@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.net.faults import FaultSchedule
+from repro.obs.tracing import dump_on_violations
 from repro.ports import ClusterPort
 from repro.trace.checks import CheckReport, check_cluster
 from repro.trace.recorder import TraceRecorder
@@ -104,7 +105,7 @@ def run_checked_workload(
     check_wall = time.perf_counter() - t0
     snap_fn = getattr(cluster, "metrics_snapshot", None)
     metrics = snap_fn() if callable(snap_fn) else None
-    return WorkloadReport(
+    report = WorkloadReport(
         runtime_now=cluster.now,
         settled=settled,
         schedule_actions=len(schedule.actions),
@@ -115,6 +116,10 @@ def run_checked_workload(
         check_wall_s=check_wall,
         metrics=metrics,
     )
+    # Black box: a tripped checker freezes each flight recorder's recent
+    # causal history to disk (no-op when tracing is off).
+    dump_on_violations(cluster, report.violations)
+    return report
 
 
 @dataclass
@@ -200,6 +205,7 @@ def run_client_load(
         check_wall_s=check_wall,
         metrics=metrics,
     )
+    dump_on_violations(cluster, workload.violations)
     return ClientLoadReport(
         workload=workload,
         load=load_report,

@@ -1,0 +1,81 @@
+"""Dependency-free validator for Chrome/Perfetto trace-event JSON.
+
+Used by the obs-tracing tests and the CI obs-trace smoke step to check
+that ``repro obs trace --perfetto`` emits a file the Perfetto UI will
+load: a JSON object with a ``traceEvents`` array whose entries carry
+the phase-appropriate required keys.  Only the standard library is
+used, so the check runs anywhere CI does.
+
+Runnable directly: ``python tests/perfetto_check.py FILE`` exits
+non-zero with a message on the first malformed event.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Keys every event must carry, by phase ("M" metadata, "X" complete,
+#: "i" instant).  https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+_REQUIRED = {
+    "M": {"name", "pid", "tid", "args"},
+    "X": {"name", "cat", "pid", "tid", "ts", "dur"},
+    "i": {"name", "cat", "pid", "tid", "ts", "s"},
+}
+
+
+def validate_perfetto(payload) -> dict:
+    """Validate a parsed trace-event payload; raises ValueError.
+
+    Returns summary stats: counts per phase and the set of span names.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("top level must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty array")
+    stats = {"metadata": 0, "complete": 0, "instant": 0, "names": set()}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index}: not an object")
+        phase = event.get("ph")
+        required = _REQUIRED.get(phase)
+        if required is None:
+            raise ValueError(f"event {index}: unsupported phase {phase!r}")
+        missing = required - set(event)
+        if missing:
+            raise ValueError(f"event {index}: missing keys {sorted(missing)}")
+        if phase == "M":
+            stats["metadata"] += 1
+            continue
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(f"event {index}: bad ts {event['ts']!r}")
+        if phase == "X":
+            if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+                raise ValueError(f"event {index}: bad dur {event['dur']!r}")
+            stats["complete"] += 1
+        else:
+            stats["instant"] += 1
+        stats["names"].add(event["name"])
+    if not stats["complete"] + stats["instant"]:
+        raise ValueError("no span events (only metadata)")
+    return stats
+
+
+def validate_perfetto_file(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return validate_perfetto(json.load(fh))
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} TRACE_JSON")
+    try:
+        result = validate_perfetto_file(sys.argv[1])
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        sys.exit(f"perfetto check FAILED: {exc}")
+    print(
+        f"perfetto check ok: {result['complete']} complete + "
+        f"{result['instant']} instant events, "
+        f"{len(result['names'])} span names"
+    )

@@ -1,0 +1,153 @@
+"""Flight-recorder bounds and dump-on-violation semantics.
+
+The black box must honor two hard guarantees:
+
+* the ring never exceeds its byte budget, no matter the workload — a
+  crash-storm simulation included;
+* a tripped checker writes **exactly one** dump per distinct violation
+  per recorder, however many times the violation is reported.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.tracing import (
+    FlightRecorder,
+    SpanEvent,
+    TraceDump,
+    _event_cost,
+    dump_on_violations,
+    load_dump,
+    write_dump_file,
+)
+
+
+def _event(i: int, name: str = "mcast.send", attrs: tuple = ()) -> SpanEvent:
+    return SpanEvent(
+        trace_id=i, span_id=i, parent=0, name=name, pid=f"p{i % 5}.0",
+        site=i % 5, t0=float(i), t1=float(i) + 0.5, attrs=attrs,
+    )
+
+
+def test_append_flood_never_exceeds_budget():
+    recorder = FlightRecorder("n0", "sim", budget=4096)
+    for i in range(10_000):
+        recorder.append(_event(i))
+        assert recorder.bytes <= 4096
+    assert recorder.high_water <= 4096
+    assert recorder.dropped > 0
+    assert len(recorder) > 0
+    # FIFO eviction: the survivors are the most recent events.
+    events = recorder.dump().events
+    assert events[-1].span_id == 9_999
+    assert [e.span_id for e in events] == sorted(e.span_id for e in events)
+
+
+def test_pathological_single_event_is_dropped_whole():
+    recorder = FlightRecorder("n0", "sim", budget=128)
+    recorder.append(_event(1))
+    kept = len(recorder)
+    huge = _event(2, attrs=tuple(("k" * 50, "v" * 50) for _ in range(10)))
+    assert _event_cost(huge) > 128
+    recorder.append(huge)
+    assert len(recorder) == kept  # the ring was not flushed for it
+    assert recorder.dropped == 1
+
+
+def test_zero_or_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        FlightRecorder(budget=0)
+
+
+def test_crash_storm_workload_stays_inside_budget():
+    """End-to-end bound: a traced sim cluster under a crash/recover
+    storm keeps its recorder inside a deliberately tiny budget."""
+    from repro.ports import make_cluster
+
+    budget = 2048
+    cluster = make_cluster("sim", 4, seed=3, tracing=True, flight_budget=budget)
+    try:
+        cluster.settle()
+        for round_no in range(6):
+            cluster.crash(round_no % 4)
+            cluster.settle()
+            cluster.recover(round_no % 4)
+            cluster.settle()
+            assert cluster.flight.bytes <= budget
+        assert cluster.flight.high_water <= budget
+        assert cluster.flight.dropped > 0  # the storm overflowed the ring
+        assert len(cluster.flight) > 0
+    finally:
+        cluster.close()
+
+
+def test_violation_dump_fires_exactly_once_per_violation(tmp_path):
+    recorder = FlightRecorder("n0", "sim", budget=4096)
+    recorder.append(_event(1))
+    first = recorder.violation_dump("order violated at v3", str(tmp_path))
+    assert first is not None and os.path.exists(first)
+    for _ in range(50):  # checker re-reports the same violation
+        assert recorder.violation_dump("order violated at v3", str(tmp_path)) is None
+    other = recorder.violation_dump("loss at v4", str(tmp_path))
+    assert other is not None and other != first
+    assert len(list(tmp_path.iterdir())) == 2
+    loaded = load_dump(first)
+    assert loaded.node == "n0"
+    assert [e.span_id for e in loaded.events] == [1]
+    with open(first, encoding="utf-8") as fh:
+        assert json.load(fh)["reason"] == "order violated at v3"
+
+
+def test_dump_file_roundtrip_and_format_guard(tmp_path):
+    recorder = FlightRecorder("n7", "realnet", budget=4096, epoch=123.5)
+    recorder.append(_event(3, attrs=(("view", "v2@p0.0"),)))
+    path = str(tmp_path / "dump.json")
+    write_dump_file(path, recorder.dump(), reason="on demand")
+    loaded = load_dump(path)
+    assert loaded == recorder.dump()
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"format": "not-a-flight-dump"}')
+    with pytest.raises(ValueError):
+        load_dump(str(bogus))
+
+
+def test_from_dump_rehydrates_events_and_drop_count():
+    recorder = FlightRecorder("site2", "realnet", budget=4096, epoch=55.0)
+    for i in range(10):
+        recorder.append(_event(i))
+    recorder.dropped = 4  # pretend the child ring overflowed earlier
+    twin = FlightRecorder.from_dump(recorder.dump())
+    assert twin.dump() == recorder.dump()
+    assert twin.node == "site2" and twin.epoch == 55.0
+    assert twin.dropped == 4
+
+
+class _FakeCluster:
+    def __init__(self, recorders):
+        self._recorders = recorders
+
+    def flight_recorders(self):
+        return self._recorders
+
+
+def test_dump_on_violations_writes_per_recorder_and_violation(tmp_path):
+    recorders = [FlightRecorder(f"n{i}", "sim", budget=4096) for i in range(2)]
+    for recorder in recorders:
+        recorder.append(_event(1))
+    cluster = _FakeCluster(recorders)
+    paths = dump_on_violations(
+        cluster, ["viol-a", "viol-b"], out_dir=str(tmp_path)
+    )
+    assert len(paths) == 4  # 2 recorders x 2 distinct violations
+    # Re-reporting the same violations is a no-op.
+    assert dump_on_violations(cluster, ["viol-a"], out_dir=str(tmp_path)) == []
+
+
+def test_dump_on_violations_noop_without_recorders(tmp_path):
+    assert dump_on_violations(object(), ["v"], out_dir=str(tmp_path)) == []
+    assert dump_on_violations(_FakeCluster([]), ["v"], out_dir=str(tmp_path)) == []
+    assert not list(tmp_path.iterdir())

@@ -29,6 +29,7 @@ from repro.core.state_transfer import TAck, TChunk, TOffer, TResume, TSmallPiece
 from repro.errors import CodecError
 from repro.evs.eview import EvDelta, EView, EViewStructure, Subview, SvSet
 from repro.obs.snapshot import MetricSample, MetricsSnapshot
+from repro.obs.tracing import SpanEvent, TraceCtx, TraceDump
 from repro.evs.messages import EvChange, EvRepairReq, EvReq
 from repro.fd.gossip import GossipDigest, GossipEntry
 from repro.fd.heartbeat import Heartbeat
@@ -235,6 +236,36 @@ def _samples():
                     kind="counter",
                     labels=(("pid", "p1.0"),),
                     value=4.0,
+                ),
+            ),
+        ),
+        TraceCtx(trace_id=0x1001, span_id=0x2001, parent=0x1001),
+        SpanEvent(
+            trace_id=0x1001,
+            span_id=0x2001,
+            parent=0x1001,
+            name="view.agree",
+            pid="p1.0",
+            site=1,
+            t0=1.5,
+            t1=2.25,
+            attrs=(("view", "v4@p0.0"),),
+        ),
+        TraceDump(
+            node="site1",
+            runtime="realnet",
+            epoch=1000.5,
+            dropped=2,
+            events=(
+                SpanEvent(
+                    trace_id=0x1001,
+                    span_id=0x3001,
+                    parent=0,
+                    name="view.change",
+                    pid="p1.0",
+                    site=1,
+                    t0=1.0,
+                    t1=1.0,
                 ),
             ),
         ),

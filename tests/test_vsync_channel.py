@@ -68,7 +68,7 @@ def test_suspend_buffers_outgoing_multicasts():
     stack = cluster.stack_at(0)
     stack.channels.suspend()
     assert stack.multicast("held") is None
-    assert stack.channels.pending_sends == ["held"]
+    assert stack.channels.pending_sends == [("held", None)]
     stack.channels.suspended = False
     stack.channels.flush_pending_sends()
     assert stack.channels.pending_sends == []
